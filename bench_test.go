@@ -1,0 +1,279 @@
+// Benchmarks: one testing.B entry point per table/figure of the paper's
+// evaluation. These run representative cells of each experiment at a
+// benchmark-friendly size; the complete sweeps with the paper's full
+// parameter grids are produced by `go run ./cmd/semibench -exp <id>`
+// (see EXPERIMENTS.md for the recorded results).
+package semisort_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline/plcr"
+	"repro/internal/bench"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/hashutil"
+	"repro/internal/ngram"
+	"repro/internal/parallel"
+)
+
+// benchN is the record count per benchmark cell (the paper uses 10^9; this
+// size keeps `go test -bench=.` under a few minutes while preserving the
+// relative ordering of the algorithms).
+const benchN = 1 << 19
+
+// benchSpecs is one representative distribution per family.
+func benchSpecs() []dist.Spec {
+	return []dist.Spec{
+		{Kind: dist.Uniform, Param: float64(benchN) / 1000}, // uniform-10^6 shape
+		{Kind: dist.Exponential, Param: 2e-5 * 1e9 / float64(benchN)},
+		{Kind: dist.Zipfian, Param: 1.2},
+	}
+}
+
+func run64Cell(b *testing.B, name string, data []bench.P64) {
+	b.Helper()
+	work := make([]bench.P64, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		parallel.Copy(work, data)
+		b.StartTimer()
+		bench.Run64(name, work)
+	}
+}
+
+// BenchmarkTable3 regenerates representative cells of Table 3 / Figure 1:
+// all ten algorithms on one distribution per family, 64-bit keys+values.
+func BenchmarkTable3(b *testing.B) {
+	for _, spec := range benchSpecs() {
+		data := bench.Make64(benchN, spec, 42)
+		for _, name := range bench.AlgoNames {
+			b.Run(fmt.Sprintf("%s/%s", spec, name), func(b *testing.B) {
+				run64Cell(b, name, data)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Heatmap32 regenerates Figure 5 cells (32-bit keys+values).
+func BenchmarkFig5Heatmap32(b *testing.B) {
+	spec := dist.Spec{Kind: dist.Zipfian, Param: 1.2}
+	data := bench.Make32(benchN, spec, 42)
+	for _, name := range bench.AlgoNames {
+		b.Run(name, func(b *testing.B) {
+			work := make([]bench.P32, len(data))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				parallel.Copy(work, data)
+				b.StartTimer()
+				bench.Run32(name, work)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Heatmap128 regenerates Figure 6 cells (128-bit keys+values;
+// RS and IPS2Ra do not support this width, as in the paper).
+func BenchmarkFig6Heatmap128(b *testing.B) {
+	spec := dist.Spec{Kind: dist.Zipfian, Param: 1.2}
+	data := bench.Make128(benchN, spec, 42)
+	for _, name := range bench.AlgoNames {
+		if !bench.Supports(name, 128) {
+			continue
+		}
+		b.Run(name, func(b *testing.B) {
+			work := make([]bench.P128, len(data))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				parallel.Copy(work, data)
+				b.StartTimer()
+				bench.Run128(name, work)
+			}
+		})
+	}
+}
+
+// BenchmarkFig3aSpeedup regenerates Figure 3a cells: our semisort and the
+// strongest baseline at one and all threads on Zipfian-1.2.
+func BenchmarkFig3aSpeedup(b *testing.B) {
+	data := bench.Make64(benchN, dist.Spec{Kind: dist.Zipfian, Param: 1.2}, 42)
+	maxP := parallel.Workers()
+	for _, name := range []string{"Ours=", "Ours<", "PLSS", "PLIS"} {
+		for _, p := range []int{1, maxP} {
+			b.Run(fmt.Sprintf("%s/p=%d", name, p), func(b *testing.B) {
+				prev := parallel.SetWorkers(p)
+				defer parallel.SetWorkers(prev)
+				run64Cell(b, name, data)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3bSizes regenerates Figure 3b cells: size scaling on
+// Zipfian-1.2.
+func BenchmarkFig3bSizes(b *testing.B) {
+	spec := dist.Spec{Kind: dist.Zipfian, Param: 1.2}
+	for _, n := range []int{benchN / 16, benchN / 4, benchN} {
+		data := bench.Make64(n, spec, 42)
+		for _, name := range []string{"Ours=", "PLSS", "PLIS"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, name), func(b *testing.B) {
+				run64Cell(b, name, data)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3cCollect regenerates Figure 3c cells: our collect-reduce
+// versus our semisort versus sort-based collect-reduce across Zipfian skew.
+func BenchmarkFig3cCollect(b *testing.B) {
+	key := func(p bench.P64) uint64 { return p.K }
+	for _, s := range []float64{0.6, 1.0, 1.5} {
+		data := bench.Make64(benchN, dist.Spec{Kind: dist.Zipfian, Param: s}, 42)
+		b.Run(fmt.Sprintf("zipf-%.1f/Ours+", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				collect.Reduce(data, collect.Reducer[bench.P64, uint64, uint64]{
+					Key: key, Hash: hashutil.Mix64,
+					Eq:      func(x, y uint64) bool { return x == y },
+					Map:     func(p bench.P64) uint64 { return p.V },
+					Combine: func(x, y uint64) uint64 { return x + y },
+				}, core.Config{})
+			}
+		})
+		b.Run(fmt.Sprintf("zipf-%.1f/Ours=", s), func(b *testing.B) {
+			run64Cell(b, "Ours=", data)
+		})
+		b.Run(fmt.Sprintf("zipf-%.1f/PLCR", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plcr.Reduce(data, key,
+					func(x, y uint64) bool { return x < y },
+					func(p bench.P64) uint64 { return p.V },
+					func(x, y uint64) uint64 { return x + y }, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkFig4KeyLength regenerates Figure 4 cells: key-width sensitivity
+// on Zipfian-1.2 for a comparison sort, an integer sort, and ours.
+func BenchmarkFig4KeyLength(b *testing.B) {
+	spec := dist.Spec{Kind: dist.Zipfian, Param: 1.2}
+	d32 := bench.Make32(benchN, spec, 42)
+	d64 := bench.Make64(benchN, spec, 42)
+	d128 := bench.Make128(benchN, spec, 42)
+	for _, name := range []string{"Ours-i=", "PLSS", "PLIS"} {
+		b.Run(name+"/32bit", func(b *testing.B) {
+			work := make([]bench.P32, len(d32))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				parallel.Copy(work, d32)
+				b.StartTimer()
+				bench.Run32(name, work)
+			}
+		})
+		b.Run(name+"/64bit", func(b *testing.B) { run64Cell(b, name, d64) })
+		b.Run(name+"/128bit", func(b *testing.B) {
+			work := make([]bench.P128, len(d128))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				parallel.Copy(work, d128)
+				b.StartTimer()
+				bench.Run128(name, work)
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Transpose regenerates Table 4 cells: grouping the reversed
+// edge list of a power-law and a near-regular graph.
+func BenchmarkTable4Transpose(b *testing.B) {
+	for _, gc := range []struct {
+		name  string
+		shape graph.Shape
+		skew  float64
+	}{
+		{"powerlaw", graph.PowerLaw, 1.25},
+		{"nearregular", graph.NearRegular, 0},
+	} {
+		g := graph.Generate(benchN/16, benchN, gc.shape, gc.skew, 42)
+		rev := g.EdgeList()
+		for i := range rev {
+			rev[i] = graph.Edge{Src: rev[i].Dst, Dst: rev[i].Src}
+		}
+		for _, m := range []graph.Method{graph.SemisortIEq, graph.SemisortILess, graph.SampleSort, graph.RadixSort, graph.GSSB} {
+			b.Run(fmt.Sprintf("%s/%s", gc.name, m), func(b *testing.B) {
+				work := make([]graph.Edge, len(rev))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					parallel.Copy(work, rev)
+					b.StartTimer()
+					graph.GroupEdges(work, m)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5NGram regenerates Table 5 cells: grouping 2-grams and
+// 3-grams of a synthetic Zipfian corpus with the any-type algorithms.
+func BenchmarkTable5NGram(b *testing.B) {
+	vocab := ngram.NewVocabulary(20000)
+	words := ngram.Tokenize(ngram.GenerateText(vocab, benchN/4, 1.05, 42))
+	for _, n := range []int{2, 3} {
+		recs := ngram.Extract(words, n)
+		for _, m := range ngram.Methods() {
+			b.Run(fmt.Sprintf("%d-gram/%s", n, m), func(b *testing.B) {
+				work := make([]ngram.Record, len(recs))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					parallel.Copy(work, recs)
+					b.StartTimer()
+					ngram.Group(work, m)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation quantifies the design choices of Sections 3.3-3.6 on
+// Zipfian-1.2: bucket count, heavy-key detection, recursion, in-place swap.
+func BenchmarkAblation(b *testing.B) {
+	data := bench.Make64(benchN, dist.Spec{Kind: dist.Zipfian, Param: 1.2}, 42)
+	key := func(p bench.P64) uint64 { return p.K }
+	eq := func(x, y uint64) bool { return x == y }
+	cell := func(b *testing.B, cfg core.Config) {
+		work := make([]bench.P64, len(data))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			parallel.Copy(work, data)
+			b.StartTimer()
+			core.SortEq(work, key, hashutil.Mix64, eq, cfg)
+		}
+	}
+	b.Run("full", func(b *testing.B) { cell(b, core.Config{}) })
+	b.Run("nL=64", func(b *testing.B) { cell(b, core.Config{LightBuckets: 64}) })
+	b.Run("nL=16384", func(b *testing.B) { cell(b, core.Config{LightBuckets: 16384}) })
+	b.Run("no-heavy", func(b *testing.B) { cell(b, core.Config{DisableHeavy: true}) })
+	b.Run("no-recursion", func(b *testing.B) { cell(b, core.Config{MaxDepth: 1}) })
+	b.Run("no-inplace", func(b *testing.B) { cell(b, core.Config{DisableInPlace: true}) })
+	b.Run("space-efficient-variant", func(b *testing.B) {
+		work := make([]bench.P64, len(data))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			parallel.Copy(work, data)
+			b.StartTimer()
+			core.SortEqInPlace(work, key, hashutil.Mix64, eq, core.Config{})
+		}
+	})
+}

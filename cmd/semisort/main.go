@@ -1,0 +1,104 @@
+// Command semisort generates a synthetic workload, semisorts it with a
+// chosen algorithm, verifies the result, and reports the running time.
+// It is the generate-run-verify harness for ad-hoc experiments.
+//
+// Usage:
+//
+//	semisort -algo Ours= -dist zipfian -param 1.2 -n 10000000
+//	semisort -algo PLIS -dist uniform -param 1000 -n 1000000 -verify=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dist"
+	"repro/internal/parallel"
+)
+
+func main() {
+	var (
+		algoFlag   = flag.String("algo", "Ours=", "algorithm: Table 2 names (Ours=, Ours<, Ours-i=, Ours-i<, PLSS, IPS4o, PLIS, GSSB, RS, IPS2Ra) or the Section 6 space-efficient variants (Ours-ip=, Ours-ip<)")
+		distFlag   = flag.String("dist", "zipfian", "distribution: uniform | exponential | zipfian")
+		paramFlag  = flag.Float64("param", 1.0, "distribution parameter (mu, lambda, or s)")
+		nFlag      = flag.Int("n", 10_000_000, "number of records (64-bit key + 64-bit value)")
+		seedFlag   = flag.Uint64("seed", 42, "generation seed")
+		verifyFlag = flag.Bool("verify", true, "verify the semisort invariants after running")
+		statsFlag  = flag.Bool("stats", false, "print input skew statistics (distinct, max freq, heavy ratio)")
+	)
+	flag.Parse()
+
+	var kind dist.Kind
+	switch *distFlag {
+	case "uniform":
+		kind = dist.Uniform
+	case "exponential":
+		kind = dist.Exponential
+	case "zipfian":
+		kind = dist.Zipfian
+	default:
+		fmt.Fprintf(os.Stderr, "semisort: unknown distribution %q\n", *distFlag)
+		os.Exit(2)
+	}
+	spec := dist.Spec{Kind: kind, Param: *paramFlag}
+
+	fmt.Printf("generating %d records from %s (seed %d)...\n", *nFlag, spec, *seedFlag)
+	data := bench.Make64(*nFlag, spec, *seedFlag)
+	if *statsFlag {
+		keys := make([]uint64, len(data))
+		for i := range data {
+			keys[i] = data[i].K
+		}
+		st := dist.Stats64(keys, dist.HeavyCut(*nFlag))
+		fmt.Printf("distinct keys: %d, max frequency: %d, heavy ratio: %.1f%%\n",
+			st.Distinct, st.MaxFreq, 100*st.HeavyFrac)
+	}
+
+	work := make([]bench.P64, len(data))
+	parallel.Copy(work, data)
+	start := time.Now()
+	bench.Run64(*algoFlag, work)
+	elapsed := time.Since(start)
+	fmt.Printf("%s on %d records, %d threads: %.3fs (%.1f M records/s)\n",
+		*algoFlag, *nFlag, parallel.Workers(), elapsed.Seconds(),
+		float64(*nFlag)/elapsed.Seconds()/1e6)
+
+	if *verifyFlag {
+		if err := verify(data, work); err != nil {
+			fmt.Fprintf(os.Stderr, "semisort: VERIFICATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("verified: output is a permutation with contiguous key groups")
+	}
+}
+
+// verify checks the semisort postconditions: same multiset of records and
+// contiguous key groups.
+func verify(in, out []bench.P64) error {
+	if len(in) != len(out) {
+		return fmt.Errorf("length changed: %d -> %d", len(in), len(out))
+	}
+	want := make(map[bench.P64]int, len(in))
+	for _, p := range in {
+		want[p]++
+	}
+	for _, p := range out {
+		want[p]--
+		if want[p] < 0 {
+			return fmt.Errorf("record %v appears more often than in the input", p)
+		}
+	}
+	closed := make(map[uint64]bool)
+	for i := 1; i < len(out); i++ {
+		if out[i].K != out[i-1].K {
+			if closed[out[i].K] {
+				return fmt.Errorf("key %d is not contiguous (position %d)", out[i].K, i)
+			}
+			closed[out[i-1].K] = true
+		}
+	}
+	return nil
+}

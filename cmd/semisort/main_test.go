@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestVerifyAcceptsValidSemisort(t *testing.T) {
+	in := []bench.P64{{K: 1, V: 10}, {K: 2, V: 20}, {K: 1, V: 11}, {K: 3, V: 30}}
+	out := []bench.P64{{K: 1, V: 10}, {K: 1, V: 11}, {K: 2, V: 20}, {K: 3, V: 30}}
+	if err := verify(in, out); err != nil {
+		t.Fatalf("valid semisort rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsSplitGroup(t *testing.T) {
+	in := []bench.P64{{K: 1}, {K: 2}, {K: 1}}
+	out := []bench.P64{{K: 1}, {K: 2}, {K: 1}} // key 1 split by key 2
+	if err := verify(in, out); err == nil {
+		t.Fatal("split group accepted")
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	in := []bench.P64{{K: 1, V: 1}, {K: 2, V: 2}}
+	out := []bench.P64{{K: 1, V: 1}, {K: 1, V: 1}} // record duplicated
+	if err := verify(in, out); err == nil {
+		t.Fatal("corrupted multiset accepted")
+	}
+	if err := verify(in, out[:1]); err == nil {
+		t.Fatal("length change accepted")
+	}
+}
+
+func TestVerifyEmpty(t *testing.T) {
+	if err := verify(nil, nil); err != nil {
+		t.Fatalf("empty arrays rejected: %v", err)
+	}
+}

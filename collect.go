@@ -1,0 +1,49 @@
+package semisort
+
+import "repro/internal/collect"
+
+// KeyCount is one histogram entry.
+type KeyCount[K any] struct {
+	Key   K
+	Count int64
+}
+
+// KeyValue is one collect-reduce result entry.
+type KeyValue[K, E any] struct {
+	Key   K
+	Value E
+}
+
+// Histogram returns the number of occurrences of each distinct key of a
+// (Section 2.1's histogram problem). The input is not modified. Keys are
+// emitted in a deterministic order for a fixed seed.
+func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []KeyCount[K] {
+	kv := collect.Histogram(a, key, hash, eq, buildConfig(opts))
+	out := make([]KeyCount[K], len(kv))
+	for i, e := range kv {
+		out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
+	}
+	return out
+}
+
+// CollectReduce computes, for each distinct key, the reduction of the
+// mapped values of that key's records: combine(... combine(combine(id,
+// M(r1)), M(r2)) ...) in input order (Section 2.1's collect-reduce).
+// combine must be associative with identity id; because the algorithm is
+// stable, it does not need to be commutative. The input is not modified.
+func CollectReduce[R, K, E any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool,
+	mapf func(R) E, combine func(E, E) E, id E, opts ...Option) []KeyValue[K, E] {
+	kv := collect.Reduce(a, collect.Reducer[R, K, E]{
+		Key:      key,
+		Hash:     hash,
+		Eq:       eq,
+		Map:      mapf,
+		Combine:  combine,
+		Identity: id,
+	}, buildConfig(opts))
+	out := make([]KeyValue[K, E], len(kv))
+	for i, e := range kv {
+		out[i] = KeyValue[K, E]{Key: e.Key, Value: e.Value}
+	}
+	return out
+}

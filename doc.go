@@ -1,0 +1,43 @@
+// Package semisort provides high-performance, flexible parallel semisort,
+// histogram, and collect-reduce, reproducing "High-Performance and Flexible
+// Parallel Algorithms for Semisort and Related Problems" (Dong, Wu, Wang,
+// Dhulipala, Gu, Sun; SPAA 2023).
+//
+// Semisort reorders an array of records so that records with equal keys are
+// contiguous — without requiring the keys to come out in sorted order. Many
+// parallel algorithms (graph analytics, geometry, string processing, group-
+// by/aggregation) need exactly this, and semisort is asymptotically cheaper
+// than sorting.
+//
+// # Interface
+//
+// Following the paper's flexible interface, the algorithms accept any key
+// type K together with
+//
+//   - a key extractor key: R -> K,
+//   - a user hash function h: K -> uint64 (use Hash64/HashString for real
+//     hashing, or Identity64 for the paper's faster integer variants
+//     "Ours-i" when keys are already well-spread integers),
+//   - an equality test (SortEq, semisort=) or a less-than test (SortLess,
+//     semisort<), whichever the key type supports.
+//
+// All algorithms here are stable (equal keys keep their input order), race
+// free, and internally deterministic: for a fixed seed the output is
+// identical regardless of scheduling or GOMAXPROCS.
+//
+// # Quick start
+//
+//	pairs := []semisort.Pair[uint64, string]{ ... }
+//	semisort.SortEq(pairs,
+//	    func(p semisort.Pair[uint64, string]) uint64 { return p.Key },
+//	    semisort.Hash64,
+//	    func(a, b uint64) bool { return a == b },
+//	)
+//
+// Histogram and CollectReduce share the interface and add a map function
+// and a reduce monoid; because the algorithms are stable, the monoid needs
+// to be associative but not commutative.
+//
+// See DESIGN.md for the algorithm internals and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package semisort

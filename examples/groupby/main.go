@@ -1,0 +1,100 @@
+// Group-by at scale: the database aggregation workload the paper's
+// introduction motivates (groupBy/aggregation, reduceByKey). This example
+// aggregates 5 million synthetic sales records per store with three
+// strategies and compares wall-clock time and results:
+//
+//  1. a single-threaded Go map (the idiomatic baseline),
+//  2. a sharded-map aggregation (the common hand-rolled parallel fix),
+//  3. the paper's collect-reduce.
+//
+// On skewed key distributions (a few hot stores), collect-reduce wins
+// because hot keys are reduced per subarray without contention or movement.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	semisort "repro"
+	"repro/internal/dist"
+	"repro/internal/parallel"
+)
+
+type saleRec struct {
+	Store  uint64
+	Amount uint64
+}
+
+func main() {
+	const n = 5_000_000
+	stores := dist.Keys64(n, dist.Spec{Kind: dist.Zipfian, Param: 1.1}, 99)
+	sales := make([]saleRec, n)
+	for i, s := range stores {
+		sales[i] = saleRec{Store: s, Amount: (s*31 + uint64(i)) % 1000}
+	}
+
+	// 1. Single-threaded map.
+	start := time.Now()
+	mapTotals := make(map[uint64]uint64, 1024)
+	for _, s := range sales {
+		mapTotals[s.Store] += s.Amount
+	}
+	tMap := time.Since(start)
+
+	// 2. Sharded maps with a final merge.
+	start = time.Now()
+	nShards := parallel.Workers()
+	shards := make([]map[uint64]uint64, nShards)
+	var wg sync.WaitGroup
+	for sh := 0; sh < nShards; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			lo, hi := parallel.BlockRange(n, nShards, sh)
+			m := make(map[uint64]uint64, 1024)
+			for _, s := range sales[lo:hi] {
+				m[s.Store] += s.Amount
+			}
+			shards[sh] = m
+		}(sh)
+	}
+	wg.Wait()
+	shardTotals := make(map[uint64]uint64, 1024)
+	for _, m := range shards {
+		for k, v := range m {
+			shardTotals[k] += v
+		}
+	}
+	tShard := time.Since(start)
+
+	// 3. Collect-reduce.
+	start = time.Now()
+	crTotals := semisort.CollectReduce(sales,
+		func(s saleRec) uint64 { return s.Store },
+		semisort.Hash64,
+		func(a, b uint64) bool { return a == b },
+		func(s saleRec) uint64 { return s.Amount },
+		func(a, b uint64) uint64 { return a + b },
+		0,
+	)
+	tCR := time.Since(start)
+
+	// Cross-check all three.
+	if len(crTotals) != len(mapTotals) || len(shardTotals) != len(mapTotals) {
+		panic("strategies disagree on the number of stores")
+	}
+	for _, kv := range crTotals {
+		if mapTotals[kv.Key] != kv.Value || shardTotals[kv.Key] != kv.Value {
+			panic(fmt.Sprintf("store %d: totals disagree", kv.Key))
+		}
+	}
+
+	fmt.Printf("aggregated %d sales over %d stores (%d threads):\n",
+		n, len(crTotals), parallel.Workers())
+	fmt.Printf("  %-28s %8.1f ms\n", "single-threaded map:", tMap.Seconds()*1e3)
+	fmt.Printf("  %-28s %8.1f ms\n", "sharded maps + merge:", tShard.Seconds()*1e3)
+	fmt.Printf("  %-28s %8.1f ms\n", "collect-reduce (this paper):", tCR.Seconds()*1e3)
+	fmt.Printf("speedup over single-threaded map: %.1fx\n",
+		tMap.Seconds()/tCR.Seconds())
+}

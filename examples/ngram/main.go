@@ -1,0 +1,69 @@
+// N-gram grouping (Section 5.3, application 2): tokenize a text, extract
+// 2-grams (first word = key, following word = value), semisort them with
+// string keys hashed on the fly, and print next-word suggestions — the
+// text-recommendation use case the paper describes.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	semisort "repro"
+)
+
+type bigram struct {
+	Key   string // context word
+	Next  string // following word
+	Index int    // position in the text (demonstrates stability)
+}
+
+const text = `
+the quick brown fox jumps over the lazy dog
+the quick brown fox runs past the sleepy cat
+the lazy dog sleeps while the quick cat watches
+a quick decision beats a slow perfect answer
+`
+
+func main() {
+	words := strings.Fields(strings.ToLower(text))
+	grams := make([]bigram, 0, len(words)-1)
+	for i := 0; i+1 < len(words); i++ {
+		grams = append(grams, bigram{Key: words[i], Next: words[i+1], Index: i})
+	}
+
+	// semisort= on string keys: only hashing and equality needed, no
+	// ordering of the vocabulary required.
+	semisort.SortEq(grams,
+		func(g bigram) string { return g.Key },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+	)
+
+	fmt.Println("next-word suggestions (grouped contexts, corpus order preserved):")
+	for i := 0; i < len(grams); {
+		j := i
+		var nexts []string
+		for j < len(grams) && grams[j].Key == grams[i].Key {
+			nexts = append(nexts, grams[j].Next)
+			j++
+		}
+		if len(nexts) > 1 {
+			fmt.Printf("  %-8s -> %s\n", grams[i].Key, strings.Join(nexts, ", "))
+		}
+		i = j
+	}
+
+	// Histogram over contexts: which words start the most bigrams?
+	counts := semisort.Histogram(grams,
+		func(g bigram) string { return g.Key },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+	)
+	top, topN := "", int64(0)
+	for _, kc := range counts {
+		if kc.Count > topN {
+			top, topN = kc.Key, kc.Count
+		}
+	}
+	fmt.Printf("\nmost frequent context: %q (%d bigrams, %d distinct contexts)\n", top, topN, len(counts))
+}

@@ -1,0 +1,70 @@
+// Quickstart: semisort a small array of sales records by branch, then
+// histogram and collect-reduce the same data — the paper's introduction
+// example (gather lineitems per branch, count items per month, total sales
+// per brand).
+package main
+
+import (
+	"fmt"
+
+	semisort "repro"
+)
+
+type lineitem struct {
+	Branch string
+	Month  int
+	Brand  string
+	Price  float64
+}
+
+func main() {
+	items := []lineitem{
+		{"north", 1, "acme", 9.99},
+		{"south", 1, "zenith", 17.50},
+		{"north", 2, "acme", 4.25},
+		{"east", 1, "acme", 12.00},
+		{"south", 2, "nadir", 3.75},
+		{"north", 1, "zenith", 8.10},
+		{"east", 3, "nadir", 21.40},
+		{"south", 1, "acme", 6.60},
+	}
+
+	// Semisort: gather records of the same branch together. Only a hash
+	// function and equality on the key are needed (semisort=), and the
+	// grouping is stable: within a branch, input order is preserved.
+	semisort.SortEq(items,
+		func(it lineitem) string { return it.Branch },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+	)
+	fmt.Println("lineitems grouped by branch:")
+	for _, it := range items {
+		fmt.Printf("  %-5s month=%d brand=%-6s $%.2f\n", it.Branch, it.Month, it.Brand, it.Price)
+	}
+
+	// Histogram: how many items were sold in each month?
+	months := semisort.Histogram(items,
+		func(it lineitem) int { return it.Month },
+		func(m int) uint64 { return semisort.Hash64(uint64(m)) },
+		func(a, b int) bool { return a == b },
+	)
+	fmt.Println("\nitems per month:")
+	for _, kc := range months {
+		fmt.Printf("  month %d: %d items\n", kc.Key, kc.Count)
+	}
+
+	// Collect-reduce: total sales per brand (any associative monoid works;
+	// stability means even non-commutative reductions are safe).
+	totals := semisort.CollectReduce(items,
+		func(it lineitem) string { return it.Brand },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+		func(it lineitem) float64 { return it.Price },
+		func(a, b float64) float64 { return a + b },
+		0.0,
+	)
+	fmt.Println("\ntotal sales per brand:")
+	for _, kv := range totals {
+		fmt.Printf("  %-6s $%.2f\n", kv.Key, kv.Value)
+	}
+}

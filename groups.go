@@ -1,0 +1,51 @@
+package semisort
+
+import "repro/internal/parallel"
+
+// Group is one contiguous run of equal-key records after a semisort:
+// a[Lo:Hi] all share the same key.
+type Group struct {
+	Lo, Hi int
+}
+
+// GroupsEq semisorts a with SortEq and returns the boundaries of the
+// resulting key groups, in output order. It is the convenience most
+// applications want: "give me each key's records as a slice".
+//
+//	for _, g := range semisort.GroupsEq(edges, key, hash, eq) {
+//	    neighbors := edges[g.Lo:g.Hi]
+//	}
+func GroupsEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []Group {
+	SortEq(a, key, hash, eq, opts...)
+	return boundaries(a, key, eq)
+}
+
+// GroupsLess is GroupsEq using SortLess (semisort<).
+func GroupsLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) []Group {
+	SortLess(a, key, hash, less, opts...)
+	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
+	return boundaries(a, key, eq)
+}
+
+// boundaries locates the group starts of an already-semisorted array in
+// parallel (a head is any position whose key differs from its predecessor).
+func boundaries[R, K any](a []R, key func(R) K, eq func(K, K) bool) []Group {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	parallel.MapInto(idx, func(i int) int { return i })
+	heads := parallel.Pack(idx, func(i int) bool {
+		return i == 0 || !eq(key(a[i-1]), key(a[i]))
+	})
+	groups := make([]Group, len(heads))
+	parallel.For(len(heads), 1024, func(g int) {
+		hi := n
+		if g+1 < len(heads) {
+			hi = heads[g+1]
+		}
+		groups[g] = Group{Lo: heads[g], Hi: hi}
+	})
+	return groups
+}

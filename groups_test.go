@@ -1,0 +1,87 @@
+package semisort_test
+
+import (
+	"testing"
+
+	semisort "repro"
+)
+
+func TestGroupsEq(t *testing.T) {
+	in := randItems(40000, 61, 11)
+	a := append([]item(nil), in...)
+	groups := semisort.GroupsEq(a,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(x, y string) bool { return x == y },
+	)
+	verifyGroups(t, in, a, groups)
+}
+
+func TestGroupsLess(t *testing.T) {
+	in := randItems(40000, 61, 12)
+	a := append([]item(nil), in...)
+	groups := semisort.GroupsLess(a,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(x, y string) bool { return x < y },
+	)
+	verifyGroups(t, in, a, groups)
+}
+
+func verifyGroups(t *testing.T, in, a []item, groups []semisort.Group) {
+	t.Helper()
+	// Groups must tile [0, n) exactly.
+	pos := 0
+	for _, g := range groups {
+		if g.Lo != pos || g.Hi <= g.Lo {
+			t.Fatalf("group %+v does not tile (expected lo %d)", g, pos)
+		}
+		pos = g.Hi
+	}
+	if pos != len(a) {
+		t.Fatalf("groups end at %d, want %d", pos, len(a))
+	}
+	// Each group is single-key; adjacent groups differ.
+	want := map[string]int{}
+	for _, it := range in {
+		want[it.key]++
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		k := a[g.Lo].key
+		if seen[k] {
+			t.Fatalf("key %q split across groups", k)
+		}
+		seen[k] = true
+		for i := g.Lo; i < g.Hi; i++ {
+			if a[i].key != k {
+				t.Fatalf("group %+v mixes keys %q and %q", g, k, a[i].key)
+			}
+		}
+		if g.Hi-g.Lo != want[k] {
+			t.Fatalf("key %q group size %d, want %d", k, g.Hi-g.Lo, want[k])
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%d groups for %d distinct keys", len(seen), len(want))
+	}
+}
+
+func TestGroupsEmpty(t *testing.T) {
+	if g := semisort.GroupsEq([]item{}, func(it item) string { return it.key },
+		semisort.HashString, func(a, b string) bool { return a == b }); g != nil {
+		t.Fatalf("empty input produced groups %v", g)
+	}
+}
+
+func TestGroupsSingleKey(t *testing.T) {
+	a := make([]uint64, 5000)
+	groups := semisort.GroupsEq(a,
+		func(x uint64) uint64 { return x },
+		semisort.Hash64,
+		func(x, y uint64) bool { return x == y },
+	)
+	if len(groups) != 1 || groups[0] != (semisort.Group{Lo: 0, Hi: 5000}) {
+		t.Fatalf("single-key groups wrong: %v", groups)
+	}
+}

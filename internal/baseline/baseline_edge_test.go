@@ -1,0 +1,154 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/baseline/ipradix"
+	"repro/internal/baseline/ips4"
+	"repro/internal/baseline/plcr"
+	"repro/internal/baseline/samplesort"
+)
+
+// TestIPS4AllEqual exercises the all-equal fast path (empty pivot set).
+func TestIPS4AllEqual(t *testing.T) {
+	a := make([]uint64, 100000)
+	for i := range a {
+		a[i] = 9
+	}
+	ips4.Sort(a, lessU64)
+	for _, v := range a {
+		if v != 9 {
+			t.Fatal("all-equal input corrupted")
+		}
+	}
+}
+
+// TestIPS4NearlyAllEqual: one straggler among a constant sea; the pivot
+// sample is almost certainly constant, so the fallback paths must engage.
+func TestIPS4NearlyAllEqual(t *testing.T) {
+	a := make([]uint64, 120000)
+	for i := range a {
+		a[i] = 5
+	}
+	a[60000] = 1
+	a[90000] = 7
+	ips4.Sort(a, lessU64)
+	if a[0] != 1 || a[len(a)-1] != 7 {
+		t.Fatalf("stragglers misplaced: first=%d last=%d", a[0], a[len(a)-1])
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] }) {
+		t.Fatal("not sorted")
+	}
+}
+
+// TestIPRadixSkipSharedPrefix: all keys share their top 5 bytes; the
+// IPS2Ra-analogue must skip those digit levels and still sort.
+func TestIPRadixSkipSharedPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const prefix = uint64(0xABCDEF1234) << 24
+	a := make([]uint64, 150000)
+	for i := range a {
+		a[i] = prefix | uint64(rng.Intn(1<<24))
+	}
+	d := ipradix.Digits[uint64]{
+		At:     func(x uint64, level int) uint8 { return uint8(x >> (56 - 8*level)) },
+		Levels: 8,
+		Less:   lessU64,
+	}
+	want := wantSorted(a)
+	ipradix.SortSkip(a, d)
+	checkEqual(t, a, want, "ipradix-skip-prefix")
+}
+
+// TestSamplesortDescending and a few adversarial patterns.
+func TestSortersAdversarialPatterns(t *testing.T) {
+	patterns := map[string]func(n int) []uint64{
+		"descending": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(n - i)
+			}
+			return a
+		},
+		"sawtooth": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(i % 17)
+			}
+			return a
+		},
+		"organ-pipe": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				if i < n/2 {
+					a[i] = uint64(i)
+				} else {
+					a[i] = uint64(n - i)
+				}
+			}
+			return a
+		},
+		"two-values": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(i & 1)
+			}
+			return a
+		},
+	}
+	for name, mk := range patterns {
+		n := 100000
+		base := mk(n)
+		want := wantSorted(base)
+
+		a := append([]uint64(nil), base...)
+		samplesort.Sort(a, lessU64)
+		checkEqual(t, a, want, "samplesort/"+name)
+
+		b := append([]uint64(nil), base...)
+		ips4.Sort(b, lessU64)
+		checkEqual(t, b, want, "ips4/"+name)
+	}
+}
+
+// TestPLCRNonCountMonoid checks PLCR with max (commutative, which is all an
+// unstable sort-based collect-reduce can promise).
+func TestPLCRNonCountMonoid(t *testing.T) {
+	keys := randKeys(40000, 50, 88)
+	got := plcr.Reduce(keys,
+		func(k uint64) uint64 { return k % 50 },
+		lessU64,
+		func(k uint64) uint64 { return k },
+		func(a, b uint64) uint64 {
+			if a > b {
+				return a
+			}
+			return b
+		}, 0)
+	want := map[uint64]uint64{}
+	for _, k := range keys {
+		g := k % 50
+		if cur, ok := want[g]; !ok || k > cur {
+			want[g] = k
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct %d want %d", len(got), len(want))
+	}
+	for _, kv := range got {
+		if want[kv.Key] != kv.Value {
+			t.Fatalf("key %d: max %d want %d", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+}
+
+// TestPLCRSingleKey exercises the single-segment path.
+func TestPLCRSingleKey(t *testing.T) {
+	keys := make([]uint64, 30000)
+	got := plcr.Histogram(keys, func(k uint64) uint64 { return k }, lessU64)
+	if len(got) != 1 || got[0].Value != 30000 {
+		t.Fatalf("single-key histogram wrong: %v", got)
+	}
+}

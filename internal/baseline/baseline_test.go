@@ -1,0 +1,253 @@
+// Package baseline_test exercises every baseline algorithm against
+// reference results on shared workloads, including skewed (Zipf-like)
+// inputs where the equal-bucket / heavy-key paths matter.
+package baseline_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/gssb"
+	"repro/internal/baseline/ipradix"
+	"repro/internal/baseline/ips4"
+	"repro/internal/baseline/plcr"
+	"repro/internal/baseline/radix"
+	"repro/internal/baseline/samplesort"
+	"repro/internal/hashutil"
+	"repro/internal/seqsort"
+)
+
+func lessU64(a, b uint64) bool { return a < b }
+
+func randKeys(n int, universe int64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(rng.Int63n(universe))
+	}
+	return a
+}
+
+// skewKeys mixes a huge run of one key with uniform noise, stressing the
+// duplicate-handling paths of every algorithm.
+func skewKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]uint64, n)
+	for i := range a {
+		if rng.Intn(100) < 60 {
+			a[i] = 42
+		} else {
+			a[i] = uint64(rng.Int63n(1 << 40))
+		}
+	}
+	return a
+}
+
+func wantSorted(a []uint64) []uint64 {
+	w := append([]uint64(nil), a...)
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	return w
+}
+
+func checkEqual(t *testing.T, got, want []uint64, name string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: mismatch at %d: got %d want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+func sortCases(t *testing.T, sortFn func([]uint64), name string) {
+	t.Helper()
+	for _, n := range []int{0, 1, 2, 10, 1000, 17000, 100000, 300000} {
+		for _, mk := range []func() []uint64{
+			func() []uint64 { return randKeys(n, 1<<40, int64(n)) },
+			func() []uint64 { return randKeys(n, 10, int64(n)+1) },
+			func() []uint64 { return skewKeys(n, int64(n)+2) },
+		} {
+			in := mk()
+			want := wantSorted(in)
+			sortFn(in)
+			checkEqual(t, in, want, name)
+		}
+	}
+}
+
+func TestSamplesort(t *testing.T) {
+	sortCases(t, func(a []uint64) { samplesort.Sort(a, lessU64) }, "samplesort")
+}
+
+func TestIPS4(t *testing.T) {
+	sortCases(t, func(a []uint64) { ips4.Sort(a, lessU64) }, "ips4")
+}
+
+func TestRadixStable(t *testing.T) {
+	d := radix.U64(func(x uint64) uint64 { return x })
+	sortCases(t, func(a []uint64) { radix.Sort(a, d) }, "radix")
+}
+
+func TestIPRadix(t *testing.T) {
+	d := ipradix.Digits[uint64]{
+		At:     func(x uint64, level int) uint8 { return uint8(x >> (56 - 8*level)) },
+		Levels: 8,
+		Less:   lessU64,
+	}
+	sortCases(t, func(a []uint64) { ipradix.Sort(a, d) }, "ipradix")
+	sortCases(t, func(a []uint64) { ipradix.SortSkip(a, d) }, "ipradix-skip")
+}
+
+func TestRadix32(t *testing.T) {
+	d := radix.U32(func(x uint32) uint32 { return x })
+	rng := rand.New(rand.NewSource(9))
+	a := make([]uint32, 200000)
+	for i := range a {
+		a[i] = uint32(rng.Int63n(1 << 20))
+	}
+	want := append([]uint32(nil), a...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	radix.Sort(a, d)
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("radix32 mismatch at %d", i)
+		}
+	}
+}
+
+func TestRadix128(t *testing.T) {
+	type k128 struct{ hi, lo uint64 }
+	d := radix.U128(func(x k128) (uint64, uint64) { return x.hi, x.lo })
+	rng := rand.New(rand.NewSource(10))
+	a := make([]k128, 150000)
+	for i := range a {
+		a[i] = k128{hi: uint64(rng.Int63n(4)), lo: uint64(rng.Int63())}
+	}
+	want := append([]k128(nil), a...)
+	sort.Slice(want, func(i, j int) bool {
+		return want[i].hi < want[j].hi || (want[i].hi == want[j].hi && want[i].lo < want[j].lo)
+	})
+	radix.Sort(a, d)
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("radix128 mismatch at %d", i)
+		}
+	}
+}
+
+// TestRadixStability verifies PLIS-analogue stability: equal keys keep
+// their input order.
+func TestRadixStability(t *testing.T) {
+	type rec struct {
+		key uint64
+		seq int
+	}
+	rng := rand.New(rand.NewSource(11))
+	a := make([]rec, 120000)
+	for i := range a {
+		a[i] = rec{key: uint64(rng.Int63n(50)), seq: i}
+	}
+	d := radix.U64(func(r rec) uint64 { return r.key })
+	radix.Sort(a, d)
+	for i := 1; i < len(a); i++ {
+		if a[i-1].key == a[i].key && a[i-1].seq > a[i].seq {
+			t.Fatalf("instability at %d: key %d seq %d after %d", i, a[i].key, a[i].seq, a[i-1].seq)
+		}
+		if a[i-1].key > a[i].key {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+}
+
+// TestGSSB verifies grouping: GSSB semisorts hashed keys, so equal hashed
+// keys must come out contiguous with nothing lost.
+func TestGSSB(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 17000, 120000, 400000} {
+		for _, mk := range []func() []uint64{
+			func() []uint64 { return randKeys(n, 1<<40, int64(n)+3) },
+			func() []uint64 { return skewKeys(n, int64(n)+4) },
+			func() []uint64 { return randKeys(n, 3, int64(n)+5) },
+		} {
+			in := mk()
+			// GSSB expects hashed keys: hash them first like its callers do.
+			for i := range in {
+				in[i] = hashutil.Mix64(in[i]) % (1 << 44)
+			}
+			want := map[uint64]int{}
+			for _, k := range in {
+				want[k]++
+			}
+			out := append([]uint64(nil), in...)
+			gssb.Sort(out, func(x uint64) uint64 { return x })
+			got := map[uint64]int{}
+			closed := map[uint64]bool{}
+			for i, k := range out {
+				got[k]++
+				if i > 0 && out[i-1] != k {
+					closed[out[i-1]] = true
+					if closed[k] {
+						t.Fatalf("gssb: key %d not contiguous at %d (n=%d)", k, i, n)
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("gssb: distinct %d want %d", len(got), len(want))
+			}
+			for k, c := range want {
+				if got[k] != c {
+					t.Fatalf("gssb: key %d count %d want %d", k, got[k], c)
+				}
+			}
+		}
+	}
+}
+
+func TestPLCRHistogram(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 50000} {
+		keys := randKeys(n, 100, int64(n)+6)
+		got := plcr.Histogram(keys, func(k uint64) uint64 { return k }, lessU64)
+		want := map[uint64]int64{}
+		for _, k := range keys {
+			want[k]++
+		}
+		if len(got) != len(want) {
+			t.Fatalf("plcr: distinct %d want %d", len(got), len(want))
+		}
+		for _, kv := range got {
+			if want[kv.Key] != kv.Value {
+				t.Fatalf("plcr: key %d count %d want %d", kv.Key, kv.Value, want[kv.Key])
+			}
+		}
+	}
+}
+
+func TestSeqSortKernels(t *testing.T) {
+	f := func(raw []uint16) bool {
+		a := make([]uint64, len(raw))
+		for i, v := range raw {
+			a[i] = uint64(v)
+		}
+		b := append([]uint64(nil), a...)
+		c := append([]uint64(nil), a...)
+		d := append([]uint64(nil), a...)
+		tmp := make([]uint64, len(a))
+		seqsort.Quick3(a, lessU64)
+		seqsort.HeapSort(b, lessU64)
+		seqsort.MergeStable(c, tmp, lessU64)
+		seqsort.Insertion(d, lessU64)
+		w := wantSorted(d)
+		for i := range w {
+			if a[i] != w[i] || b[i] != w[i] || c[i] != w[i] || d[i] != w[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package gssb reimplements the GSSB semisort of Gu, Shun, Sun, and
+// Blelloch (SPAA 2015), the baseline the paper improves on (Section 2.3).
+// Faithful to the original's structure and to the performance issues the
+// paper attributes to it:
+//
+//   - the interface takes pre-hashed integer keys (collisions unresolved),
+//   - sampling with rate ~1/log n decides heavy vs. light keys,
+//   - bucket sizes are estimated from sample counts (load factor < 1, so
+//     the buckets over-allocate),
+//   - records are scattered to uniformly random slots of their bucket with
+//     compare-and-swap claiming and linear probing on collision — O(n)
+//     random writes, the I/O bottleneck the paper removes,
+//   - light buckets are comparison-sorted and all buckets are packed.
+//
+// Like the original it is neither stable nor deterministic.
+package gssb
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+	"repro/internal/seqsort"
+)
+
+// seqCutoff is the input size below which a sequential sort is used.
+const seqCutoff = 1 << 14
+
+// Sort semisorts a in place, grouping records by their hashed key. The
+// hashed keys are assumed to be (close to) collision-free random integers,
+// as in the original interface; callers with raw keys must pre-hash (and
+// would have to resolve collisions themselves — the interface weakness the
+// paper's flexible interface removes).
+func Sort[R any](a []R, hashedKey func(R) uint64) {
+	n := len(a)
+	if n <= seqCutoff {
+		seqsort.Quick3(a, func(x, y R) bool { return hashedKey(x) < hashedKey(y) })
+		return
+	}
+
+	logN := sampling.CeilLog2(n)
+	// Sampling: rate p ~ 1/log n, counted in an open-addressing multiset
+	// keyed by the hashed key (assumed collision-free, per the interface).
+	m := n / logN
+	rng := hashutil.NewRNG(0x655b)
+	scap := sampling.CeilPow2(2 * m)
+	smask := uint64(scap - 1)
+	sKey := make([]uint64, scap)
+	sCnt := make([]int32, scap)
+	for i := 0; i < m; i++ {
+		k := hashedKey(a[rng.Intn(n)])
+		j := hashutil.Mix64(k) & smask
+		for {
+			if sCnt[j] == 0 {
+				sKey[j] = k
+				sCnt[j] = 1
+				break
+			}
+			if sKey[j] == k {
+				sCnt[j]++
+				break
+			}
+			j = (j + 1) & smask
+		}
+	}
+
+	// Heavy keys: at least log n sample occurrences. Each gets a bucket
+	// sized by the size-estimation function f(s) (an upper bound whp).
+	// The heavy-id table is open addressing too; it sits on the scatter
+	// hot path, so a Go map would dominate the runtime.
+	nL := max(1, n/(logN*logN)) // Theta(n / log^2 n) light buckets
+	heavy := newHeavyIDs(64)
+	var bucketCaps []int
+	for j := 0; j < scap; j++ {
+		if s := int(sCnt[j]); s >= logN {
+			heavy.put(sKey[j], int32(len(bucketCaps)))
+			bucketCaps = append(bucketCaps, estimateSize(s, m, n))
+		}
+	}
+	nH := len(bucketCaps)
+	// Light buckets: expected size n/nL each, padded for load factor < 1.
+	lightCap := estimateSize(max(1, m/nL), m, n)
+	for i := 0; i < nL; i++ {
+		bucketCaps = append(bucketCaps, lightCap)
+	}
+	nB := nH + nL
+
+	// Bucket array layout: prefix sums of the estimated capacities.
+	offsets := make([]int, nB+1)
+	total := 0
+	for b := 0; b < nB; b++ {
+		offsets[b] = total
+		total += bucketCaps[b]
+	}
+	offsets[nB] = total
+
+	slots := make([]R, total)
+	taken := make([]uint32, total)
+
+	// Scatter: each record picks a random slot in its bucket and claims it
+	// with CAS, linearly probing on conflicts — the random-write-heavy
+	// phase the paper's blocked distributing replaces. Overflows (possible
+	// when an estimate is exceeded) spill to a mutex-protected list.
+	var overflowMu sync.Mutex
+	var overflow []R
+	parallel.ForRange(n, 1<<12, func(lo, hi int) {
+		r := hashutil.NewRNG(uint64(lo) ^ 0xbeef)
+		for i := lo; i < hi; i++ {
+			k := hashedKey(a[i])
+			var b int
+			if id := heavy.get(k); id >= 0 {
+				b = int(id)
+			} else {
+				b = nH + int(k%uint64(nL))
+			}
+			blo, bhi := offsets[b], offsets[b+1]
+			size := bhi - blo
+			pos := blo + r.Intn(size)
+			placed := false
+			for probe := 0; probe < size; probe++ {
+				if atomic.CompareAndSwapUint32(&taken[pos], 0, 1) {
+					slots[pos] = a[i]
+					placed = true
+					break
+				}
+				pos++
+				if pos == bhi {
+					pos = blo
+				}
+			}
+			if !placed {
+				overflowMu.Lock()
+				overflow = append(overflow, a[i])
+				overflowMu.Unlock()
+			}
+		}
+	})
+
+	// Pack and locally sort: per bucket, compact the occupied slots; light
+	// buckets are then comparison-sorted on the hashed key. Output offsets
+	// come from exact occupied counts.
+	occ := make([]int, nB)
+	parallel.For(nB, 1, func(b int) {
+		c := 0
+		for i := offsets[b]; i < offsets[b+1]; i++ {
+			if taken[i] != 0 {
+				c++
+			}
+		}
+		occ[b] = c
+	})
+	outOff := make([]int, nB+1)
+	w := 0
+	for b := 0; b < nB; b++ {
+		outOff[b] = w
+		w += occ[b]
+	}
+	outOff[nB] = w
+
+	parallel.For(nB, 1, func(b int) {
+		dst := a[outOff[b]:outOff[b+1]]
+		j := 0
+		for i := offsets[b]; i < offsets[b+1]; i++ {
+			if taken[i] != 0 {
+				dst[j] = slots[i]
+				j++
+			}
+		}
+		if b >= nH { // light bucket: refine with a comparison sort
+			seqsort.Quick3(dst, func(x, y R) bool { return hashedKey(x) < hashedKey(y) })
+		}
+	})
+
+	// Merge overflow records (rare): sort them and splice each run into
+	// place with a final sort of the tail region.
+	if len(overflow) > 0 {
+		tail := a[outOff[nB]:]
+		copy(tail, overflow)
+		seqsort.Quick3(a, func(x, y R) bool { return hashedKey(x) < hashedKey(y) })
+	}
+}
+
+// estimateSize is the size-estimation function f(s): given s sample hits
+// out of m samples over n records, an upper bound on the key/bucket size
+// that holds whp, padded so the scatter's load factor stays below 1.
+func estimateSize(s, m, n int) int {
+	expected := float64(s) * float64(n) / float64(m)
+	pad := 3.0 * math.Sqrt(expected) // ~3 standard deviations
+	return int(1.3*expected+pad) + 64
+}
+
+// heavyIDs is a small immutable-after-build open-addressing map from
+// hashed key to heavy bucket id (probed millions of times during scatter).
+type heavyIDs struct {
+	keys []uint64
+	ids  []int32
+	mask uint64
+	n    int
+}
+
+func newHeavyIDs(capHint int) *heavyIDs {
+	c := sampling.CeilPow2(4 * capHint)
+	t := &heavyIDs{keys: make([]uint64, c), ids: make([]int32, c), mask: uint64(c - 1)}
+	for i := range t.ids {
+		t.ids[i] = -1
+	}
+	return t
+}
+
+func (t *heavyIDs) put(k uint64, id int32) {
+	if 4*(t.n+1) > len(t.ids)*3 {
+		t.grow()
+	}
+	j := hashutil.Mix64(k) & t.mask
+	for t.ids[j] >= 0 {
+		if t.keys[j] == k {
+			t.ids[j] = id
+			return
+		}
+		j = (j + 1) & t.mask
+	}
+	t.keys[j] = k
+	t.ids[j] = id
+	t.n++
+}
+
+func (t *heavyIDs) get(k uint64) int32 {
+	j := hashutil.Mix64(k) & t.mask
+	for {
+		id := t.ids[j]
+		if id < 0 || t.keys[j] == k {
+			return id
+		}
+		j = (j + 1) & t.mask
+	}
+}
+
+func (t *heavyIDs) grow() {
+	old := *t
+	c := len(old.ids) * 2
+	t.keys = make([]uint64, c)
+	t.ids = make([]int32, c)
+	t.mask = uint64(c - 1)
+	t.n = 0
+	for i := range t.ids {
+		t.ids[i] = -1
+	}
+	for j, id := range old.ids {
+		if id >= 0 {
+			t.put(old.keys[j], id)
+		}
+	}
+}

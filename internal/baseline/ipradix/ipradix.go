@@ -1,0 +1,164 @@
+// Package ipradix provides in-place MSD radix sorting and stands in for two
+// of the paper's baselines (see DESIGN.md for the substitution rationale):
+//
+//   - RS (RegionsSort): parallel in-place radix sort. Our analogue counts
+//     digits in parallel and permutes with a sequential American-flag cycle
+//     pass per node, recursing on the 256 sub-buckets in parallel.
+//   - IPS2Ra: in-place radix with sampling tricks. Our analogue additionally
+//     skips digit levels on which (a sample of) the keys all agree — the
+//     common-prefix skip that makes IPS2Ra fast on small key ranges.
+//
+// Both variants are unstable and use O(1) extra space per recursion node,
+// matching the character of the originals.
+package ipradix
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/seqsort"
+)
+
+// Digits describes the radix key; see the radix package for constructors —
+// the type is structurally identical so conversions are trivial.
+type Digits[T any] struct {
+	At     func(x T, level int) uint8
+	Levels int
+	Less   func(x, y T) bool
+}
+
+// baseCutoff is the bucket size below which comparison sort takes over.
+const baseCutoff = 1 << 13
+
+// parCutoff is the size above which counting runs in parallel.
+const parCutoff = 1 << 16
+
+// Sort sorts a in place (RegionsSort analogue: no level skipping).
+func Sort[T any](a []T, d Digits[T]) { sortFrom(a, d, 0, false) }
+
+// SortSkip sorts a in place, skipping unanimous digit levels (IPS2Ra
+// analogue).
+func SortSkip[T any](a []T, d Digits[T]) { sortFrom(a, d, 0, true) }
+
+func sortFrom[T any](a []T, d Digits[T], level int, skip bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	if n <= baseCutoff || level >= d.Levels {
+		seqsort.Quick3(a, d.Less)
+		return
+	}
+	if skip {
+		// Probe a few records; if they agree on this digit, verify cheaply
+		// during counting and skip the permutation when unanimous.
+		level = skipLevels(a, d, level)
+		if level >= d.Levels {
+			seqsort.Quick3(a, d.Less)
+			return
+		}
+	}
+
+	counts := countDigits(a, d, level)
+
+	// Bucket boundaries.
+	var starts, heads [256]int
+	sum := 0
+	for b := 0; b < 256; b++ {
+		starts[b] = sum
+		heads[b] = sum
+		sum += counts[b]
+	}
+
+	// American-flag permutation: chase cycles, placing each record into
+	// its bucket's write head until every bucket is saturated. Sequential,
+	// in place — the simplification relative to RegionsSort's region graph.
+	for b := 0; b < 256; b++ {
+		end := starts[b] + counts[b]
+		for heads[b] < end {
+			i := heads[b]
+			db := int(d.At(a[i], level))
+			if db == b {
+				heads[b]++
+				continue
+			}
+			// Move a[i] along its cycle until something belonging to
+			// bucket b lands at position i.
+			v := a[i]
+			for db != b {
+				j := heads[db]
+				heads[db]++
+				a[j], v = v, a[j]
+				db = int(d.At(v, level))
+			}
+			a[i] = v
+			heads[b]++
+		}
+	}
+
+	// Recurse per bucket in parallel.
+	parallel.For(256, 1, func(b int) {
+		lo := starts[b]
+		hi := lo + counts[b]
+		if hi-lo > 1 {
+			sortFrom(a[lo:hi], d, level+1, skip)
+		}
+	})
+}
+
+// countDigits returns the 256-way digit histogram at the given level,
+// counted in parallel for large inputs.
+func countDigits[T any](a []T, d Digits[T], level int) [256]int {
+	n := len(a)
+	if n < parCutoff {
+		var counts [256]int
+		for i := 0; i < n; i++ {
+			counts[d.At(a[i], level)]++
+		}
+		return counts
+	}
+	nBlocks := 4 * parallel.Workers()
+	partial := make([][256]int, nBlocks)
+	parallel.Blocks(n, nBlocks, func(b, lo, hi int) {
+		var c [256]int
+		for i := lo; i < hi; i++ {
+			c[d.At(a[i], level)]++
+		}
+		partial[b] = c
+	})
+	var counts [256]int
+	for _, c := range partial {
+		for b := 0; b < 256; b++ {
+			counts[b] += c[b]
+		}
+	}
+	return counts
+}
+
+// skipLevels advances past digit levels on which all records agree. It
+// samples first to fail fast, then verifies exhaustively before skipping.
+func skipLevels[T any](a []T, d Digits[T], level int) int {
+	n := len(a)
+	for level < d.Levels {
+		d0 := d.At(a[0], level)
+		agree := true
+		// Cheap probe on a stride sample.
+		step := max(1, n/64)
+		for i := step; i < n; i += step {
+			if d.At(a[i], level) != d0 {
+				agree = false
+				break
+			}
+		}
+		if !agree {
+			return level
+		}
+		// Exhaustive verification (parallel reduce).
+		same := parallel.Reduce(n, 1<<14, true,
+			func(i int) bool { return d.At(a[i], level) == d0 },
+			func(x, y bool) bool { return x && y })
+		if !same {
+			return level
+		}
+		level++
+	}
+	return level
+}

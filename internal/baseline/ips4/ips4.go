@@ -1,0 +1,163 @@
+// Package ips4 is the repository's analogue of IPS4o (in-place parallel
+// super scalar samplesort, Table 2): a recursive samplesort that permutes
+// records within the input array itself instead of into an auxiliary array.
+// Per recursion node it classifies with pivots chosen from an over-sample
+// (duplicated pivots become equal buckets that need no further sorting),
+// counts in parallel, permutes in place with a cycle-chasing pass, and
+// recurses on the buckets in parallel.
+//
+// The original's branchless SIMD classifier and per-thread block buffers are
+// not reproducible in portable Go; see DESIGN.md for the substitution note.
+// Like IPS4o it is unstable and uses O(k) extra space per node.
+package ips4
+
+import (
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/seqsort"
+)
+
+// numPivotBuckets is k, the fan-out per recursion node.
+const numPivotBuckets = 256
+
+// oversample is samples drawn per pivot.
+const oversample = 8
+
+// baseCutoff is the size below which sequential quicksort takes over.
+const baseCutoff = 1 << 14
+
+// Sort sorts a in place by less.
+func Sort[T any](a []T, less func(T, T) bool) { rec(a, less, 0) }
+
+// maxDepth guards against adversarial pivot draws; past it the node is
+// finished by quicksort.
+const maxDepth = 64
+
+func rec[T any](a []T, less func(T, T) bool, depth int) {
+	n := len(a)
+	if n <= baseCutoff || depth >= maxDepth {
+		seqsort.Quick3(a, less)
+		return
+	}
+
+	pivots := choosePivots(a, less, depth)
+	m := len(pivots)
+	if m == 0 {
+		// Over-sample was constant: treat the node as a single equal run,
+		// verified by one linear scan; fall back to quicksort otherwise.
+		first := a[0]
+		allEq := parallel.Reduce(n, 1<<14, true,
+			func(i int) bool { return !less(a[i], first) && !less(first, a[i]) },
+			func(x, y bool) bool { return x && y })
+		if allEq {
+			return
+		}
+		seqsort.Quick3(a, less)
+		return
+	}
+	nB := 2*m + 1
+	bucketOf := func(x T) int {
+		lo := lowerBound(pivots, x, less)
+		if lo < m && !less(x, pivots[lo]) {
+			return 2*lo + 1
+		}
+		return 2 * lo
+	}
+
+	// Parallel counting.
+	nBlocks := 4 * parallel.Workers()
+	partial := make([][]int, nBlocks)
+	parallel.Blocks(n, nBlocks, func(b, lo, hi int) {
+		c := make([]int, nB)
+		for i := lo; i < hi; i++ {
+			c[bucketOf(a[i])]++
+		}
+		partial[b] = c
+	})
+	counts := make([]int, nB)
+	for _, c := range partial {
+		for b := range counts {
+			counts[b] += c[b]
+		}
+	}
+
+	// In-place cycle permutation (the simplification of IPS4o's block
+	// permutation phase).
+	starts := make([]int, nB+1)
+	heads := make([]int, nB)
+	sum := 0
+	for b := 0; b < nB; b++ {
+		starts[b] = sum
+		heads[b] = sum
+		sum += counts[b]
+	}
+	starts[nB] = sum
+	for b := 0; b < nB; b++ {
+		end := starts[b+1]
+		for heads[b] < end {
+			i := heads[b]
+			db := bucketOf(a[i])
+			if db == b {
+				heads[b]++
+				continue
+			}
+			v := a[i]
+			for db != b {
+				j := heads[db]
+				heads[db]++
+				a[j], v = v, a[j]
+				db = bucketOf(v)
+			}
+			a[i] = v
+			heads[b]++
+		}
+	}
+
+	// Recurse: range buckets always, equal buckets never (every record in
+	// an equal bucket has the same key by construction).
+	parallel.For(nB, 1, func(b int) {
+		if b%2 == 1 {
+			return
+		}
+		lo, hi := starts[b], starts[b+1]
+		if hi-lo > 1 {
+			rec(a[lo:hi], less, depth+1)
+		}
+	})
+}
+
+func choosePivots[T any](a []T, less func(T, T) bool, depth int) []T {
+	n := len(a)
+	k := numPivotBuckets
+	if k > n/64 {
+		k = max(2, n/64)
+	}
+	s := make([]T, k*oversample)
+	rng := hashutil.NewRNG(uint64(0x1b54c9 + depth*0x9e37))
+	for i := range s {
+		s[i] = a[rng.Intn(n)]
+	}
+	seqsort.Quick3(s, less)
+	pivots := make([]T, 0, k-1)
+	for i := 1; i < k; i++ {
+		p := s[i*oversample]
+		if len(pivots) > 0 && !less(pivots[len(pivots)-1], p) {
+			continue // duplicated pivot: covered by the previous equal bucket
+		}
+		pivots = append(pivots, p)
+	}
+	return pivots
+}
+
+func lowerBound[T any](pivots []T, x T, less func(T, T) bool) int {
+	lo, hi := 0, len(pivots)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(pivots[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,61 @@
+// Package plcr is the repository's analogue of ParlayLib's collect_reduce
+// (PLCR in the paper, Table 2): collect-reduce by sorting. It copies the
+// records, sorts them by key with the parallel samplesort, locates segment
+// boundaries in parallel, and reduces each equal-key segment. Requires a
+// less-than test on keys (unlike the paper's collect-reduce, which needs
+// only equality). Because the samplesort is unstable, only commutative (or
+// order-insensitive) combine functions are safe — exactly the limitation
+// the paper points out for sort-based collect-reduce.
+package plcr
+
+import (
+	"repro/internal/baseline/samplesort"
+	"repro/internal/collect"
+	"repro/internal/parallel"
+)
+
+// Reduce computes one KV per distinct key of a, combining mapped values
+// with comb (identity id). a is not modified.
+func Reduce[R, K, E any](a []R, key func(R) K, less func(K, K) bool, mapf func(R) E, comb func(E, E) E, id E) []collect.KV[K, E] {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	sorted := make([]R, n)
+	parallel.Copy(sorted, a)
+	samplesort.Sort(sorted, func(x, y R) bool { return less(key(x), key(y)) })
+
+	// Segment heads: positions where the key differs from the previous one.
+	heads := parallel.Pack(index(n), func(i int) bool {
+		return i == 0 || less(key(sorted[i-1]), key(sorted[i])) || less(key(sorted[i]), key(sorted[i-1]))
+	})
+
+	out := make([]collect.KV[K, E], len(heads))
+	parallel.For(len(heads), 8, func(s int) {
+		lo := heads[s]
+		hi := n
+		if s+1 < len(heads) {
+			hi = heads[s+1]
+		}
+		acc := comb(id, mapf(sorted[lo]))
+		for i := lo + 1; i < hi; i++ {
+			acc = comb(acc, mapf(sorted[i]))
+		}
+		out[s] = collect.KV[K, E]{Key: key(sorted[lo]), Value: acc}
+	})
+	return out
+}
+
+// Histogram counts occurrences per key by sorting.
+func Histogram[R, K any](a []R, key func(R) K, less func(K, K) bool) []collect.KV[K, int64] {
+	return Reduce(a, key, less,
+		func(R) int64 { return 1 },
+		func(x, y int64) int64 { return x + y }, 0)
+}
+
+// index returns [0, 1, ..., n-1]; Pack needs a concrete source slice.
+func index(n int) []int {
+	ix := make([]int, n)
+	parallel.For(n, 0, func(i int) { ix[i] = i })
+	return ix
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// checkGrouped64 verifies the semisort postcondition on P64 records: the
+// multiset is unchanged and equal keys are contiguous. (Sorting baselines
+// satisfy a stronger condition; grouping is the common contract.)
+func checkGrouped64(t *testing.T, name string, in, out []P64) {
+	t.Helper()
+	if len(in) != len(out) {
+		t.Fatalf("%s: length changed", name)
+	}
+	want := map[P64]int{}
+	for _, p := range in {
+		want[p]++
+	}
+	for _, p := range out {
+		want[p]--
+		if want[p] < 0 {
+			t.Fatalf("%s: record %v multiplied", name, p)
+		}
+	}
+	closed := map[uint64]bool{}
+	for i := 1; i < len(out); i++ {
+		if out[i].K != out[i-1].K {
+			if closed[out[i].K] {
+				t.Fatalf("%s: key %d not contiguous at %d", name, out[i].K, i)
+			}
+			closed[out[i-1].K] = true
+		}
+	}
+}
+
+// TestEveryAlgorithmGroups64 exercises each Table 2 algorithm through the
+// same adapter the benchmarks use, on a skewed input large enough to pass
+// every sequential cutoff.
+func TestEveryAlgorithmGroups64(t *testing.T) {
+	n := 200000
+	data := Make64(n, dist.Spec{Kind: dist.Zipfian, Param: 1.2}, 7)
+	for _, name := range AlgoNames {
+		work := make([]P64, n)
+		copy(work, data)
+		Run64(name, work)
+		checkGrouped64(t, name, data, work)
+	}
+}
+
+func TestEveryAlgorithmGroups32(t *testing.T) {
+	n := 150000
+	data := Make32(n, dist.Spec{Kind: dist.Exponential, Param: 2e-3}, 8)
+	for _, name := range AlgoNames {
+		work := make([]P32, n)
+		copy(work, data)
+		Run32(name, work)
+		// Check contiguity via a map.
+		closed := map[uint32]bool{}
+		for i := 1; i < n; i++ {
+			if work[i].K != work[i-1].K {
+				if closed[work[i].K] {
+					t.Fatalf("%s/32: key %d not contiguous at %d", name, work[i].K, i)
+				}
+				closed[work[i-1].K] = true
+			}
+		}
+	}
+}
+
+func TestEveryAlgorithmGroups128(t *testing.T) {
+	n := 120000
+	data := Make128(n, dist.Spec{Kind: dist.Uniform, Param: 500}, 9)
+	for _, name := range AlgoNames {
+		if !Supports(name, 128) {
+			continue
+		}
+		work := make([]P128, n)
+		copy(work, data)
+		Run128(name, work)
+		closed := map[dist.U128]bool{}
+		for i := 1; i < n; i++ {
+			if work[i].K != work[i-1].K {
+				if closed[work[i].K] {
+					t.Fatalf("%s/128: key not contiguous at %d", name, i)
+				}
+				closed[work[i-1].K] = true
+			}
+		}
+	}
+}
+
+func TestSupportsMatrix(t *testing.T) {
+	for _, name := range AlgoNames {
+		if !Supports(name, 32) || !Supports(name, 64) {
+			t.Fatalf("%s must support 32/64-bit keys", name)
+		}
+	}
+	if Supports("RS", 128) || Supports("IPS2Ra", 128) {
+		t.Fatal("RS/IPS2Ra must be crossed out at 128 bits (paper Figure 4)")
+	}
+	if !Supports("PLIS", 128) || !Supports("Ours=", 128) {
+		t.Fatal("PLIS and Ours must support 128-bit keys")
+	}
+}
+
+func TestMeasureMedianOfLastRuns(t *testing.T) {
+	calls := 0
+	d := Measure(4, nil, func() {
+		calls++
+		time.Sleep(time.Millisecond)
+	})
+	if calls != 4 {
+		t.Fatalf("Measure ran %d times, want 4", calls)
+	}
+	if d < 500*time.Microsecond || d > 100*time.Millisecond {
+		t.Fatalf("implausible median %v", d)
+	}
+	setups := 0
+	Measure(3, func() { setups++ }, func() {})
+	if setups != 3 {
+		t.Fatalf("setup ran %d times, want 3", setups)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4, 16})
+	if got < 3.99 || got > 4.01 {
+		t.Fatalf("GeoMean = %g, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean of nothing must be 0")
+	}
+	if g := GeoMean([]float64{0, 2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("GeoMean must skip zeros, got %g", g)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.Add("a", 1.5)
+	tbl.Add("long-name", time.Duration(2500)*time.Millisecond)
+	var sb strings.Builder
+	tbl.Print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "long-name") || !strings.Contains(out, "2.500") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+separator+2 rows, got %d lines", len(lines))
+	}
+}
+
+func TestRelAndSecs(t *testing.T) {
+	if Rel(0, time.Second) != "x" {
+		t.Fatal("unsupported cell must print x")
+	}
+	if Rel(2*time.Second, time.Second) != "2.00" {
+		t.Fatal("relative slowdown wrong")
+	}
+	if Secs(0) != "-" {
+		t.Fatal("zero duration must print -")
+	}
+	if Best([]time.Duration{0, 3 * time.Second, time.Second}) != time.Second {
+		t.Fatal("Best must skip zeros and take the min")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.N != 10_000_000 || o.Rounds != 4 || o.Seed == 0 || len(o.Threads) == 0 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.Threads[0] != 1 {
+		t.Fatalf("thread ladder must start at 1, got %v", o.Threads)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Paper == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"table3", "fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6", "table4", "table5", "ablation"} {
+		if _, ok := Lookup(want); !ok {
+			t.Fatalf("experiment %s missing from registry", want)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+)
+
+// RunAblation quantifies the design choices DESIGN.md calls out, on
+// Zipfian-1.2 and a near-distinct uniform input:
+//
+//   - n_L sweep: Section 3.6's cache-residency argument for small bucket
+//     counts (too few buckets = deep recursion, too many = counting matrix
+//     falls out of cache).
+//   - heavy-key detection on/off: Section 4.2's advantage over integer
+//     sorts on skewed inputs.
+//   - recursion vs. one-level refinement: Section 3.3's "medium-heavy"
+//     argument (MaxDepth=1 semisorts each light bucket directly).
+//   - the in-place A/T swap of Section 3.4 vs. copying T back every level.
+func RunAblation(w io.Writer, o Options) {
+	o = o.WithDefaults()
+	scale := float64(o.N) / 1e9
+	specs := []dist.Spec{
+		{Kind: dist.Zipfian, Param: 1.2},
+		{Kind: dist.Uniform, Param: maxf(2, 1e9*scale)},
+	}
+	key := func(p P64) uint64 { return p.K }
+	eq := func(x, y uint64) bool { return x == y }
+
+	run := func(data, work []P64, cfg core.Config) string {
+		d := Measure(o.Rounds,
+			func() { parallel.Copy(work, data) },
+			func() { core.SortEq(work, key, hashutil.Mix64, eq, cfg) })
+		return Secs(d)
+	}
+
+	for _, spec := range specs {
+		fmt.Fprintf(w, "Ablations for semisort= on %s, n=%d (seconds)\n\n", spec, o.N)
+		data := Make64(o.N, spec, o.Seed)
+		work := make([]P64, len(data))
+
+		nl := NewTable("n_L", "time")
+		for _, b := range []int{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+			nl.Add(fmt.Sprintf("2^%d", log2(b)), run(data, work, core.Config{LightBuckets: b}))
+		}
+		nl.Print(w)
+		fmt.Fprintln(w)
+
+		feat := NewTable("variant", "time")
+		feat.Add("full algorithm", run(data, work, core.Config{}))
+		feat.Add("no heavy-key detection", run(data, work, core.Config{DisableHeavy: true}))
+		feat.Add("no recursion (one-level refine)", run(data, work, core.Config{MaxDepth: 1}))
+		feat.Add("no in-place A/T swap", run(data, work, core.Config{DisableInPlace: true}))
+		dIP := Measure(o.Rounds,
+			func() { parallel.Copy(work, data) },
+			func() { core.SortEqInPlace(work, key, hashutil.Mix64, eq, core.Config{}) })
+		feat.Add("space-efficient variant (Sec. 6)", Secs(dIP))
+		feat.Print(w)
+		fmt.Fprintln(w)
+	}
+}
+
+func log2(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

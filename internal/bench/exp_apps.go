@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/ngram"
+	"repro/internal/parallel"
+)
+
+// graphCase describes one synthetic stand-in for the paper's Table 4
+// datasets. Vertex and edge counts are the paper's scaled by N/10^9 so the
+// skew statistics stay comparable (see DESIGN.md on the substitution).
+type graphCase struct {
+	name  string
+	n, m  int
+	shape graph.Shape
+	skew  float64
+}
+
+func graphCases(benchN int) []graphCase {
+	scale := float64(benchN) / 1e9
+	sc := func(x float64) int { return max(1000, int(x*scale)) }
+	return []graphCase{
+		// soc-LiveJournal: social network, moderately skewed in-degrees.
+		{name: "LJ-like", n: sc(4.85e6), m: sc(69e6), shape: graph.PowerLaw, skew: 0.9},
+		// twitter: social network with extremely heavy celebrities.
+		{name: "TW-like", n: sc(41.7e6), m: sc(1.47e9), shape: graph.PowerLaw, skew: 1.25},
+		// Cosmo50: k-NN graph, near-regular degrees, no heavy keys.
+		{name: "CM-like", n: sc(321e6), m: sc(1.61e9), shape: graph.NearRegular, skew: 0},
+		// sd_arc: web graph, the heaviest skew of the four.
+		{name: "SD-like", n: sc(89.2e6), m: sc(2.04e9), shape: graph.PowerLaw, skew: 1.4},
+	}
+}
+
+// RunTable4 regenerates Table 4: graph transposing with every algorithm on
+// the four synthetic stand-in graphs, plus the per-graph skew statistics
+// and the overall geometric mean.
+func RunTable4(w io.Writer, o Options) {
+	o = o.WithDefaults()
+	cases := graphCases(o.N)
+	methods := graph.Methods()
+	fmt.Fprintf(w, "Table 4: graph transposing (seconds; synthetic stand-in graphs, see DESIGN.md)\n\n")
+	header := []string{"graph", "n", "m", "ndist", "fmax", "rheavy%"}
+	for _, m := range methods {
+		header = append(header, m.String())
+	}
+	tbl := NewTable(header...)
+	times := make(map[string][]float64)
+	for _, gc := range cases {
+		g := graph.Generate(gc.n, gc.m, gc.shape, gc.skew, o.Seed)
+		st := g.Stats(dist.HeavyCut(g.M()))
+		row := []any{gc.name, gc.n, gc.m, st.Distinct, st.MaxFreq, fmt.Sprintf("%.1f", 100*st.HeavyFrac)}
+		// Time the grouping kernel on the reversed edge list, like the
+		// paper times the semisort inside transpose.
+		rev := graph.Transpose(g, graph.SemisortIEq).EdgeList() // any valid edge list of G^T's size
+		work := make([]graph.Edge, len(rev))
+		for _, m := range methods {
+			d := Measure(o.Rounds,
+				func() { parallel.Copy(work, rev) },
+				func() { graph.GroupEdges(work, m) })
+			row = append(row, Secs(d))
+			times[m.String()] = append(times[m.String()], d.Seconds())
+		}
+		tbl.Add(row...)
+	}
+	row := []any{"geomean", "", "", "", "", ""}
+	for _, m := range methods {
+		row = append(row, fmt.Sprintf("%.3f", GeoMean(times[m.String()])))
+	}
+	tbl.Add(row...)
+	tbl.Print(w)
+}
+
+// RunTable5 regenerates Table 5: grouping 2-grams and 3-grams of a
+// synthetic Zipfian-English corpus with the any-type algorithms.
+func RunTable5(w io.Writer, o Options) {
+	o = o.WithDefaults()
+	// Scale the corpus so the record counts relate to Options.N the way the
+	// paper's 68M/224M records relate to its 10^9 benchmark size.
+	words2 := max(10_000, int(0.068*float64(o.N)))
+	words3 := max(10_000, int(0.224*float64(o.N)))
+	vocab := ngram.NewVocabulary(max(1000, words3/50))
+	methods := ngram.Methods()
+
+	fmt.Fprintf(w, "Table 5: n-gram grouping (seconds; synthetic Zipfian corpus, see DESIGN.md)\n\n")
+	header := []string{"dataset", "n", "ndist", "fmax", "rheavy%"}
+	for _, m := range methods {
+		header = append(header, m.String())
+	}
+	tbl := NewTable(header...)
+	times := make(map[string][]float64)
+	for _, c := range []struct {
+		name   string
+		nWords int
+		n      int
+	}{
+		{"2-gram", words2, 2},
+		{"3-gram", words3, 3},
+	} {
+		text := ngram.GenerateText(vocab, c.nWords, 1.05, o.Seed)
+		recs := ngram.Extract(ngram.Tokenize(text), c.n)
+		st := ngram.Stats(recs, dist.HeavyCut(len(recs)))
+		row := []any{c.name, len(recs), st.Distinct, st.MaxFreq, fmt.Sprintf("%.1f", 100*st.HeavyFrac)}
+		work := make([]ngram.Record, len(recs))
+		for _, m := range methods {
+			d := Measure(o.Rounds,
+				func() { parallel.Copy(work, recs) },
+				func() { ngram.Group(work, m) })
+			row = append(row, Secs(d))
+			times[m.String()] = append(times[m.String()], d.Seconds())
+		}
+		tbl.Add(row...)
+	}
+	row := []any{"geomean", "", "", "", ""}
+	for _, m := range methods {
+		row = append(row, fmt.Sprintf("%.3f", GeoMean(times[m.String()])))
+	}
+	tbl.Add(row...)
+	tbl.Print(w)
+}

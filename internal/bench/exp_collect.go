@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline/plcr"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+)
+
+// collectFamilies lists the three distribution families of Figures 25-27
+// with the parameters the paper sweeps; Figure 3c is the Zipfian family.
+func collectFamilies(n int) [][]dist.Spec {
+	scale := float64(n) / 1e9
+	uni := make([]dist.Spec, 0, 5)
+	for _, mu := range []float64{10, 1e3, 1e5, 1e7, 1e9} {
+		uni = append(uni, dist.Spec{Kind: dist.Uniform, Param: maxf(2, mu*scale)})
+	}
+	exp := make([]dist.Spec, 0, 5)
+	for _, lambda := range []float64{1e-4, 7e-5, 5e-5, 2e-5, 1e-5} {
+		exp = append(exp, dist.Spec{Kind: dist.Exponential, Param: lambda / scale})
+	}
+	zipf := make([]dist.Spec, 0, 5)
+	for _, s := range []float64{1.5, 1.2, 1.0, 0.8, 0.6} {
+		zipf = append(zipf, dist.Spec{Kind: dist.Zipfian, Param: s})
+	}
+	return [][]dist.Spec{zipf, uni, exp}
+}
+
+// RunCollectReduce regenerates Figure 3c (collect-reduce vs. semisort= vs.
+// PLCR on the Zipfian family); with all=true it adds Figures 25-27's
+// uniform and exponential families. The reduction is addition on the
+// 64-bit values, as in the paper.
+func RunCollectReduce(w io.Writer, o Options, all bool) {
+	o = o.WithDefaults()
+	families := collectFamilies(o.N)
+	if !all {
+		families = families[:1]
+	}
+	key := func(p P64) uint64 { return p.K }
+	eq := func(x, y uint64) bool { return x == y }
+	lt := func(x, y uint64) bool { return x < y }
+	add := func(x, y uint64) uint64 { return x + y }
+	mapv := func(p P64) uint64 { return p.V }
+
+	for _, specs := range families {
+		fmt.Fprintf(w, "Collect-reduce on %s distributions, n=%d (seconds)\n", specs[0].Kind, o.N)
+		fmt.Fprintf(w, "(Ours+ = our collect-reduce; Ours= = our semisort; PLCR = sort-based collect-reduce)\n\n")
+		tbl := NewTable("input", "Ours+", "Ours=", "PLCR")
+		for _, spec := range specs {
+			data := Make64(o.N, spec, o.Seed)
+			work := make([]P64, len(data))
+
+			tCR := Measure(o.Rounds, nil, func() {
+				collect.Reduce(data, collect.Reducer[P64, uint64, uint64]{
+					Key: key, Hash: hashutil.Mix64, Eq: eq,
+					Map: mapv, Combine: add,
+				}, core.Config{})
+			})
+			tSS := Measure(o.Rounds,
+				func() { parallel.Copy(work, data) },
+				func() { Run64("Ours=", work) })
+			tPL := Measure(o.Rounds, nil, func() {
+				plcr.Reduce(data, key, lt, mapv, add, 0)
+			})
+			tbl.Add(spec.String(), Secs(tCR), Secs(tSS), Secs(tPL))
+		}
+		tbl.Print(w)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/parallel"
+)
+
+// speedupSpecs maps appendix figures to their distributions. Figure 3a uses
+// Zipfian-1.2; Figures 7-12 cover the rest.
+func speedupSpecs(n int) []dist.Spec {
+	scale := float64(n) / 1e9
+	return []dist.Spec{
+		{Kind: dist.Zipfian, Param: 1.2},                // Fig. 3a
+		{Kind: dist.Uniform, Param: maxf(2, 1e3*scale)}, // Fig. 7
+		{Kind: dist.Uniform, Param: maxf(2, 1e7*scale)}, // Fig. 8
+		{Kind: dist.Exponential, Param: 2e-5 / scale},   // Fig. 9
+		{Kind: dist.Exponential, Param: 7e-5 / scale},   // Fig. 10
+		{Kind: dist.Zipfian, Param: 0.8},                // Fig. 11
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunSpeedup regenerates Figure 3a: self-speedup versus thread count on
+// Zipfian-1.2. With all=true it also covers Figures 7-12's distributions.
+func RunSpeedup(w io.Writer, o Options, all bool) {
+	o = o.WithDefaults()
+	specs := speedupSpecs(o.N)
+	if !all {
+		specs = specs[:1]
+	}
+	for _, spec := range specs {
+		fmt.Fprintf(w, "Self-speedup vs. threads on %s, n=%d (T1/Tp)\n\n", spec, o.N)
+		data := Make64(o.N, spec, o.Seed)
+		work := make([]P64, len(data))
+
+		header := []string{"algorithm"}
+		for _, t := range o.Threads {
+			header = append(header, fmt.Sprintf("p=%d", t))
+		}
+		tbl := NewTable(header...)
+		prev := parallel.Workers()
+		for _, name := range AlgoNames {
+			row := []any{name}
+			var t1 time.Duration
+			for _, p := range o.Threads {
+				parallel.SetWorkers(p)
+				d := Measure(o.Rounds,
+					func() { parallel.Copy(work, data) },
+					func() { Run64(name, work) })
+				if p == o.Threads[0] && p == 1 {
+					t1 = d
+				}
+				if t1 > 0 {
+					row = append(row, fmt.Sprintf("%.2f", t1.Seconds()/d.Seconds()))
+				} else {
+					row = append(row, Secs(d))
+				}
+			}
+			tbl.Add(row...)
+		}
+		parallel.SetWorkers(prev)
+		tbl.Print(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// sizeSteps returns the input sizes of Figure 3b, scaled so the largest
+// step is Options.N (the paper sweeps 10^7..10^9).
+func sizeSteps(n int) []int {
+	fracs := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}
+	steps := make([]int, 0, len(fracs))
+	for _, f := range fracs {
+		s := int(f * float64(n))
+		if s >= 1000 {
+			steps = append(steps, s)
+		}
+	}
+	return steps
+}
+
+// RunSizes regenerates Figure 3b: running time versus input size on
+// Zipfian-1.2 (all=true adds Figures 13-18's distributions).
+func RunSizes(w io.Writer, o Options, all bool) {
+	o = o.WithDefaults()
+	specs := speedupSpecs(o.N)
+	if !all {
+		specs = specs[:1]
+	}
+	steps := sizeSteps(o.N)
+	for _, spec := range specs {
+		fmt.Fprintf(w, "Running time vs. input size on %s (seconds)\n\n", spec)
+		header := []string{"algorithm"}
+		for _, s := range steps {
+			header = append(header, fmt.Sprintf("n=%d", s))
+		}
+		tbl := NewTable(header...)
+		rows := make(map[string][]any, len(AlgoNames))
+		for _, name := range AlgoNames {
+			rows[name] = []any{name}
+		}
+		for _, n := range steps {
+			data := Make64(n, spec, o.Seed)
+			work := make([]P64, n)
+			for _, name := range AlgoNames {
+				d := Measure(o.Rounds,
+					func() { parallel.Copy(work, data) },
+					func() { Run64(name, work) })
+				rows[name] = append(rows[name], Secs(d))
+			}
+		}
+		for _, name := range AlgoNames {
+			tbl.Add(rows[name]...)
+		}
+		tbl.Print(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// RunKeyLengths regenerates Figure 4: running time at 32/64/128-bit key
+// widths on Zipfian-1.2 (all=true adds Figures 19-24's distributions).
+// RS and IPS2Ra show "x" at 128 bits, as in the paper.
+func RunKeyLengths(w io.Writer, o Options, all bool) {
+	o = o.WithDefaults()
+	specs := speedupSpecs(o.N)
+	if !all {
+		specs = specs[:1]
+	}
+	for _, spec := range specs {
+		fmt.Fprintf(w, "Running time by key length on %s, n=%d (seconds)\n\n", spec, o.N)
+		tbl := NewTable("algorithm", "32-bit", "64-bit", "128-bit")
+		d32 := Make32(o.N, spec, o.Seed)
+		d64 := Make64(o.N, spec, o.Seed)
+		d128 := Make128(o.N, spec, o.Seed)
+		w32 := make([]P32, o.N)
+		w64 := make([]P64, o.N)
+		w128 := make([]P128, o.N)
+		for _, name := range AlgoNames {
+			t32 := Measure(o.Rounds, func() { parallel.Copy(w32, d32) }, func() { Run32(name, w32) })
+			t64 := Measure(o.Rounds, func() { parallel.Copy(w64, d64) }, func() { Run64(name, w64) })
+			var t128 time.Duration
+			if Supports(name, 128) {
+				t128 = Measure(o.Rounds, func() { parallel.Copy(w128, d128) }, func() { Run128(name, w128) })
+			}
+			tbl.Add(name, Secs(t32), Secs(t64), Secs(t128))
+		}
+		tbl.Print(w)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/parallel"
+)
+
+// RunTable3 regenerates Table 3 and Figure 1: absolute running times and
+// the relative heatmap for all ten algorithms over the fifteen input
+// distributions, with per-distribution and overall geometric means.
+func RunTable3(w io.Writer, o Options) {
+	o = o.WithDefaults()
+	specs := dist.Table3Specs(o.N)
+	fmt.Fprintf(w, "Table 3 / Figure 1: n=%d, 64-bit keys and values, %d threads\n", o.N, parallel.Workers())
+	fmt.Fprintf(w, "(times in seconds; paper scale is n=10^9 — parameters rescaled, see DESIGN.md)\n\n")
+
+	abs := NewTable(append([]string{"input", "distinct", "maxfreq", "heavy%"}, AlgoNames...)...)
+	times := make([][]time.Duration, len(specs))
+	for si, spec := range specs {
+		data := Make64(o.N, spec, o.Seed)
+		keys := make([]uint64, o.N)
+		parallel.For(o.N, 0, func(i int) { keys[i] = data[i].K })
+		st := dist.Stats64(keys, dist.HeavyCut(o.N))
+		keys = nil
+
+		work := make([]P64, len(data))
+		row := []any{spec.String(), st.Distinct, st.MaxFreq, fmt.Sprintf("%.1f", 100*st.HeavyFrac)}
+		times[si] = make([]time.Duration, len(AlgoNames))
+		for ai, name := range AlgoNames {
+			d := Measure(o.Rounds,
+				func() { parallel.Copy(work, data) },
+				func() { Run64(name, work) })
+			times[si][ai] = d
+			row = append(row, Secs(d))
+		}
+		abs.Add(row...)
+	}
+	addGeoMeanRows(abs, specs, times, len(AlgoNames), 4)
+	abs.Print(w)
+
+	fmt.Fprintf(w, "\nFigure 1 heatmap (relative to fastest per row; 1.00 = fastest):\n\n")
+	printHeatmap(w, specs, times, AlgoNames)
+}
+
+// addGeoMeanRows appends per-distribution-family and overall geometric-mean
+// rows to a table whose timing columns start at column `firstCol`.
+func addGeoMeanRows(t *Table, specs []dist.Spec, times [][]time.Duration, nAlgos, firstCol int) {
+	families := []dist.Kind{dist.Uniform, dist.Exponential, dist.Zipfian}
+	famNames := []string{"avg-uniform", "avg-exponential", "avg-zipfian"}
+	for fi, fam := range families {
+		row := []any{famNames[fi]}
+		for len(row) < firstCol {
+			row = append(row, "")
+		}
+		for ai := 0; ai < nAlgos; ai++ {
+			var xs []float64
+			for si, spec := range specs {
+				if spec.Kind == fam && times[si][ai] > 0 {
+					xs = append(xs, times[si][ai].Seconds())
+				}
+			}
+			row = append(row, fmt.Sprintf("%.3f", GeoMean(xs)))
+		}
+		t.Add(row...)
+	}
+	row := []any{"avg-overall"}
+	for len(row) < firstCol {
+		row = append(row, "")
+	}
+	for ai := 0; ai < nAlgos; ai++ {
+		var xs []float64
+		for si := range specs {
+			if times[si][ai] > 0 {
+				xs = append(xs, times[si][ai].Seconds())
+			}
+		}
+		row = append(row, fmt.Sprintf("%.3f", GeoMean(xs)))
+	}
+	t.Add(row...)
+}
+
+// printHeatmap prints the Figure 1/5/6-style relative table: every cell is
+// the slowdown versus the fastest algorithm on that input ("x" marks
+// unsupported combinations), with geometric-mean rows per family.
+func printHeatmap(w io.Writer, specs []dist.Spec, times [][]time.Duration, names []string) {
+	t := NewTable(append([]string{"input"}, names...)...)
+	rel := make([][]float64, len(specs))
+	for si, spec := range specs {
+		best := Best(times[si])
+		row := []any{spec.String()}
+		rel[si] = make([]float64, len(names))
+		for ai := range names {
+			row = append(row, Rel(times[si][ai], best))
+			if times[si][ai] > 0 && best > 0 {
+				rel[si][ai] = times[si][ai].Seconds() / best.Seconds()
+			}
+		}
+		t.Add(row...)
+	}
+	families := []dist.Kind{dist.Uniform, dist.Exponential, dist.Zipfian}
+	famNames := []string{"avg-uniform", "avg-exponential", "avg-zipfian"}
+	gm := func(xs []float64) string {
+		g := GeoMean(xs)
+		if g == 0 {
+			return "x" // algorithm unsupported on this key width
+		}
+		return fmt.Sprintf("%.2f", g)
+	}
+	for fi, fam := range families {
+		row := []any{famNames[fi]}
+		for ai := range names {
+			var xs []float64
+			for si, spec := range specs {
+				if spec.Kind == fam && rel[si][ai] > 0 {
+					xs = append(xs, rel[si][ai])
+				}
+			}
+			row = append(row, gm(xs))
+		}
+		t.Add(row...)
+	}
+	row := []any{"avg-overall"}
+	for ai := range names {
+		var xs []float64
+		for si := range specs {
+			if rel[si][ai] > 0 {
+				xs = append(xs, rel[si][ai])
+			}
+		}
+		row = append(row, gm(xs))
+	}
+	t.Add(row...)
+	t.Print(w)
+}
+
+// RunHeatmap32 regenerates Figure 5 (32-bit keys and values).
+func RunHeatmap32(w io.Writer, o Options) {
+	o = o.WithDefaults()
+	specs := dist.Table3Specs(o.N)
+	fmt.Fprintf(w, "Figure 5: relative performance, 32-bit keys and values, n=%d\n\n", o.N)
+	times := make([][]time.Duration, len(specs))
+	for si, spec := range specs {
+		data := Make32(o.N, spec, o.Seed)
+		work := make([]P32, len(data))
+		times[si] = make([]time.Duration, len(AlgoNames))
+		for ai, name := range AlgoNames {
+			times[si][ai] = Measure(o.Rounds,
+				func() { parallel.Copy(work, data) },
+				func() { Run32(name, work) })
+		}
+	}
+	printHeatmap(w, specs, times, AlgoNames)
+}
+
+// RunHeatmap128 regenerates Figure 6 (128-bit keys and values; RS and
+// IPS2Ra are crossed out as in the paper).
+func RunHeatmap128(w io.Writer, o Options) {
+	o = o.WithDefaults()
+	specs := dist.Table3Specs(o.N)
+	fmt.Fprintf(w, "Figure 6: relative performance, 128-bit keys and values, n=%d\n", o.N)
+	fmt.Fprintf(w, "(x = key width unsupported, as in the paper)\n\n")
+	times := make([][]time.Duration, len(specs))
+	for si, spec := range specs {
+		data := Make128(o.N, spec, o.Seed)
+		work := make([]P128, len(data))
+		times[si] = make([]time.Duration, len(AlgoNames))
+		for ai, name := range AlgoNames {
+			if !Supports(name, 128) {
+				continue
+			}
+			times[si][ai] = Measure(o.Rounds,
+				func() { parallel.Copy(work, data) },
+				func() { Run128(name, work) })
+		}
+	}
+	printHeatmap(w, specs, times, AlgoNames)
+}

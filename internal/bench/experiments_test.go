@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpts makes every experiment run in well under a second so the whole
+// harness is exercised end-to-end by `go test`.
+func tinyOpts() Options {
+	return Options{N: 20000, Rounds: 1, Threads: []int{1, 2}, Seed: 1}
+}
+
+// runExp captures an experiment's output.
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var sb strings.Builder
+	e.Run(&sb, tinyOpts())
+	out := sb.String()
+	if len(out) == 0 {
+		t.Fatalf("experiment %s produced no output", id)
+	}
+	return out
+}
+
+func TestRunTable3EndToEnd(t *testing.T) {
+	out := runExp(t, "table3")
+	for _, want := range []string{
+		"Table 3", "Figure 1 heatmap",
+		"uniform-", "exponential-", "zipfian-1.2",
+		"Ours=", "Ours<", "Ours-i=", "Ours-i<",
+		"PLSS", "IPS4o", "PLIS", "GSSB", "RS", "IPS2Ra",
+		"avg-uniform", "avg-exponential", "avg-zipfian", "avg-overall",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table3 output missing %q", want)
+		}
+	}
+	// 15 distribution rows in the absolute table and in the heatmap.
+	if n := strings.Count(out, "zipfian-"); n < 10 {
+		t.Fatalf("expected >=10 zipfian cells, found %d", n)
+	}
+}
+
+func TestRunHeatmapsEndToEnd(t *testing.T) {
+	out32 := runExp(t, "fig5")
+	if !strings.Contains(out32, "32-bit") || !strings.Contains(out32, "avg-overall") {
+		t.Fatal("fig5 output malformed")
+	}
+	out128 := runExp(t, "fig6")
+	if !strings.Contains(out128, "128-bit") {
+		t.Fatal("fig6 output malformed")
+	}
+	// RS and IPS2Ra must be crossed out at 128 bits.
+	if !strings.Contains(out128, "x") {
+		t.Fatal("fig6 must mark unsupported algorithms with x")
+	}
+}
+
+func TestRunSpeedupEndToEnd(t *testing.T) {
+	out := runExp(t, "fig3a")
+	for _, want := range []string{"Self-speedup", "p=1", "p=2", "GSSB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3a output missing %q", want)
+		}
+	}
+}
+
+func TestRunSizesEndToEnd(t *testing.T) {
+	out := runExp(t, "fig3b")
+	if !strings.Contains(out, "input size") || !strings.Contains(out, "n=") {
+		t.Fatal("fig3b output malformed")
+	}
+}
+
+func TestRunKeyLengthsEndToEnd(t *testing.T) {
+	out := runExp(t, "fig4")
+	for _, want := range []string{"32-bit", "64-bit", "128-bit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 output missing %q", want)
+		}
+	}
+	// The unsupported 128-bit cells print "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("fig4 must dash out unsupported widths")
+	}
+}
+
+func TestRunCollectReduceEndToEnd(t *testing.T) {
+	out := runExp(t, "fig3c")
+	for _, want := range []string{"Collect-reduce", "Ours+", "Ours=", "PLCR", "zipfian-1.5", "zipfian-0.6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3c output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable4EndToEnd(t *testing.T) {
+	out := runExp(t, "table4")
+	for _, want := range []string{"graph transposing", "LJ-like", "TW-like", "CM-like", "SD-like", "geomean", "Ours-i=", "IPS2Ra"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table4 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable5EndToEnd(t *testing.T) {
+	out := runExp(t, "table5")
+	for _, want := range []string{"n-gram", "2-gram", "3-gram", "geomean", "Ours=", "IPS4o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table5 output missing %q", want)
+		}
+	}
+}
+
+func TestRunAblationEndToEnd(t *testing.T) {
+	out := runExp(t, "ablation")
+	for _, want := range []string{"n_L", "full algorithm", "no heavy-key detection", "no recursion", "no in-place"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}
+
+// TestRunAppendixVariants runs the -all experiment variants (appendix
+// figures) once to keep every code path alive.
+func TestRunAppendixVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("appendix sweeps are slow-ish")
+	}
+	for _, id := range []string{"fig7-12", "fig13-18", "fig19-24", "fig25-27"} {
+		out := runExp(t, id)
+		if len(out) < 100 {
+			t.Fatalf("%s output suspiciously short", id)
+		}
+	}
+}
+
+func TestListOutput(t *testing.T) {
+	var sb strings.Builder
+	List(&sb)
+	for _, e := range Experiments() {
+		if !strings.Contains(sb.String(), e.ID) {
+			t.Fatalf("List omits %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Options configures one experiment run.
+type Options struct {
+	// N is the input size (records). The paper uses 10^9; the default here
+	// is 10^7 so experiments finish on laptop-class machines, and all
+	// distribution parameters are rescaled accordingly (dist.Table3Specs).
+	N int
+	// Rounds is how many timed runs happen per measurement. The paper runs
+	// 4 and reports the median of the last 3; smaller values trade
+	// precision for time.
+	Rounds int
+	// Threads lists thread counts for the scaling experiments; empty means
+	// {1, 2, 4, ..., GOMAXPROCS}.
+	Threads []int
+	// Seed drives workload generation.
+	Seed uint64
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.N <= 0 {
+		o.N = 10_000_000
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 4
+	}
+	if len(o.Threads) == 0 {
+		p := parallel.Workers()
+		for t := 1; t < p; t *= 2 {
+			o.Threads = append(o.Threads, t)
+		}
+		o.Threads = append(o.Threads, p)
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Measure times fn following the paper's protocol: run `rounds` times and
+// return the median of the last max(1, rounds-1) runs (for rounds=4 that is
+// the median of the last three). setup runs before every round, untimed.
+func Measure(rounds int, setup func(), fn func()) time.Duration {
+	if rounds < 1 {
+		rounds = 1
+	}
+	times := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		if setup != nil {
+			setup()
+		}
+		start := time.Now()
+		fn()
+		times = append(times, time.Since(start))
+	}
+	keep := times
+	if rounds > 1 {
+		keep = times[1:]
+	}
+	return median(keep)
+}
+
+func median(ts []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ts...)
+	for i := 1; i < len(s); i++ { // insertion sort; the slice is tiny
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	return s[len(s)/2]
+}
+
+// GeoMean returns the geometric mean of positive values (the paper's
+// averaging rule); zero entries are skipped.
+func GeoMean(xs []float64) float64 {
+	sum, cnt := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(cnt))
+}
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// Add appends a row (stringifying each cell).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3f", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Print writes the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// Secs formats a duration in seconds with ms precision, or "-" when zero
+// (used for unsupported algorithm-width combinations, the paper's crosses).
+func Secs(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// Rel formats a relative slowdown ("1.00" is the fastest in the row), or
+// "x" when unsupported — mirroring the paper's heatmap cells.
+func Rel(d, best time.Duration) string {
+	if d == 0 {
+		return "x"
+	}
+	if best == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", d.Seconds()/best.Seconds())
+}
+
+// Best returns the smallest nonzero duration.
+func Best(ds []time.Duration) time.Duration {
+	var best time.Duration
+	for _, d := range ds {
+		if d > 0 && (best == 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,311 @@
+// Package collect implements the paper's histogram and collect-reduce
+// primitives (Section 3.5) on top of the semisort framework. The key
+// difference from plain semisort is that heavy records are never moved:
+// their mapped values are reduced per subarray during the Blocked
+// Distributing step and the per-subarray partials are combined afterwards in
+// subarray order. Because the algorithm is stable, any associative combine
+// function works — commutativity is not required.
+package collect
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+)
+
+// KV is one key with its reduced value.
+type KV[K, E any] struct {
+	Key   K
+	Value E
+}
+
+// Reducer bundles the user functions of the collect-reduce interface
+// (Section 2.1): key extraction, the user hash, equality, the map function
+// M, and the reduce monoid (Combine, Identity). Combine must be associative
+// with Identity as its identity element; it need not be commutative.
+type Reducer[R, K, E any] struct {
+	Key      func(R) K
+	Hash     func(K) uint64
+	Eq       func(K, K) bool
+	Map      func(R) E
+	Combine  func(E, E) E
+	Identity E
+}
+
+// Reduce computes collect-reduce over a: one KV per distinct key, with the
+// values of that key's records combined in input order. The output lists
+// keys in a deterministic order (heavy keys of each recursion level first,
+// then light buckets by bucket id). a is not modified.
+func Reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config) []KV[K, E] {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	cfg = cfg.WithDefaults()
+	s := &reducer[R, K, E]{Reducer: rd, cfg: cfg}
+	s.nL = cfg.LightBuckets
+	if s.nL > 1<<15 {
+		// Light bucket ids must stay clear of the heavyMark sentinel in
+		// the cached-id array; 2^15 buckets is already far beyond useful.
+		s.nL = 1 << 15
+	}
+	s.bBits = uint(sampling.CeilLog2(s.nL))
+	s.l = (n + cfg.MaxSubarrays - 1) / cfg.MaxSubarrays
+	if s.l < cfg.MinSubarray {
+		s.l = cfg.MinSubarray
+	}
+	logN := sampling.CeilLog2(n)
+	s.sampleSize = cfg.SampleFactor * logN
+	s.thresh = max(2, logN)
+	rng := hashutil.NewRNG(cfg.Seed)
+	return s.rec(a, 0, rng)
+}
+
+// Histogram counts the occurrences of each key of a (collect-reduce with
+// the constant map 1 and the (+, 0) monoid; Section 2.1).
+func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []KV[K, int64] {
+	return Reduce(a, Reducer[R, K, int64]{
+		Key:     key,
+		Hash:    hash,
+		Eq:      eq,
+		Map:     func(R) int64 { return 1 },
+		Combine: func(x, y int64) int64 { return x + y },
+	}, cfg)
+}
+
+type reducer[R, K, E any] struct {
+	Reducer[R, K, E]
+	cfg        core.Config
+	nL         int
+	bBits      uint
+	l          int
+	sampleSize int
+	thresh     int
+
+	// basePool recycles the base-case hash-table slot arrays across the
+	// many light buckets of one Reduce call. Only dirtied slots are reset
+	// (tracked in order), so cleanup is O(distinct keys).
+	basePool sync.Pool
+}
+
+// crScratch is the pooled base-case scratch: open-addressing slots plus the
+// list of dirtied slot indices.
+type crScratch struct {
+	slots []int32
+	order []uint64
+}
+
+func (s *reducer[R, K, E]) levelBits(h uint64, depth int) uint64 {
+	shift := uint(depth) * s.bBits
+	if shift+s.bBits <= 64 {
+		return h >> shift
+	}
+	return hashutil.Seeded(h, uint64(depth))
+}
+
+// serialCutoff is the subproblem size below which the recursion spawns no
+// goroutines (scheduling would dominate cache-resident work).
+const serialCutoff = 1 << 16
+
+func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] {
+	n := len(cur)
+	if n == 0 {
+		return nil
+	}
+	if n <= s.cfg.BaseCase || depth >= s.cfg.MaxDepth {
+		return s.base(cur)
+	}
+	serial := n <= serialCutoff
+	forEach := func(m, grain int, body func(i int)) {
+		if serial {
+			for i := 0; i < m; i++ {
+				body(i)
+			}
+			return
+		}
+		parallel.For(m, grain, body)
+	}
+	nSubarrays := func() int {
+		if serial {
+			return 1
+		}
+		return (n + s.l - 1) / s.l
+	}
+
+	// Sampling and Bucketing.
+	ht := sampling.Build(cur, s.Key, s.Hash, s.Eq, sampling.Params{
+		SampleSize: s.sampleSize,
+		Thresh:     s.thresh,
+		IDBase:     s.nL,
+	}, &rng)
+	nH := 0
+	if ht != nil {
+		nH = ht.NH
+	}
+	nSub := nSubarrays()
+	sl := s.l
+	if serial {
+		sl = n
+	}
+	nLmask := uint64(s.nL - 1)
+
+	// Counting pass, fused with per-subarray heavy reduction: light records
+	// are counted per (subarray, bucket); heavy records are mapped and
+	// combined into hAcc[i*nH+h] in input order, so they are never moved.
+	// Bucket ids are cached so the scatter pass needs no second hash or
+	// heavy-table probe (heavyMark flags records that must not move).
+	const heavyMark = ^uint16(0)
+	ids := make([]uint16, n)
+	c := make([]int32, nSub*s.nL)
+	var hAcc []E
+	if nH > 0 {
+		hAcc = make([]E, nSub*nH)
+		forEach(len(hAcc), 1<<12, func(i int) { hAcc[i] = s.Identity })
+	}
+	forEach(nSub, 1, func(i int) {
+		row := c[i*s.nL : (i+1)*s.nL]
+		var acc []E
+		if nH > 0 {
+			acc = hAcc[i*nH : (i+1)*nH]
+		}
+		hi := min((i+1)*sl, n)
+		for j := i * sl; j < hi; j++ {
+			k := s.Key(cur[j])
+			h := s.Hash(k)
+			if nH > 0 {
+				if id := ht.Lookup(h, k, s.Eq); id >= 0 {
+					hID := int(id) - s.nL
+					acc[hID] = s.Combine(acc[hID], s.Map(cur[j]))
+					ids[j] = heavyMark
+					continue
+				}
+			}
+			b := uint16(s.levelBits(h, depth) & nLmask)
+			ids[j] = b
+			row[b]++
+		}
+	})
+
+	// Column-major prefix sums over the light counting matrix.
+	starts := make([]int, s.nL+1)
+	totals := make([]int32, s.nL)
+	forEach(s.nL, 64, func(j int) {
+		var t int32
+		for i := 0; i < nSub; i++ {
+			t += c[i*s.nL+j]
+		}
+		totals[j] = t
+	})
+	sum := 0
+	for j := 0; j < s.nL; j++ {
+		starts[j] = sum
+		sum += int(totals[j])
+	}
+	starts[s.nL] = sum
+	forEach(s.nL, 64, func(j int) {
+		off := int32(starts[j])
+		for i := 0; i < nSub; i++ {
+			cnt := c[i*s.nL+j]
+			c[i*s.nL+j] = off
+			off += cnt
+		}
+	})
+
+	// Scatter only the light records (stable within each bucket).
+	light := make([]R, sum)
+	forEach(nSub, 1, func(i int) {
+		row := c[i*s.nL : (i+1)*s.nL]
+		hi := min((i+1)*sl, n)
+		for j := i * sl; j < hi; j++ {
+			b := ids[j]
+			if b == heavyMark {
+				continue
+			}
+			light[row[b]] = cur[j]
+			row[b]++
+		}
+	})
+
+	// Combine heavy partials across subarrays in subarray order (this is
+	// where associativity without commutativity suffices).
+	heavyKV := make([]KV[K, E], nH)
+	if nH > 0 {
+		forEach(nH, 8, func(h int) {
+			acc := s.Identity
+			for i := 0; i < nSub; i++ {
+				acc = s.Combine(acc, hAcc[i*nH+h])
+			}
+			heavyKV[h] = KV[K, E]{Key: ht.Order[h], Value: acc}
+		})
+	}
+
+	// Local Refining: recurse on light buckets in parallel.
+	sub := make([][]KV[K, E], s.nL)
+	forEach(s.nL, 1, func(j int) {
+		lo, hi := starts[j], starts[j+1]
+		if lo < hi {
+			sub[j] = s.rec(light[lo:hi], depth+1, rng.Fork(uint64(j)))
+		}
+	})
+
+	// Pack: heavy results first, then light buckets in bucket order.
+	total := nH
+	offs := make([]int, s.nL)
+	for j := 0; j < s.nL; j++ {
+		offs[j] = total
+		total += len(sub[j])
+	}
+	out := make([]KV[K, E], total)
+	copy(out, heavyKV)
+	forEach(s.nL, 16, func(j int) {
+		copy(out[offs[j]:], sub[j])
+	})
+	return out
+}
+
+// base reduces one cache-resident bucket sequentially with a hash table
+// that combines values in place. Keys are emitted in first-appearance
+// order, values combined in record order.
+func (s *reducer[R, K, E]) base(cur []R) []KV[K, E] {
+	n := len(cur)
+	m := sampling.CeilPow2(2 * n)
+	scr, _ := s.basePool.Get().(*crScratch)
+	if scr == nil || len(scr.slots) < m {
+		scr = &crScratch{slots: make([]int32, m)}
+		for i := range scr.slots {
+			scr.slots[i] = -1
+		}
+	}
+	mask := uint64(m - 1)
+	slots := scr.slots
+	out := make([]KV[K, E], 0, min(n, 64))
+	for idx := 0; idx < n; idx++ {
+		r := cur[idx]
+		k := s.Key(r)
+		h := s.Hash(k)
+		i := h & mask
+		for {
+			si := slots[i]
+			if si < 0 {
+				slots[i] = int32(len(out))
+				scr.order = append(scr.order, i)
+				out = append(out, KV[K, E]{Key: k, Value: s.Combine(s.Identity, s.Map(r))})
+				break
+			}
+			if s.Eq(out[si].Key, k) {
+				out[si].Value = s.Combine(out[si].Value, s.Map(r))
+				break
+			}
+			i = (i + 1) & mask
+		}
+	}
+	for _, i := range scr.order {
+		slots[i] = -1
+	}
+	scr.order = scr.order[:0]
+	s.basePool.Put(scr)
+	return out
+}

@@ -1,0 +1,221 @@
+package collect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+func hashMix(k uint64) uint64 { return hashutil.Mix64(k) }
+func eqU64(a, b uint64) bool  { return a == b }
+func ident(k uint64) uint64   { return k }
+
+func makeKeys(n int, universe int64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(rng.Int63n(universe))
+	}
+	return a
+}
+
+func refCounts(keys []uint64) map[uint64]int64 {
+	m := make(map[uint64]int64)
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+func checkHistogram(t *testing.T, keys []uint64, got []KV[uint64, int64]) {
+	t.Helper()
+	want := refCounts(keys)
+	if len(got) != len(want) {
+		t.Fatalf("distinct keys: got %d want %d", len(got), len(want))
+	}
+	seen := make(map[uint64]bool)
+	for _, kv := range got {
+		if seen[kv.Key] {
+			t.Fatalf("key %d emitted twice", kv.Key)
+		}
+		seen[kv.Key] = true
+		if want[kv.Key] != kv.Value {
+			t.Fatalf("key %d count: got %d want %d", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+}
+
+func TestHistogramMatchesReference(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 1000, 50000} {
+		for _, u := range []int64{1, 2, 7, 100, 1 << 40} {
+			keys := makeKeys(n, u, int64(n)+u)
+			got := Histogram(keys, ident, hashMix, eqU64, core.Config{})
+			checkHistogram(t, keys, got)
+		}
+	}
+}
+
+func TestHistogramSmallConfig(t *testing.T) {
+	cfg := core.Config{LightBuckets: 4, BaseCase: 16, MinSubarray: 8, MaxSubarrays: 16, SampleFactor: 8}
+	for _, n := range []int{100, 1000, 20000} {
+		for _, u := range []int64{1, 3, 50, 10000} {
+			keys := makeKeys(n, u, 3*int64(n)+u)
+			got := Histogram(keys, ident, hashMix, eqU64, cfg)
+			checkHistogram(t, keys, got)
+		}
+	}
+}
+
+func TestHistogramIdentityHash(t *testing.T) {
+	keys := makeKeys(60000, 500, 17)
+	got := Histogram(keys, ident, ident, eqU64, core.Config{})
+	checkHistogram(t, keys, got)
+}
+
+// TestCollectReduceNonCommutative verifies that a stable algorithm supports
+// associative but non-commutative monoids: string concatenation of the
+// per-record sequence numbers must come out in input order for every key.
+func TestCollectReduceNonCommutative(t *testing.T) {
+	type r struct {
+		key uint64
+		seq int
+	}
+	n := 30000
+	rng := rand.New(rand.NewSource(5))
+	recs := make([]r, n)
+	for i := range recs {
+		recs[i] = r{key: uint64(rng.Int63n(64)), seq: i}
+	}
+	got := Reduce(recs, Reducer[r, uint64, []int]{
+		Key:     func(x r) uint64 { return x.key },
+		Hash:    hashMix,
+		Eq:      eqU64,
+		Map:     func(x r) []int { return []int{x.seq} },
+		Combine: func(a, b []int) []int { return append(append([]int(nil), a...), b...) },
+	}, core.Config{BaseCase: 256, LightBuckets: 8, MinSubarray: 32, SampleFactor: 16})
+
+	want := make(map[uint64][]int)
+	for _, x := range recs {
+		want[x.key] = append(want[x.key], x.seq)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct keys: got %d want %d", len(got), len(want))
+	}
+	for _, kv := range got {
+		w := want[kv.Key]
+		if len(w) != len(kv.Value) {
+			t.Fatalf("key %d: got %d entries want %d", kv.Key, len(kv.Value), len(w))
+		}
+		for i := range w {
+			if w[i] != kv.Value[i] {
+				t.Fatalf("key %d: combine order broken at %d: got %d want %d (non-commutative monoid)",
+					kv.Key, i, kv.Value[i], w[i])
+			}
+		}
+	}
+}
+
+func TestCollectReduceMax(t *testing.T) {
+	keys := makeKeys(40000, 1000, 23)
+	got := Reduce(keys, Reducer[uint64, uint64, uint64]{
+		Key:     ident,
+		Hash:    hashMix,
+		Eq:      eqU64,
+		Map:     func(k uint64) uint64 { return k * 3 },
+		Combine: func(a, b uint64) uint64 { return max(a, b) },
+	}, core.Config{})
+	want := make(map[uint64]uint64)
+	for _, k := range keys {
+		want[k] = max(want[k], k*3)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct keys: got %d want %d", len(got), len(want))
+	}
+	for _, kv := range got {
+		if want[kv.Key] != kv.Value {
+			t.Fatalf("key %d: got %d want %d", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+}
+
+func TestHistogramDeterminism(t *testing.T) {
+	keys := makeKeys(50000, 200, 31)
+	a := Histogram(keys, ident, hashMix, eqU64, core.Config{Seed: 3})
+	b := Histogram(keys, ident, hashMix, eqU64, core.Config{Seed: 3})
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuickHistogramProperty(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		keys := make([]uint64, len(raw))
+		for i, v := range raw {
+			keys[i] = uint64(v % 32)
+		}
+		got := Histogram(keys, ident, hashMix, eqU64,
+			core.Config{Seed: seed, LightBuckets: 4, BaseCase: 8, MinSubarray: 4, SampleFactor: 4})
+		want := refCounts(keys)
+		if len(got) != len(want) {
+			return false
+		}
+		var total int64
+		for _, kv := range got {
+			if want[kv.Key] != kv.Value {
+				return false
+			}
+			total += kv.Value
+		}
+		return total == int64(len(keys))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramLightBucketClamp(t *testing.T) {
+	// Light bucket counts beyond 2^15 are clamped (the cached-id array
+	// reserves the top value as the heavy sentinel); results must be
+	// unaffected.
+	keys := makeKeys(30000, 100, 41)
+	got := Histogram(keys, ident, hashMix, eqU64, core.Config{LightBuckets: 1 << 16})
+	checkHistogram(t, keys, got)
+}
+
+func TestHistogramSerialAndParallelAgree(t *testing.T) {
+	// Inputs straddling the serial cutoff must agree with the reference
+	// regardless of which execution path they take.
+	for _, n := range []int{serialCutoff - 1, serialCutoff, serialCutoff + 1, 3 * serialCutoff} {
+		keys := makeKeys(n, 37, int64(n))
+		got := Histogram(keys, ident, hashMix, eqU64, core.Config{})
+		checkHistogram(t, keys, got)
+	}
+}
+
+func TestReduceFloatSum(t *testing.T) {
+	keys := makeKeys(50000, 25, 43)
+	got := Reduce(keys, Reducer[uint64, uint64, float64]{
+		Key:     ident,
+		Hash:    hashMix,
+		Eq:      eqU64,
+		Map:     func(k uint64) float64 { return float64(k) * 0.5 },
+		Combine: func(a, b float64) float64 { return a + b },
+	}, core.Config{})
+	want := map[uint64]float64{}
+	for _, k := range keys {
+		want[k] += float64(k) * 0.5
+	}
+	for _, kv := range got {
+		if diff := kv.Value - want[kv.Key]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("key %d: %g want %g", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The ablation configuration flags change the execution strategy but must
+// never change the contract: stable, contiguous grouping.
+
+func TestDisableHeavyStillCorrect(t *testing.T) {
+	in := makeRecs(80000, 5, 41) // extremely heavy keys, detection off
+	out := append([]rec(nil), in...)
+	SortEq(out, keyOf, hashMix, eqU64, Config{DisableHeavy: true})
+	checkSemisorted(t, in, out)
+}
+
+func TestDisableInPlaceStillCorrect(t *testing.T) {
+	for _, u := range []uint64{3, 1000, 1 << 40} {
+		in := makeRecs(60000, u, 43)
+		out := append([]rec(nil), in...)
+		SortEq(out, keyOf, hashMix, eqU64, Config{DisableInPlace: true})
+		checkSemisorted(t, in, out)
+
+		out2 := append([]rec(nil), in...)
+		SortLess(out2, keyOf, hashMix, lessU64, Config{DisableInPlace: true})
+		checkSemisorted(t, in, out2)
+	}
+}
+
+func TestDisableInPlaceMatchesDefaultOutput(t *testing.T) {
+	// The copy-back path must produce byte-identical output to the A/T
+	// swap path: the optimization affects data movement only.
+	in := makeRecs(50000, 200, 47)
+	a := append([]rec(nil), in...)
+	b := append([]rec(nil), in...)
+	SortEq(a, keyOf, hashMix, eqU64, Config{Seed: 5})
+	SortEq(b, keyOf, hashMix, eqU64, Config{Seed: 5, DisableInPlace: true})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("in-place optimization changed the output")
+	}
+}
+
+func TestOneLevelRefinement(t *testing.T) {
+	// MaxDepth=1 semisorts every light bucket with the base case directly
+	// (the "no recursion" ablation); output must still be correct even for
+	// buckets far above alpha.
+	in := makeRecs(200000, 1000, 53)
+	out := append([]rec(nil), in...)
+	SortEq(out, keyOf, hashMix, eqU64, Config{MaxDepth: 1, BaseCase: 512})
+	checkSemisorted(t, in, out)
+}
+
+func TestIdentityHashClusteredLowBits(t *testing.T) {
+	// Adversarial case for the integer variants: all keys share their low
+	// 10 bits, so every record lands in one light bucket at level 0. The
+	// level-1 bit window must split them.
+	n := 150000
+	in := make([]rec, n)
+	for i := range in {
+		in[i] = rec{key: uint64(i%977) << 20, seq: i} // low 20 bits zero
+	}
+	out := append([]rec(nil), in...)
+	SortEq(out, keyOf, hashIdent, eqU64, Config{})
+	checkSemisorted(t, in, out)
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Race-freedom claim (Section 2.2): the output must be identical under
+	// different parallelism levels.
+	in := makeRecs(120000, 64, 59)
+	run := func(workers int) []rec {
+		defer setWorkers(setWorkers(workers))
+		out := append([]rec(nil), in...)
+		SortEq(out, keyOf, hashMix, eqU64, Config{Seed: 3})
+		return out
+	}
+	a := run(1)
+	b := run(4)
+	c := run(16)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(b, c) {
+		t.Fatal("output depends on GOMAXPROCS; the algorithm is not internally deterministic")
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashutil"
+)
+
+// These tests exercise the "flexible interface" claim (Section 4.1): the
+// algorithms must work for arbitrary key types given only a hash and an
+// equality (or less-than) test — here a composite struct key and a
+// variable-length string key.
+
+type compositeKey struct {
+	Region uint16
+	Store  uint32
+}
+
+type sale struct {
+	key compositeKey
+	seq int
+}
+
+func compositeHash(k compositeKey) uint64 {
+	return hashutil.Mix64(uint64(k.Region)<<32 | uint64(k.Store))
+}
+
+func compositeEq(a, b compositeKey) bool { return a == b }
+
+func compositeLess(a, b compositeKey) bool {
+	if a.Region != b.Region {
+		return a.Region < b.Region
+	}
+	return a.Store < b.Store
+}
+
+func makeSales(n int, seed int64) []sale {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]sale, n)
+	for i := range a {
+		a[i] = sale{
+			key: compositeKey{Region: uint16(rng.Intn(7)), Store: uint32(rng.Intn(50))},
+			seq: i,
+		}
+	}
+	return a
+}
+
+func checkSalesGrouped(t *testing.T, in, out []sale) {
+	t.Helper()
+	if len(in) != len(out) {
+		t.Fatal("length changed")
+	}
+	want := map[int]compositeKey{}
+	for _, s := range in {
+		want[s.seq] = s.key
+	}
+	closed := map[compositeKey]bool{}
+	prev := map[compositeKey]int{}
+	for i, s := range out {
+		if want[s.seq] != s.key {
+			t.Fatalf("record %d corrupted", s.seq)
+		}
+		if i > 0 && out[i-1].key != s.key {
+			closed[out[i-1].key] = true
+			if closed[s.key] {
+				t.Fatalf("key %+v split at %d", s.key, i)
+			}
+		}
+		if p, ok := prev[s.key]; ok && p > s.seq {
+			t.Fatalf("key %+v unstable", s.key)
+		}
+		prev[s.key] = s.seq
+	}
+}
+
+func TestCompositeKeySortEq(t *testing.T) {
+	in := makeSales(60000, 3)
+	out := append([]sale(nil), in...)
+	SortEq(out, func(s sale) compositeKey { return s.key }, compositeHash, compositeEq, Config{})
+	checkSalesGrouped(t, in, out)
+}
+
+func TestCompositeKeySortLess(t *testing.T) {
+	in := makeSales(60000, 5)
+	out := append([]sale(nil), in...)
+	SortLess(out, func(s sale) compositeKey { return s.key }, compositeHash, compositeLess, Config{})
+	checkSalesGrouped(t, in, out)
+}
+
+func TestCompositeKeyInPlace(t *testing.T) {
+	in := makeSales(60000, 7)
+	out := append([]sale(nil), in...)
+	SortEqInPlace(out, func(s sale) compositeKey { return s.key }, compositeHash, compositeEq, Config{})
+	// Unstable variant: check grouping only.
+	closed := map[compositeKey]bool{}
+	for i := 1; i < len(out); i++ {
+		if out[i].key != out[i-1].key {
+			if closed[out[i].key] {
+				t.Fatalf("key %+v split at %d", out[i].key, i)
+			}
+			closed[out[i-1].key] = true
+		}
+	}
+}
+
+type strRec struct {
+	key string
+	seq int
+}
+
+func TestVariableLengthStringKeys(t *testing.T) {
+	words := []string{"a", "ab", "abc", "abcd", "tiny", "a much longer key that spans cachelines and then some", ""}
+	rng := rand.New(rand.NewSource(11))
+	in := make([]strRec, 80000)
+	for i := range in {
+		in[i] = strRec{key: words[rng.Intn(len(words))], seq: i}
+	}
+	out := append([]strRec(nil), in...)
+	SortEq(out,
+		func(r strRec) string { return r.key },
+		hashutil.String,
+		func(a, b string) bool { return a == b },
+		Config{})
+	want := map[string]int{}
+	for _, r := range in {
+		want[r.key]++
+	}
+	got := map[string]int{}
+	closed := map[string]bool{}
+	prev := map[string]int{}
+	for i, r := range out {
+		got[r.key]++
+		if i > 0 && out[i-1].key != r.key {
+			closed[out[i-1].key] = true
+			if closed[r.key] {
+				t.Fatalf("key %q split", r.key)
+			}
+		}
+		if p, ok := prev[r.key]; ok && p > r.seq {
+			t.Fatalf("key %q unstable", r.key)
+		}
+		prev[r.key] = r.seq
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("key %q count %d want %d", k, got[k], c)
+		}
+	}
+}
+
+// TestPointerRecords checks that records containing pointers survive the
+// distribution and base cases (GC safety of the pooled scratch).
+func TestPointerRecords(t *testing.T) {
+	type boxed struct {
+		key *uint64
+		seq int
+	}
+	keys := make([]uint64, 40)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	rng := rand.New(rand.NewSource(13))
+	in := make([]boxed, 50000)
+	for i := range in {
+		in[i] = boxed{key: &keys[rng.Intn(len(keys))], seq: i}
+	}
+	out := append([]boxed(nil), in...)
+	SortEq(out,
+		func(b boxed) uint64 { return *b.key },
+		hashutil.Mix64,
+		func(a, b uint64) bool { return a == b },
+		Config{})
+	count := 0
+	for i := 1; i < len(out); i++ {
+		if *out[i].key != *out[i-1].key {
+			count++
+		}
+	}
+	if count != len(keys)-1 {
+		t.Fatalf("%d group boundaries, want %d", count, len(keys)-1)
+	}
+}

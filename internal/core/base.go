@@ -1,0 +1,165 @@
+package core
+
+// Base cases of the Local Refining step (Section 3.3). Both variants
+// produce a stable grouping: records with equal keys appear contiguously in
+// their original relative order.
+
+// eqScratch holds the reusable arrays of the semisort= base-case hash
+// table. Base cases run thousands of times (one per light bucket), so the
+// arrays are pooled and cleaned selectively — only the slots actually used
+// are reset, via the insertion-order list.
+type eqScratch struct {
+	slot    []int32  // m: table slot -> distinct-key index, or -1
+	slotH   []uint64 // m: user hash of the key occupying the slot
+	repIdx  []int32  // per distinct key: index of its first record
+	counts  []int32  // per distinct key: count, then write offset
+	recDist []int32  // n: record -> distinct-key index
+	order   []uint64 // dirtied table slots, in first-use order
+}
+
+// grow ensures capacity for table size m and bucket size n, keeping the
+// "slot[i] == -1 everywhere" invariant.
+func (s *eqScratch) grow(m, n int) {
+	if len(s.slot) < m {
+		s.slot = make([]int32, m)
+		s.slotH = make([]uint64, m)
+		for i := range s.slot {
+			s.slot[i] = -1
+		}
+	}
+	if len(s.recDist) < n {
+		s.recDist = make([]int32, n)
+		s.repIdx = make([]int32, n)
+		s.counts = make([]int32, n)
+	}
+	s.order = s.order[:0]
+}
+
+// release resets only the dirtied slots (O(distinct keys), not O(m)).
+func (s *eqScratch) release() {
+	for _, slot := range s.order {
+		s.slot[slot] = -1
+	}
+	s.order = s.order[:0]
+}
+
+// baseEq is the semisort= base case: a sequential hash table groups the
+// records of cur into out (which must not alias cur). Distinct keys are
+// numbered in first-appearance order and records are emitted counting-sort
+// style, so the result is stable and both passes over cur are sequential.
+// The table stores full hashes, so the (indirect) eq call runs only on true
+// matches, not on every probe.
+func (s *sorter[R, K]) baseEq(cur, out []R) {
+	n := len(cur)
+	m := ceilPow2(2 * n)
+	scr, _ := s.eqPool.Get().(*eqScratch)
+	if scr == nil {
+		scr = &eqScratch{}
+	}
+	scr.grow(m, n)
+	mask := uint64(m - 1)
+	slot, slotH := scr.slot, scr.slotH
+	nd := int32(0) // number of distinct keys seen
+	for i := 0; i < n; i++ {
+		k := s.key(cur[i])
+		h := s.hash(k)
+		j := h & mask
+		for {
+			d := slot[j]
+			if d < 0 {
+				slot[j] = nd
+				slotH[j] = h
+				scr.repIdx[nd] = int32(i)
+				scr.counts[nd] = 1
+				scr.recDist[i] = nd
+				scr.order = append(scr.order, j)
+				nd++
+				break
+			}
+			if slotH[j] == h && s.eq(s.key(cur[scr.repIdx[d]]), k) {
+				scr.recDist[i] = d
+				scr.counts[d]++
+				break
+			}
+			j = (j + 1) & mask
+		}
+	}
+	// Exclusive prefix over the per-key counts (first-appearance order),
+	// then a second sequential pass places every record.
+	off := int32(0)
+	for d := int32(0); d < nd; d++ {
+		c := scr.counts[d]
+		scr.counts[d] = off
+		off += c
+	}
+	for i := 0; i < n; i++ {
+		d := scr.recDist[i]
+		out[scr.counts[d]] = cur[i]
+		scr.counts[d]++
+	}
+	scr.release()
+	s.eqPool.Put(scr)
+}
+
+// baseLess is the semisort< base case: a sequential stable merge sort on
+// keys using tmp as scratch. Sorting groups equal keys contiguously and the
+// merge prefers the left run on ties, preserving input order.
+func (s *sorter[R, K]) baseLess(cur, tmp []R) {
+	s.mergeSort(cur, tmp[:len(cur)])
+}
+
+// insertionCutoff is the run length below which insertion sort is used.
+const insertionCutoff = 24
+
+func (s *sorter[R, K]) mergeSort(a, tmp []R) {
+	n := len(a)
+	if n <= insertionCutoff {
+		s.insertionSort(a)
+		return
+	}
+	m := n / 2
+	s.mergeSort(a[:m], tmp[:m])
+	s.mergeSort(a[m:], tmp[m:])
+	if !s.less(s.key(a[m]), s.key(a[m-1])) {
+		return // already in order across the split
+	}
+	copy(tmp, a)
+	s.merge(tmp[:m], tmp[m:], a)
+}
+
+func (s *sorter[R, K]) merge(left, right, out []R) {
+	i, j, w := 0, 0, 0
+	for i < len(left) && j < len(right) {
+		if s.less(s.key(right[j]), s.key(left[i])) {
+			out[w] = right[j]
+			j++
+		} else {
+			out[w] = left[i]
+			i++
+		}
+		w++
+	}
+	for i < len(left) {
+		out[w] = left[i]
+		i++
+		w++
+	}
+	for j < len(right) {
+		out[w] = right[j]
+		j++
+		w++
+	}
+}
+
+func (s *sorter[R, K]) insertionSort(a []R) {
+	for i := 1; i < len(a); i++ {
+		r := a[i]
+		k := s.key(r)
+		j := i - 1
+		for j >= 0 && s.less(k, s.key(a[j])) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = r
+	}
+}

@@ -1,0 +1,90 @@
+// Package core implements the paper's semisort algorithms (Algorithm 1):
+// semisort= (equality test only) and semisort< (a less-than test is also
+// available), with the Sampling and Bucketing, Blocked Distributing, and
+// recursive Local Refining steps, the in-place A/T swap optimization of
+// Section 3.4, and the hash-table / stable-sort base cases of Section 3.3.
+// Both variants are stable, race-free, and deterministic given a seed.
+package core
+
+import "math/bits"
+
+// Config holds the tunable parameters of Section 3.6. The zero value
+// selects the paper's defaults (n_L = 2^10, alpha = 2^14, at most 5000
+// subarrays per level, |S| = 500 log2 n samples).
+type Config struct {
+	// LightBuckets is n_L, the number of light buckets. It is rounded up to
+	// a power of two so light bucket ids are hash-bit windows.
+	LightBuckets int
+	// BaseCase is alpha: buckets of at most this many records are solved
+	// sequentially (hash table for semisort=, stable sort for semisort<).
+	BaseCase int
+	// MaxSubarrays bounds the number of subarrays per recursion level; the
+	// subarray length is l = max(n/MaxSubarrays, MinSubarray) so the
+	// counting matrix C and prefix array X stay cache-resident.
+	MaxSubarrays int
+	// MinSubarray is the smallest subarray length (keeps C small when the
+	// input itself is small).
+	MinSubarray int
+	// SampleFactor is c in |S| = c * log2(n'); the heavy threshold is
+	// log2(n') sample occurrences, so n_H <= c.
+	SampleFactor int
+	// MaxDepth is a recursion guard: beyond this depth the algorithm falls
+	// back to the base case on the whole bucket, making the algorithm total
+	// even for adversarial user hash functions (e.g., constant hashes).
+	MaxDepth int
+	// Seed drives sampling. Fixing it fixes the output exactly (the
+	// algorithm is internally deterministic; see Section 2.2).
+	Seed uint64
+	// DisableHeavy turns off heavy-key detection (no sampling, every key
+	// treated as light). Used by the ablation benchmarks to quantify the
+	// paper's heavy-key optimization (Section 4.2); leave false otherwise.
+	DisableHeavy bool
+	// DisableInPlace turns off the A/T swap optimization of Section 3.4:
+	// after every distribution the temporary array is copied back (Alg. 1
+	// line 23). Used by the ablation benchmarks; leave false otherwise.
+	DisableInPlace bool
+}
+
+// WithDefaults fills unset fields with the paper's parameters.
+func (c Config) WithDefaults() Config {
+	if c.LightBuckets <= 0 {
+		c.LightBuckets = 1 << 10
+	}
+	c.LightBuckets = ceilPow2(c.LightBuckets)
+	if c.BaseCase <= 0 {
+		c.BaseCase = 1 << 14
+	}
+	if c.MaxSubarrays <= 0 {
+		c.MaxSubarrays = 5000
+	}
+	if c.MinSubarray <= 0 {
+		// The paper's l = n/5000 targets 96 threads at n = 10^9; at
+		// smaller n a floor keeps per-subarray tasks large enough to
+		// amortize goroutine scheduling.
+		c.MinSubarray = 1 << 14
+	}
+	if c.SampleFactor <= 0 {
+		c.SampleFactor = 500
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 24
+	}
+	return c
+}
+
+// ceilPow2 returns the smallest power of two >= x (x >= 1).
+func ceilPow2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(x - 1)))
+}
+
+// ceilLog2 returns ceil(log2(x)) for x >= 1, and 1 for smaller x so sample
+// sizes and thresholds stay positive.
+func ceilLog2(x int) int {
+	if x <= 2 {
+		return 1
+	}
+	return bits.Len(uint(x - 1))
+}

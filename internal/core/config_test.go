@@ -1,0 +1,58 @@
+package core
+
+import "testing"
+
+func TestWithDefaultsPaperParameters(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.LightBuckets != 1<<10 {
+		t.Fatalf("n_L default %d, want 2^10 (Section 3.6)", c.LightBuckets)
+	}
+	if c.BaseCase != 1<<14 {
+		t.Fatalf("alpha default %d, want 2^14", c.BaseCase)
+	}
+	if c.MaxSubarrays != 5000 {
+		t.Fatalf("MaxSubarrays default %d, want 5000", c.MaxSubarrays)
+	}
+	if c.SampleFactor != 500 {
+		t.Fatalf("SampleFactor default %d, want 500 (|S| = 500 log n)", c.SampleFactor)
+	}
+	if c.MaxDepth <= 0 || c.MinSubarray <= 0 {
+		t.Fatal("guards must default to positive values")
+	}
+}
+
+func TestWithDefaultsRoundsLightBuckets(t *testing.T) {
+	c := Config{LightBuckets: 1000}.WithDefaults()
+	if c.LightBuckets != 1024 {
+		t.Fatalf("n_L=1000 must round to 1024, got %d", c.LightBuckets)
+	}
+	c = Config{LightBuckets: 1}.WithDefaults()
+	if c.LightBuckets != 1 {
+		t.Fatalf("n_L=1 is a power of two and must stay, got %d", c.LightBuckets)
+	}
+}
+
+func TestWithDefaultsPreservesExplicit(t *testing.T) {
+	c := Config{LightBuckets: 64, BaseCase: 128, MaxSubarrays: 7, SampleFactor: 3, MaxDepth: 5, Seed: 9}.WithDefaults()
+	if c.LightBuckets != 64 || c.BaseCase != 128 || c.MaxSubarrays != 7 || c.SampleFactor != 3 || c.MaxDepth != 5 || c.Seed != 9 {
+		t.Fatalf("explicit values overwritten: %+v", c)
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Fatalf("ceilPow2(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for in, want := range cases {
+		if got := ceilLog2(in); got != want {
+			t.Fatalf("ceilLog2(%d)=%d want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/distribute"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+)
+
+// SortEq is semisort=: it reorders a (in place) so that records with equal
+// keys are contiguous, using only a user hash function and an equality test.
+// The result is stable and deterministic for a fixed cfg.Seed.
+func SortEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) {
+	s := newSorter(a, key, hash, eq, nil, cfg)
+	if s != nil {
+		s.run(a)
+	}
+}
+
+// SortLess is semisort<: like SortEq but additionally uses a less-than test,
+// which lets base cases run a comparison sort (Section 3.3). Equality is
+// derived from less. The result is stable and deterministic.
+func SortLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, cfg Config) {
+	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
+	s := newSorter(a, key, hash, eq, less, cfg)
+	if s != nil {
+		s.run(a)
+	}
+}
+
+// sorter carries the immutable per-call state of Algorithm 1.
+type sorter[R, K any] struct {
+	key  func(R) K
+	hash func(K) uint64
+	eq   func(K, K) bool
+	less func(K, K) bool // nil for semisort=
+
+	nL             int  // number of light buckets (power of two)
+	bBits          uint // log2(nL)
+	alpha          int  // base-case threshold
+	l              int  // subarray length, fixed across recursion levels
+	sampleSize     int  // |S|
+	thresh         int  // heavy threshold: sample occurrences >= thresh
+	maxDepth       int
+	seed           uint64
+	disableHeavy   bool
+	disableInPlace bool
+
+	// eqPool recycles the semisort= base-case hash tables across the many
+	// light buckets of one Sort call (see eqScratch).
+	eqPool sync.Pool
+	// recPool recycles the in-place variant's base-case record buffers
+	// (see recScratch).
+	recPool sync.Pool
+}
+
+func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, less func(K, K) bool, cfg Config) *sorter[R, K] {
+	n := len(a)
+	if n <= 1 {
+		return nil
+	}
+	if n > distribute.MaxLen {
+		panic("semisort: input longer than 2^31-1 records")
+	}
+	cfg = cfg.WithDefaults()
+	s := &sorter[R, K]{
+		key:            key,
+		hash:           hash,
+		eq:             eq,
+		less:           less,
+		nL:             cfg.LightBuckets,
+		alpha:          cfg.BaseCase,
+		maxDepth:       cfg.MaxDepth,
+		seed:           cfg.Seed,
+		disableHeavy:   cfg.DisableHeavy,
+		disableInPlace: cfg.DisableInPlace,
+	}
+	s.bBits = uint(ceilLog2(s.nL))
+	if 1<<s.bBits != s.nL {
+		s.bBits++ // defensive; nL is a power of two after withDefaults
+	}
+	s.l = (n + cfg.MaxSubarrays - 1) / cfg.MaxSubarrays
+	if s.l < cfg.MinSubarray {
+		s.l = cfg.MinSubarray
+	}
+	logN := ceilLog2(n)
+	s.sampleSize = cfg.SampleFactor * logN
+	s.thresh = logN
+	if s.thresh < 2 {
+		s.thresh = 2
+	}
+	return s
+}
+
+// run semisorts a in place, allocating the single O(n) auxiliary array T of
+// Section 3.4 (input and output share a; each record is copied about twice).
+func (s *sorter[R, K]) run(a []R) {
+	t := make([]R, len(a))
+	rng := hashutil.NewRNG(s.seed)
+	s.rec(a, t, true, 0, rng)
+}
+
+// rec is one level of Algorithm 1. Data currently lives in cur; other is
+// equally sized scratch. curIsA records which side is the caller-visible
+// array A: the in-place optimization of Section 3.4 swaps the roles of A
+// and T down the recursion, and results must always materialize on the A
+// side of each disjoint bucket range.
+func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.RNG) {
+	n := len(cur)
+	if n == 0 {
+		return
+	}
+	if n <= s.alpha || depth >= s.maxDepth {
+		s.base(cur, other, curIsA)
+		return
+	}
+
+	// Step 1: Sampling and Bucketing.
+	var ht *sampling.HeavyTable[K]
+	if !s.disableHeavy {
+		ht = sampling.Build(cur, s.key, s.hash, s.eq, sampling.Params{
+			SampleSize: s.sampleSize,
+			Thresh:     s.thresh,
+			IDBase:     s.nL,
+		}, &rng)
+	}
+	nH := 0
+	if ht != nil {
+		nH = ht.NH
+	}
+	nB := s.nL + nH
+
+	// Step 2: Blocked Distributing (cur -> other).
+	nLmask := uint64(s.nL - 1)
+	var bucketOf func(i int) int
+	if nH > 0 {
+		bucketOf = func(i int) int {
+			k := s.key(cur[i])
+			h := s.hash(k)
+			if id := ht.Lookup(h, k, s.eq); id >= 0 {
+				return int(id)
+			}
+			return int(s.levelBits(h, depth) & nLmask)
+		}
+	} else {
+		bucketOf = func(i int) int {
+			h := s.hash(s.key(cur[i]))
+			return int(s.levelBits(h, depth) & nLmask)
+		}
+	}
+	// Below serialCutoff the whole subtree runs on the calling goroutine:
+	// scheduling thousands of microsecond tasks costs more than the work
+	// (the subproblem is cache-resident anyway).
+	serial := n <= serialCutoff
+	var starts []int
+	if serial {
+		starts = distribute.Serial(cur, other, nB, bucketOf)
+	} else {
+		starts = distribute.Stable(cur, other, nB, s.l, bucketOf)
+	}
+
+	if s.disableInPlace {
+		// Ablation path: Alg. 1 line 23 verbatim — copy T back to A after
+		// every distribution instead of swapping roles down the recursion.
+		parallel.Copy(cur, other)
+		s.forBuckets(serial, func(j int) {
+			lo, hi := starts[j], starts[j+1]
+			if lo < hi {
+				s.rec(cur[lo:hi], other[lo:hi], curIsA, depth+1, rng.Fork(uint64(j)))
+			}
+		})
+		return
+	}
+
+	// Heavy buckets are final after distribution; move them to the A side
+	// if they landed in T (the heavy region is contiguous at the end).
+	if nH > 0 && curIsA {
+		lo, hi := starts[s.nL], starts[nB]
+		if serial {
+			copy(cur[lo:hi], other[lo:hi])
+		} else {
+			parallel.Copy(cur[lo:hi], other[lo:hi])
+		}
+	}
+
+	// Step 3: Local Refining — recurse on light buckets with roles swapped,
+	// consuming the next window of hash bits (see levelBits).
+	s.forBuckets(serial, func(j int) {
+		lo, hi := starts[j], starts[j+1]
+		if lo < hi {
+			s.rec(other[lo:hi], cur[lo:hi], !curIsA, depth+1, rng.Fork(uint64(j)))
+		}
+	})
+}
+
+// serialCutoff is the subproblem size below which recursion stops spawning
+// goroutines. It roughly matches the L2 cache in records, so serial
+// subtrees are also the cache-resident ones.
+const serialCutoff = 1 << 16
+
+// forBuckets iterates the light buckets either in parallel or on the
+// calling goroutine.
+func (s *sorter[R, K]) forBuckets(serial bool, body func(j int)) {
+	if serial {
+		for j := 0; j < s.nL; j++ {
+			body(j)
+		}
+		return
+	}
+	parallel.For(s.nL, 1, body)
+}
+
+// levelBits returns the window of hash bits that determines light bucket
+// ids at the given depth. Algorithm 1 states id = h(k) mod n_L; across
+// recursion levels the window must move (level d uses bits [d*b, (d+1)*b)),
+// otherwise a light bucket could never split. Once the 64 hash bits are
+// exhausted the hash is remixed with the depth as a salt.
+func (s *sorter[R, K]) levelBits(h uint64, depth int) uint64 {
+	shift := uint(depth) * s.bBits
+	if shift+s.bBits <= 64 {
+		return h >> shift
+	}
+	return hashutil.Seeded(h, uint64(depth))
+}
+
+// base solves one bucket sequentially and leaves the result on the A side.
+func (s *sorter[R, K]) base(cur, other []R, curIsA bool) {
+	if len(cur) <= 1 {
+		if !curIsA {
+			copy(other, cur)
+		}
+		return
+	}
+	if s.less != nil {
+		// semisort<: stable sort in place, then surface to the A side.
+		s.baseLess(cur, other)
+		if !curIsA {
+			copy(other, cur)
+		}
+		return
+	}
+	// semisort=: group via the chained hash table into the scratch side,
+	// then surface to the A side.
+	s.baseEq(cur, other)
+	if curIsA {
+		copy(cur, other)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+)
+
+// Fuzz targets: `go test` runs them over the seed corpus; `go test -fuzz`
+// explores further. Each target decodes the fuzz payload into records and
+// checks the full semisort contract.
+
+func decodeRecs(data []byte, spread byte) []rec {
+	if spread == 0 {
+		spread = 1
+	}
+	a := make([]rec, len(data))
+	for i, b := range data {
+		a[i] = rec{key: uint64(b % spread), seq: i}
+	}
+	return a
+}
+
+// fuzzCheck validates permutation + contiguity + stability without
+// testing.T plumbing; returns a description of the first violation.
+func fuzzCheck(in, out []rec) string {
+	if len(in) != len(out) {
+		return "length changed"
+	}
+	seen := make(map[int]uint64, len(out))
+	for _, r := range out {
+		if _, dup := seen[r.seq]; dup {
+			return "record duplicated"
+		}
+		seen[r.seq] = r.key
+	}
+	for _, r := range in {
+		if seen[r.seq] != r.key {
+			return "record corrupted or lost"
+		}
+	}
+	closed := map[uint64]bool{}
+	prevSeq := map[uint64]int{}
+	for i, r := range out {
+		if i > 0 && out[i-1].key != r.key {
+			closed[out[i-1].key] = true
+			if closed[r.key] {
+				return "key group split"
+			}
+		}
+		if p, ok := prevSeq[r.key]; ok && p > r.seq {
+			return "stability violated"
+		}
+		prevSeq[r.key] = r.seq
+	}
+	return ""
+}
+
+func fuzzConfig(knob byte) Config {
+	// Map one byte to a diverse but valid configuration.
+	return Config{
+		LightBuckets: 1 << (1 + knob%6),  // 2..64
+		BaseCase:     8 << (knob % 5),    // 8..128
+		MinSubarray:  4 << (knob % 4),    // 4..32
+		MaxSubarrays: 8 + int(knob%64),   //
+		SampleFactor: 2 + int(knob%16),   //
+		MaxDepth:     3 + int(knob%10),   //
+		Seed:         uint64(knob) * 977, //
+	}
+}
+
+func FuzzSortEq(f *testing.F) {
+	f.Add([]byte("hello world semisort"), byte(7), byte(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, byte(1), byte(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(255), byte(9))
+	f.Add([]byte{}, byte(4), byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, spread, knob byte) {
+		in := decodeRecs(data, spread)
+		out := append([]rec(nil), in...)
+		SortEq(out, keyOf, hashMix, eqU64, fuzzConfig(knob))
+		if msg := fuzzCheck(in, out); msg != "" {
+			t.Fatalf("SortEq: %s (n=%d spread=%d knob=%d)", msg, len(in), spread, knob)
+		}
+	})
+}
+
+func FuzzSortLess(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), byte(11), byte(5))
+	f.Add([]byte{9, 9, 9, 9, 1, 1, 1}, byte(16), byte(12))
+	f.Fuzz(func(t *testing.T, data []byte, spread, knob byte) {
+		in := decodeRecs(data, spread)
+		out := append([]rec(nil), in...)
+		SortLess(out, keyOf, hashMix, lessU64, fuzzConfig(knob))
+		if msg := fuzzCheck(in, out); msg != "" {
+			t.Fatalf("SortLess: %s (n=%d spread=%d knob=%d)", msg, len(in), spread, knob)
+		}
+	})
+}
+
+func FuzzSortEqInPlace(f *testing.F) {
+	f.Add([]byte("in place fuzzing payload"), byte(9), byte(2))
+	f.Add([]byte{5, 5, 5, 5, 5}, byte(2), byte(8))
+	f.Fuzz(func(t *testing.T, data []byte, spread, knob byte) {
+		in := decodeRecs(data, spread)
+		out := append([]rec(nil), in...)
+		SortEqInPlace(out, keyOf, hashMix, eqU64, fuzzConfig(knob))
+		// In-place variant: permutation + contiguity only (unstable).
+		if len(in) != len(out) {
+			t.Fatal("length changed")
+		}
+		count := map[rec]int{}
+		for _, r := range in {
+			count[r]++
+		}
+		for _, r := range out {
+			count[r]--
+			if count[r] < 0 {
+				t.Fatal("record multiplied")
+			}
+		}
+		closed := map[uint64]bool{}
+		for i := 1; i < len(out); i++ {
+			if out[i].key != out[i-1].key {
+				if closed[out[i].key] {
+					t.Fatalf("key %d group split", out[i].key)
+				}
+				closed[out[i-1].key] = true
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+	"repro/internal/seqsort"
+)
+
+// This file implements the space-efficient semisort variant sketched in the
+// paper's conclusion (Section 6): the authors observe that the in-place
+// sorters (IPS4o) owe their efficiency to distributing within the input
+// array itself, and propose redesigning the distribution step accordingly
+// as future work. Here the Blocked Distributing step is replaced by an
+// in-place cycle-chasing permutation over the same heavy/light buckets, and
+// base cases reuse a per-worker scratch buffer, so the extra space drops
+// from Theta(n) records to O(P*alpha + n_L + n_H) — at the cost the paper
+// predicts: the permutation is unstable, and the top-level pass is less
+// parallel than the out-of-place distribution.
+
+// SortEqInPlace is semisort= with o(n) extra space. Records with equal keys
+// come out contiguous, but not in input order (unstable), and the grouping
+// order may differ from SortEq's. Deterministic for a fixed seed.
+func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) {
+	s := newSorter(a, key, hash, eq, nil, cfg)
+	if s != nil {
+		s.inPlaceRec(a, 0, hashutil.NewRNG(s.seed))
+	}
+}
+
+// SortLessInPlace is semisort< with o(n) extra space (unstable; base cases
+// use an in-place comparison sort).
+func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, cfg Config) {
+	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
+	s := newSorter(a, key, hash, eq, less, cfg)
+	if s != nil {
+		s.inPlaceRec(a, 0, hashutil.NewRNG(s.seed))
+	}
+}
+
+func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	if n <= s.alpha || depth >= s.maxDepth {
+		s.baseInPlace(a)
+		return
+	}
+
+	// Step 1: Sampling and Bucketing, exactly as in Algorithm 1.
+	var ht *sampling.HeavyTable[K]
+	if !s.disableHeavy {
+		ht = sampling.Build(a, s.key, s.hash, s.eq, sampling.Params{
+			SampleSize: s.sampleSize,
+			Thresh:     s.thresh,
+			IDBase:     s.nL,
+		}, &rng)
+	}
+	nH := 0
+	if ht != nil {
+		nH = ht.NH
+	}
+	nB := s.nL + nH
+	nLmask := uint64(s.nL - 1)
+	bucketOf := func(r R) int {
+		k := s.key(r)
+		h := s.hash(k)
+		if nH > 0 {
+			if id := ht.Lookup(h, k, s.eq); id >= 0 {
+				return int(id)
+			}
+		}
+		return int(s.levelBits(h, depth) & nLmask)
+	}
+
+	// Step 2': exact counting (parallel over chunks), then an in-place
+	// cycle-chasing permutation. Extra space is the O(n_B) counters only.
+	counts := s.countBuckets(a, nB, bucketOf)
+	starts := make([]int, nB+1)
+	heads := make([]int, nB)
+	sum := 0
+	for b := 0; b < nB; b++ {
+		starts[b] = sum
+		heads[b] = sum
+		sum += int(counts[b])
+	}
+	starts[nB] = sum
+	for b := 0; b < nB; b++ {
+		end := starts[b+1]
+		for heads[b] < end {
+			i := heads[b]
+			db := bucketOf(a[i])
+			if db == b {
+				heads[b]++
+				continue
+			}
+			v := a[i]
+			for db != b {
+				j := heads[db]
+				heads[db]++
+				a[j], v = v, a[j]
+				db = bucketOf(v)
+			}
+			a[i] = v
+			heads[b]++
+		}
+	}
+
+	// Step 3: heavy buckets are final; recurse on light buckets in place.
+	serial := n <= serialCutoff
+	s.forBuckets(serial, func(j int) {
+		lo, hi := starts[j], starts[j+1]
+		if hi-lo > 1 {
+			s.inPlaceRec(a[lo:hi], depth+1, rng.Fork(uint64(j)))
+		}
+	})
+}
+
+// countBuckets computes the exact bucket histogram, in parallel chunks for
+// large inputs.
+func (s *sorter[R, K]) countBuckets(a []R, nB int, bucketOf func(R) int) []int32 {
+	n := len(a)
+	if n <= serialCutoff {
+		counts := make([]int32, nB)
+		for i := 0; i < n; i++ {
+			counts[bucketOf(a[i])]++
+		}
+		return counts
+	}
+	nBlocks := 4 * parallel.Workers()
+	partial := make([][]int32, nBlocks)
+	parallel.Blocks(n, nBlocks, func(b, lo, hi int) {
+		c := make([]int32, nB)
+		for i := lo; i < hi; i++ {
+			c[bucketOf(a[i])]++
+		}
+		partial[b] = c
+	})
+	counts := make([]int32, nB)
+	for _, c := range partial {
+		for b := range counts {
+			counts[b] += c[b]
+		}
+	}
+	return counts
+}
+
+// baseInPlace finishes one bucket within the input array. semisort< sorts
+// in place; semisort= groups through a pooled per-worker scratch buffer of
+// at most alpha records and copies back.
+func (s *sorter[R, K]) baseInPlace(a []R) {
+	if s.less != nil {
+		seqsort.Quick3(a, func(x, y R) bool { return s.less(s.key(x), s.key(y)) })
+		return
+	}
+	buf, _ := s.recPool.Get().(*recScratch[R])
+	if buf == nil || cap(buf.recs) < len(a) {
+		buf = &recScratch[R]{recs: make([]R, max(len(a), s.alpha))}
+	}
+	out := buf.recs[:len(a)]
+	s.baseEq(a, out)
+	copy(a, out)
+	s.recPool.Put(buf)
+}
+
+// recScratch is the pooled record buffer of the in-place base case.
+type recScratch[R any] struct {
+	recs []R
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+)
+
+// checkGroupedUnstable verifies the in-place variant's weaker contract:
+// permutation of the input multiset with contiguous key groups (no
+// stability requirement).
+func checkGroupedUnstable(t *testing.T, name string, in, out []rec) {
+	t.Helper()
+	if len(in) != len(out) {
+		t.Fatalf("%s: length changed", name)
+	}
+	want := map[rec]int{}
+	for _, r := range in {
+		want[r]++
+	}
+	for _, r := range out {
+		want[r]--
+		if want[r] < 0 {
+			t.Fatalf("%s: record %v multiplied", name, r)
+		}
+	}
+	closed := map[uint64]bool{}
+	for i := 1; i < len(out); i++ {
+		if out[i].key != out[i-1].key {
+			if closed[out[i].key] {
+				t.Fatalf("%s: key %d not contiguous at %d", name, out[i].key, i)
+			}
+			closed[out[i-1].key] = true
+		}
+	}
+}
+
+func TestSortEqInPlaceBasic(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 1000, 50000, 300000} {
+		for _, u := range []uint64{1, 2, 7, 1000, 1 << 40} {
+			in := makeRecs(n, u, int64(n)*5+int64(u))
+			out := append([]rec(nil), in...)
+			SortEqInPlace(out, keyOf, hashMix, eqU64, Config{})
+			checkGroupedUnstable(t, "inplace=", in, out)
+		}
+	}
+}
+
+func TestSortLessInPlaceBasic(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 50000, 300000} {
+		for _, u := range []uint64{1, 5, 1000} {
+			in := makeRecs(n, u, int64(n)*11+int64(u))
+			out := append([]rec(nil), in...)
+			SortLessInPlace(out, keyOf, hashMix, lessU64, Config{})
+			checkGroupedUnstable(t, "inplace<", in, out)
+		}
+	}
+}
+
+func TestSortEqInPlaceSmallConfig(t *testing.T) {
+	cfg := cfgSmall()
+	for _, u := range []uint64{1, 3, 64} {
+		in := makeRecs(20000, u, int64(u))
+		out := append([]rec(nil), in...)
+		SortEqInPlace(out, keyOf, hashMix, eqU64, cfg)
+		checkGroupedUnstable(t, "inplace-small", in, out)
+	}
+}
+
+func TestSortEqInPlaceIdentityHash(t *testing.T) {
+	in := makeRecs(150000, 500, 77)
+	out := append([]rec(nil), in...)
+	SortEqInPlace(out, keyOf, hashIdent, eqU64, Config{})
+	checkGroupedUnstable(t, "inplace-i=", in, out)
+}
+
+func TestSortEqInPlaceConstantHashGuard(t *testing.T) {
+	in := makeRecs(5000, 13, 3)
+	out := append([]rec(nil), in...)
+	SortEqInPlace(out, keyOf, hashConst, eqU64, Config{LightBuckets: 4, BaseCase: 64, MaxDepth: 3, MinSubarray: 16})
+	checkGroupedUnstable(t, "inplace-const-hash", in, out)
+}
+
+func TestSortEqInPlaceDeterministic(t *testing.T) {
+	in := makeRecs(80000, 100, 31)
+	a := append([]rec(nil), in...)
+	b := append([]rec(nil), in...)
+	SortEqInPlace(a, keyOf, hashMix, eqU64, Config{Seed: 4})
+	SortEqInPlace(b, keyOf, hashMix, eqU64, Config{Seed: 4})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("in-place variant not deterministic at %d", i)
+		}
+	}
+}
+
+// TestInPlaceAgreesWithStableOnGroups checks that both variants produce
+// the same *set* of key groups with the same sizes (the orders may differ).
+func TestInPlaceAgreesWithStableOnGroups(t *testing.T) {
+	in := makeRecs(120000, 300, 37)
+	a := append([]rec(nil), in...)
+	b := append([]rec(nil), in...)
+	SortEq(a, keyOf, hashMix, eqU64, Config{})
+	SortEqInPlace(b, keyOf, hashMix, eqU64, Config{})
+	sizes := func(out []rec) map[uint64]int {
+		m := map[uint64]int{}
+		for _, r := range out {
+			m[r.key]++
+		}
+		return m
+	}
+	sa, sb := sizes(a), sizes(b)
+	if len(sa) != len(sb) {
+		t.Fatal("variants disagree on distinct keys")
+	}
+	for k, c := range sa {
+		if sb[k] != c {
+			t.Fatalf("key %d group size %d vs %d", k, c, sb[k])
+		}
+	}
+}

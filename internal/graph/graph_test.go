@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func smallGraph() *CSR {
+	// 0 -> 1,2 ; 1 -> 2 ; 2 -> 0 ; 3 -> (none)
+	return &CSR{
+		N:       4,
+		Offsets: []int64{0, 2, 3, 4, 4},
+		Edges:   []uint32{1, 2, 2, 0},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := smallGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	bad := &CSR{N: 2, Offsets: []int64{0, 1, 1}, Edges: []uint32{5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	bad2 := &CSR{N: 2, Offsets: []int64{0, 2, 1}, Edges: []uint32{0}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("decreasing offsets accepted")
+	}
+}
+
+// refTranspose is the obvious sequential transpose used as the oracle.
+func refTranspose(g *CSR) map[[2]uint32]int {
+	m := map[[2]uint32]int{}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			m[[2]uint32{u, uint32(v)}]++ // edge u -> v in G^T
+		}
+	}
+	return m
+}
+
+func csrEdgeMultiset(g *CSR) map[[2]uint32]int {
+	m := map[[2]uint32]int{}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			m[[2]uint32{uint32(v), u}]++
+		}
+	}
+	return m
+}
+
+func TestTransposeAllMethodsSmall(t *testing.T) {
+	g := smallGraph()
+	want := refTranspose(g)
+	for _, m := range Methods() {
+		gt := Transpose(g, m)
+		if err := gt.Validate(); err != nil {
+			t.Fatalf("%s: invalid transpose: %v", m, err)
+		}
+		got := csrEdgeMultiset(gt)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d distinct edges, want %d", m, len(got), len(want))
+		}
+		for e, c := range want {
+			if got[e] != c {
+				t.Fatalf("%s: edge %v count %d want %d", m, e, got[e], c)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	for _, shape := range []Shape{PowerLaw, NearRegular} {
+		g := Generate(2000, 30000, shape, 1.1, 13)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated graph invalid: %v", err)
+		}
+		gt := Transpose(g, SemisortIEq)
+		gtt := Transpose(gt, SemisortILess)
+		a, b := csrEdgeMultiset(g), csrEdgeMultiset(gtt)
+		if len(a) != len(b) {
+			t.Fatalf("shape %d: transpose twice changed edge set size", shape)
+		}
+		for e, c := range a {
+			if b[e] != c {
+				t.Fatalf("shape %d: edge %v count changed %d -> %d", shape, e, c, b[e])
+			}
+		}
+	}
+}
+
+func TestTransposeMethodsAgreeOnLargerGraph(t *testing.T) {
+	g := Generate(5000, 120000, PowerLaw, 1.2, 17)
+	want := refTranspose(g)
+	for _, m := range Methods() {
+		gt := Transpose(g, m)
+		got := csrEdgeMultiset(gt)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d distinct edges, want %d", m, len(got), len(want))
+		}
+		for e, c := range want {
+			if got[e] != c {
+				t.Fatalf("%s: edge %v count %d want %d", m, e, got[e], c)
+			}
+		}
+	}
+}
+
+// TestTransposeStability checks that the stable methods preserve source
+// order inside each in-neighbor list (the property Ligra/GBBS rely on).
+func TestTransposeStability(t *testing.T) {
+	g := Generate(1000, 40000, PowerLaw, 1.3, 23)
+	for _, m := range []Method{SemisortIEq, SemisortILess, RadixSort} {
+		gt := Transpose(g, m)
+		for v := 0; v < gt.N; v++ {
+			ns := gt.Neighbors(v)
+			for i := 1; i < len(ns); i++ {
+				if ns[i-1] > ns[i] {
+					t.Fatalf("%s: in-neighbors of %d not in source order", m, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	pl := Generate(5000, 100000, PowerLaw, 1.3, 29)
+	nr := Generate(5000, 100000, NearRegular, 0, 29)
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("power-law graph invalid: %v", err)
+	}
+	if err := nr.Validate(); err != nil {
+		t.Fatalf("near-regular graph invalid: %v", err)
+	}
+	cut := dist.HeavyCut(pl.M())
+	stPL := pl.Stats(cut)
+	stNR := nr.Stats(cut)
+	if stPL.MaxFreq <= stNR.MaxFreq {
+		t.Fatalf("power-law max in-degree %d <= near-regular %d", stPL.MaxFreq, stNR.MaxFreq)
+	}
+	// Near-regular graphs have no heavy destination keys.
+	if stNR.HeavyFrac > 0.01 {
+		t.Fatalf("near-regular heavy fraction %.3f, want ~0", stNR.HeavyFrac)
+	}
+}
+
+func TestFromEdgesAndEdgeList(t *testing.T) {
+	g := Generate(300, 5000, PowerLaw, 1.0, 31)
+	rebuilt := FromEdges(g.N, g.EdgeList())
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatalf("rebuilt graph invalid: %v", err)
+	}
+	a, b := csrEdgeMultiset(g), csrEdgeMultiset(rebuilt)
+	for e, c := range a {
+		if b[e] != c {
+			t.Fatalf("edge %v lost in round-trip", e)
+		}
+	}
+	if g.Degree(0) != rebuilt.Degree(0) {
+		t.Fatal("degree changed in round-trip")
+	}
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"repro/internal/parallel"
+)
+
+// The paper motivates graph transposing with strongly connected components
+// (Section 5.3): SCC algorithms run reachability searches both forwards and
+// backwards, and the backward searches are forward searches on G^T. This
+// file implements that consumer — a parallel forward-backward SCC
+// decomposition — so the transpose produced by semisort is exercised by a
+// real workload, not just validated structurally.
+
+// sccUnset marks a vertex not yet assigned to a component.
+const sccUnset = -1
+
+// SCC computes strongly connected components with the forward-backward
+// algorithm: pick a pivot, compute its forward reachable set on g and its
+// backward reachable set (forward on gt), intersect them into one
+// component, and recurse on the three remaining vertex classes. gt must be
+// the transpose of g (use Transpose). Returns a component id per vertex;
+// ids are arbitrary but equal exactly for mutually reachable vertices.
+func SCC(g, gt *CSR) []int32 {
+	if g.N != gt.N {
+		panic("graph: SCC needs g and its transpose")
+	}
+	comp := make([]int32, g.N)
+	for i := range comp {
+		comp[i] = sccUnset
+	}
+	var nextID int32
+	trim(g, gt, comp, &nextID)
+	var vertices []uint32
+	for v := 0; v < g.N; v++ {
+		if comp[v] == sccUnset {
+			vertices = append(vertices, uint32(v))
+		}
+	}
+	fwbw(g, gt, vertices, comp, &nextID)
+	return comp
+}
+
+// trim repeatedly assigns singleton components to vertices with no
+// unassigned in-neighbors or no unassigned out-neighbors (they cannot be in
+// a multi-vertex SCC). Power-law graphs are dominated by such vertices, so
+// trimming keeps the recursive search small. Ids are handed out in vertex
+// order per round, keeping the decomposition deterministic.
+func trim(g, gt *CSR, comp []int32, nextID *int32) {
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			if comp[v] != sccUnset {
+				continue
+			}
+			if !hasUnassignedNeighbor(g, v, comp) || !hasUnassignedNeighbor(gt, v, comp) {
+				comp[v] = *nextID
+				*nextID++
+				changed = true
+			}
+		}
+	}
+}
+
+// hasUnassignedNeighbor reports whether v has an out-neighbor (other than
+// itself) still unassigned.
+func hasUnassignedNeighbor(g *CSR, v int, comp []int32) bool {
+	for _, u := range g.Neighbors(v) {
+		if int(u) != v && comp[u] == sccUnset {
+			return true
+		}
+	}
+	return false
+}
+
+// fwbw processes one vertex subset: all vertices in `sub` are unassigned
+// and any SCC intersecting sub is wholly contained in it.
+func fwbw(g, gt *CSR, sub []uint32, comp []int32, nextID *int32) {
+	if len(sub) == 0 {
+		return
+	}
+	if len(sub) == 1 {
+		id := *nextID
+		*nextID++
+		comp[sub[0]] = id
+		return
+	}
+	pivot := sub[0]
+
+	fw := reachable(g, pivot, comp)
+	bw := reachable(gt, pivot, comp)
+
+	// Intersection = pivot's SCC.
+	id := *nextID
+	*nextID++
+	for _, v := range sub {
+		if fw[v] && bw[v] {
+			comp[v] = id
+		}
+	}
+
+	// Partition the rest into forward-only, backward-only, and neither;
+	// every remaining SCC lies wholly inside one class.
+	var fwOnly, bwOnly, rest []uint32
+	for _, v := range sub {
+		if comp[v] != sccUnset {
+			continue
+		}
+		switch {
+		case fw[v]:
+			fwOnly = append(fwOnly, v)
+		case bw[v]:
+			bwOnly = append(bwOnly, v)
+		default:
+			rest = append(rest, v)
+		}
+	}
+	// Component ids must be handed out deterministically, so the three
+	// recursive calls run sequentially (parallelism inside reachable
+	// already uses the cores; a production SCC would partition ids).
+	fwbw(g, gt, fwOnly, comp, nextID)
+	fwbw(g, gt, bwOnly, comp, nextID)
+	fwbw(g, gt, rest, comp, nextID)
+}
+
+// reachable returns the set of unassigned vertices reachable from src via
+// a level-synchronous parallel BFS over unassigned vertices only.
+func reachable(g *CSR, src uint32, comp []int32) []bool {
+	seen := make([]bool, g.N)
+	if comp[src] != sccUnset {
+		return seen
+	}
+	seen[src] = true
+	frontier := []uint32{src}
+	for len(frontier) > 0 {
+		// Expand the frontier in parallel: each frontier vertex produces
+		// its unassigned, unseen neighbors. Marking `seen` with plain
+		// writes is a benign race only if two writers write the same
+		// value; to stay race-free we collect candidates per block and
+		// dedupe sequentially (frontiers are small relative to the work
+		// of scanning adjacency lists).
+		nBlocks := min(len(frontier), 4*parallel.Workers())
+		cand := make([][]uint32, nBlocks)
+		parallel.Blocks(len(frontier), nBlocks, func(b, lo, hi int) {
+			var local []uint32
+			for i := lo; i < hi; i++ {
+				for _, u := range g.Neighbors(int(frontier[i])) {
+					if !seen[u] && comp[u] == sccUnset {
+						local = append(local, u)
+					}
+				}
+			}
+			cand[b] = local
+		})
+		frontier = frontier[:0]
+		for _, local := range cand {
+			for _, u := range local {
+				if !seen[u] {
+					seen[u] = true
+					frontier = append(frontier, u)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// BFS returns the hop distance from src to every vertex (-1 if
+// unreachable). It is the plain reachability primitive the SCC search is
+// built from, exported for direct use and testing.
+func BFS(g *CSR, src uint32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []uint32{src}
+	for d := int32(1); len(frontier) > 0; d++ {
+		nBlocks := min(len(frontier), 4*parallel.Workers())
+		cand := make([][]uint32, nBlocks)
+		parallel.Blocks(len(frontier), nBlocks, func(b, lo, hi int) {
+			var local []uint32
+			for i := lo; i < hi; i++ {
+				for _, u := range g.Neighbors(int(frontier[i])) {
+					if dist[u] < 0 {
+						local = append(local, u)
+					}
+				}
+			}
+			cand[b] = local
+		})
+		frontier = frontier[:0]
+		for _, local := range cand {
+			for _, u := range local {
+				if dist[u] < 0 {
+					dist[u] = d
+					frontier = append(frontier, u)
+				}
+			}
+		}
+	}
+	return dist
+}

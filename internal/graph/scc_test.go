@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSCC is a brute-force oracle: v and u share a component iff each
+// reaches the other (computed by per-vertex DFS).
+func refSCC(g *CSR) [][]bool {
+	reach := make([][]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		seen := make([]bool, g.N)
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(x) {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, int(u))
+				}
+			}
+		}
+		reach[v] = seen
+	}
+	return reach
+}
+
+func checkSCC(t *testing.T, g *CSR, comp []int32) {
+	t.Helper()
+	reach := refSCC(g)
+	for v := 0; v < g.N; v++ {
+		if comp[v] < 0 {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+		for u := v + 1; u < g.N; u++ {
+			same := reach[v][u] && reach[u][v]
+			if same != (comp[v] == comp[u]) {
+				t.Fatalf("vertices %d,%d: mutual=%v but comp %d vs %d", v, u, same, comp[v], comp[u])
+			}
+		}
+	}
+}
+
+func buildGraph(n int, edges [][2]uint32) *CSR {
+	es := make([]Edge, len(edges))
+	for i, e := range edges {
+		es[i] = Edge{Src: e[0], Dst: e[1]}
+	}
+	// Group by source with a simple stable counting pass.
+	return FromEdges(n, es)
+}
+
+func TestSCCHandCases(t *testing.T) {
+	cases := []struct {
+		n     int
+		edges [][2]uint32
+	}{
+		// Single cycle: one big SCC.
+		{4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}}},
+		// Two 2-cycles joined by a one-way edge.
+		{4, [][2]uint32{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}}},
+		// DAG: all singletons.
+		{5, [][2]uint32{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}}},
+		// Self loops and isolated vertices.
+		{3, [][2]uint32{{0, 0}}},
+		// Nested: cycle with a tail in and a tail out.
+		{6, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 5}}},
+	}
+	for i, c := range cases {
+		g := buildGraph(c.n, c.edges)
+		gt := Transpose(g, SemisortIEq)
+		comp := SCC(g, gt)
+		checkSCC(t, g, comp)
+		_ = i
+	}
+}
+
+func TestSCCRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		n := 30 + rng.Intn(120)
+		m := n * (1 + rng.Intn(3))
+		edges := make([][2]uint32, m)
+		for i := range edges {
+			edges[i] = [2]uint32{uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+		}
+		g := buildGraph(n, edges)
+		gt := Transpose(g, SemisortILess)
+		comp := SCC(g, gt)
+		checkSCC(t, g, comp)
+	}
+}
+
+func TestSCCGeneratedGraph(t *testing.T) {
+	g := Generate(800, 4000, PowerLaw, 1.1, 5)
+	gt := Transpose(g, SemisortIEq)
+	comp := SCC(g, gt)
+	// Spot-check pairwise agreement on a sample against the oracle.
+	reach := refSCC(g)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3000; i++ {
+		v, u := rng.Intn(g.N), rng.Intn(g.N)
+		same := reach[v][u] && reach[u][v]
+		if same != (comp[v] == comp[u]) {
+			t.Fatalf("vertices %d,%d disagree with oracle", v, u)
+		}
+	}
+}
+
+func TestSCCDeterministic(t *testing.T) {
+	g := Generate(500, 2500, PowerLaw, 1.0, 7)
+	gt := Transpose(g, SemisortIEq)
+	a := SCC(g, gt)
+	b := SCC(g, gt)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SCC ids not deterministic at vertex %d", i)
+		}
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Path graph 0 -> 1 -> 2 -> 3, plus unreachable vertex 4.
+	g := buildGraph(5, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	d := BFS(g, 0)
+	want := []int32{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d]=%d want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBFSOnGeneratedGraph(t *testing.T) {
+	g := Generate(2000, 16000, NearRegular, 0, 11)
+	d := BFS(g, 0)
+	// Triangle inequality along edges: dist[u] <= dist[v]+1 for v->u.
+	for v := 0; v < g.N; v++ {
+		if d[v] < 0 {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if d[u] < 0 || d[u] > d[v]+1 {
+				t.Fatalf("BFS distance violated on edge %d->%d: %d vs %d", v, u, d[v], d[u])
+			}
+		}
+	}
+}
+
+// TestSCCBackwardEqualsTransposeForward is the paper's motivating identity:
+// backward reachability on g equals forward reachability on g^T.
+func TestSCCBackwardEqualsTransposeForward(t *testing.T) {
+	g := Generate(600, 3000, PowerLaw, 1.2, 13)
+	gt := Transpose(g, SemisortIEq)
+	reach := refSCC(g)
+	src := uint32(5)
+	dist := BFS(gt, src)
+	for v := 0; v < g.N; v++ {
+		backward := reach[v][src] // v reaches src in g
+		if backward != (dist[v] >= 0) {
+			t.Fatalf("vertex %d: backward-reach=%v but transpose-BFS dist %d", v, backward, dist[v])
+		}
+	}
+}

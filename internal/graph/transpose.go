@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"repro/internal/baseline/gssb"
+	"repro/internal/baseline/ipradix"
+	"repro/internal/baseline/ips4"
+	"repro/internal/baseline/radix"
+	"repro/internal/baseline/samplesort"
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+)
+
+// Transposing a CSR graph is exactly semisorting its edge list by the
+// destination endpoint (Section 5.3): after grouping edges (dst, src) by
+// dst, the sources of each group are the out-neighbors of dst in G^T.
+// Because the semisort is stable, the transpose preserves the ordering of
+// the first endpoint within each group, matching what Ligra/GBBS get from
+// stable comparison sorts.
+
+// Method selects the grouping algorithm used by Transpose.
+type Method int
+
+const (
+	// SemisortIEq groups with semisort-i= (identity hash) — "Ours-i=".
+	SemisortIEq Method = iota
+	// SemisortILess groups with semisort-i< — "Ours-i<".
+	SemisortILess
+	// SampleSort groups with the PLSS-analogue comparison sort.
+	SampleSort
+	// IPS4 groups with the IPS4o-analogue in-place samplesort.
+	IPS4
+	// RadixSort groups with the PLIS-analogue stable integer sort.
+	RadixSort
+	// GSSB groups with the 2015 semisort baseline.
+	GSSB
+	// IPRadix groups with the RegionsSort-analogue in-place radix sort.
+	IPRadix
+	// IPRadixSkip groups with the IPS2Ra-analogue (prefix-skipping) sort.
+	IPRadixSkip
+)
+
+func (m Method) String() string {
+	switch m {
+	case SemisortIEq:
+		return "Ours-i="
+	case SemisortILess:
+		return "Ours-i<"
+	case SampleSort:
+		return "PLSS"
+	case IPS4:
+		return "IPS4o"
+	case RadixSort:
+		return "PLIS"
+	case GSSB:
+		return "GSSB"
+	case IPRadix:
+		return "RS"
+	case IPRadixSkip:
+		return "IPS2Ra"
+	}
+	return "?"
+}
+
+// Methods lists every transpose method, in Table 4 column order.
+func Methods() []Method {
+	return []Method{SemisortIEq, SemisortILess, SampleSort, IPS4, RadixSort, GSSB, IPRadix, IPRadixSkip}
+}
+
+// Transpose returns G^T, grouping the reversed edge list with the given
+// method. Vertex ids are 32-bit, as in the paper's graphs.
+func Transpose(g *CSR, m Method) *CSR {
+	// Reversed edge list: key = original destination, value = source.
+	rev := make([]Edge, g.M())
+	parallel.For(g.N, 256, func(v int) {
+		off := g.Offsets[v]
+		for i, u := range g.Neighbors(v) {
+			rev[off+int64(i)] = Edge{Src: u, Dst: uint32(v)}
+		}
+	})
+	GroupEdges(rev, m)
+	return FromEdges(g.N, rev)
+}
+
+// GroupEdges groups the edge list by Src in place using the given method.
+// It is the kernel that Table 4 times.
+func GroupEdges(edges []Edge, m Method) {
+	key := func(e Edge) uint32 { return e.Src }
+	switch m {
+	case SemisortIEq:
+		core.SortEq(edges, key,
+			func(k uint32) uint64 { return uint64(k) },
+			func(a, b uint32) bool { return a == b }, core.Config{})
+	case SemisortILess:
+		core.SortLess(edges, key,
+			func(k uint32) uint64 { return uint64(k) },
+			func(a, b uint32) bool { return a < b }, core.Config{})
+	case SampleSort:
+		samplesort.Sort(edges, func(a, b Edge) bool { return a.Src < b.Src })
+	case IPS4:
+		ips4.Sort(edges, func(a, b Edge) bool { return a.Src < b.Src })
+	case RadixSort:
+		radix.Sort(edges, radix.U32(key))
+	case GSSB:
+		// GSSB wants hashed keys; hash the 32-bit vertex id (collisions in
+		// 64 bits are negligible for these sizes, matching the paper's
+		// usage of GSSB without collision resolution).
+		gssb.Sort(edges, func(e Edge) uint64 { return hashutil.Mix64(uint64(e.Src)) })
+	case IPRadix:
+		ipradix.Sort(edges, edgeDigits())
+	case IPRadixSkip:
+		ipradix.SortSkip(edges, edgeDigits())
+	}
+}
+
+func edgeDigits() ipradix.Digits[Edge] {
+	return ipradix.Digits[Edge]{
+		At:     func(e Edge, level int) uint8 { return uint8(e.Src >> (24 - 8*level)) },
+		Levels: 4,
+		Less:   func(a, b Edge) bool { return a.Src < b.Src },
+	}
+}

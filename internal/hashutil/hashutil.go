@@ -1,0 +1,102 @@
+// Package hashutil provides the seeded hash families used as the "user hash
+// function" h : K -> [0, n^kappa] required by the semisort interface, plus a
+// small deterministic PRNG (splitmix64) used for sampling. Everything is
+// pure and allocation-free so it can sit on the hot path of the algorithms.
+package hashutil
+
+import "math/bits"
+
+// Mix64 is the splitmix64 finalizer: a strong, invertible mixing of a 64-bit
+// value. It is the default user hash function for integer keys.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix128 hashes a 128-bit key (hi, lo) to 64 bits by mixing the halves with
+// distinct odd multipliers before a final splitmix64 finalization.
+func Mix128(hi, lo uint64) uint64 {
+	return Mix64(hi*0x9ddfea08eb382d69 ^ Mix64(lo))
+}
+
+// Seeded returns a member of a hash family indexed by seed. Different seeds
+// give (empirically) independent functions, which the algorithms use to
+// remix exhausted hash bits at deep recursion levels.
+func Seeded(x, seed uint64) uint64 {
+	return Mix64(x ^ (seed * 0xff51afd7ed558ccd))
+}
+
+// String hashes a string with a 64-bit FNV-1a core followed by a splitmix64
+// finalization (plain FNV-1a has weak high bits, which matters because the
+// semisort light buckets consume specific bit windows of the hash).
+func String(s string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return Mix64(h)
+}
+
+// Bytes is String for byte slices.
+func Bytes(b []byte) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime
+	}
+	return Mix64(h)
+}
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; use NewRNG to seed it explicitly. It is not safe
+// for concurrent use; the algorithms give each task its own stream derived
+// deterministically from (seed, task path) so results never depend on
+// scheduling.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) RNG { return RNG{state: seed} }
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+// It uses the multiply-shift range reduction, which is unbiased enough for
+// sampling purposes and much cheaper than rejection.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("hashutil: Intn with non-positive n")
+	}
+	hi, _ := bits.Mul64(r.Next(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Fork returns a new independent generator derived from this one and a
+// stream id. Forked streams are deterministic functions of (seed, id).
+func (r *RNG) Fork(id uint64) RNG {
+	return RNG{state: Mix64(r.state ^ Mix64(id+0x632be59bd9b4e019))}
+}

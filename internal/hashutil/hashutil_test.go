@@ -1,0 +1,156 @@
+package hashutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(12345) != Mix64(12345) {
+		t.Fatal("Mix64 is not a function")
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("suspicious collision on adjacent inputs")
+	}
+}
+
+// TestMix64Bijective exploits that splitmix64's finalizer is invertible:
+// no two distinct inputs in a window may collide.
+func TestMix64Bijective(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for x := uint64(0); x < 1<<16; x++ {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", x, prev)
+		}
+		seen[h] = x
+	}
+}
+
+// TestMix64LowBits checks that consecutive integers spread across low-bit
+// buckets (the semisort light-bucket requirement).
+func TestMix64LowBits(t *testing.T) {
+	const buckets = 64
+	var counts [buckets]int
+	const n = 64 * 1024
+	for x := uint64(0); x < n; x++ {
+		counts[Mix64(x)&(buckets-1)]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d has %d of %d expected", b, c, want)
+		}
+	}
+}
+
+func TestSeededFamiliesDiffer(t *testing.T) {
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if Seeded(x, 1) == Seeded(x, 2) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between seed-1 and seed-2 families", same)
+	}
+}
+
+func TestStringHashing(t *testing.T) {
+	if String("abc") == String("abd") {
+		t.Fatal("adjacent strings collide")
+	}
+	if String("abc") != Bytes([]byte("abc")) {
+		t.Fatal("String and Bytes disagree")
+	}
+	if String("") == String("a") {
+		t.Fatal("empty string collides with 'a'")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed RNGs diverge")
+		}
+	}
+	c := NewRNG(8)
+	if d := NewRNG(7); d.Next() == c.Next() {
+		t.Fatal("different seeds agree on first draw")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	rng := NewRNG(3)
+	for _, n := range []int{1, 2, 7, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := rng.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	rng := NewRNG(11)
+	const buckets = 10
+	const draws = 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[rng.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		if c < draws/buckets*8/10 || c > draws/buckets*12/10 {
+			t.Fatalf("Intn bucket %d has %d of ~%d", b, c, draws/buckets)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := rng.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base := NewRNG(5)
+	f1 := base.Fork(1)
+	f2 := base.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Next() == f2.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams agree on %d of 100 draws", same)
+	}
+	// Forking must be a pure function of (state, id).
+	g1 := base.Fork(1)
+	h1 := base.Fork(1)
+	if g1.Next() != h1.Next() {
+		t.Fatal("Fork is not deterministic")
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rng := NewRNG(1)
+	rng.Intn(0)
+}

@@ -1,0 +1,93 @@
+package ngram
+
+import (
+	"sort"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// Model is a next-word suggestion model built from n-gram records — the
+// use case the paper names for semisorting n-grams ("identify all possible
+// words after a given context, and provide recommendations for text
+// inputs"). Construction is one collect-reduce over the records: for every
+// context (key) it accumulates the successor histogram, then keeps the
+// TopK most frequent successors.
+type Model struct {
+	topK int
+	next map[string][]Suggestion
+}
+
+// Suggestion is one predicted word with its observed count.
+type Suggestion struct {
+	Word  string
+	Count int
+}
+
+// BuildModel constructs a Model from n-gram records, keeping at most topK
+// suggestions per context.
+func BuildModel(recs []Record, topK int) *Model {
+	if topK < 1 {
+		topK = 1
+	}
+	// Collect-reduce with a small-histogram monoid: each record maps to a
+	// singleton count map and maps merge associatively. Stability is not
+	// needed here (the monoid is commutative), but determinism of the
+	// output order is inherited from the semisort framework.
+	kvs := collect.Reduce(recs, collect.Reducer[Record, string, map[string]int]{
+		Key:  func(r Record) string { return r.Key },
+		Hash: hashutil.String,
+		Eq:   func(a, b string) bool { return a == b },
+		Map: func(r Record) map[string]int {
+			return map[string]int{r.Value: 1}
+		},
+		Combine: func(a, b map[string]int) map[string]int {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			if len(a) < len(b) {
+				a, b = b, a
+			}
+			for w, c := range b {
+				a[w] += c
+			}
+			return a
+		},
+		Identity: nil,
+	}, core.Config{})
+
+	m := &Model{topK: topK, next: make(map[string][]Suggestion, len(kvs))}
+	for _, kv := range kvs {
+		sugg := make([]Suggestion, 0, len(kv.Value))
+		for w, c := range kv.Value {
+			sugg = append(sugg, Suggestion{Word: w, Count: c})
+		}
+		// Rank by count, ties alphabetically, so the model is a pure
+		// function of the corpus.
+		sort.Slice(sugg, func(i, j int) bool {
+			if sugg[i].Count != sugg[j].Count {
+				return sugg[i].Count > sugg[j].Count
+			}
+			return sugg[i].Word < sugg[j].Word
+		})
+		if len(sugg) > topK {
+			sugg = sugg[:topK]
+		}
+		m.next[kv.Key] = sugg
+	}
+	return m
+}
+
+// Suggest returns up to topK successors of the context, most frequent
+// first. The context is the space-joined (n-1)-word prefix used at build
+// time.
+func (m *Model) Suggest(context string) []Suggestion {
+	return m.next[context]
+}
+
+// Contexts returns the number of distinct contexts in the model.
+func (m *Model) Contexts() int { return len(m.next) }

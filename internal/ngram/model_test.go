@@ -1,0 +1,110 @@
+package ngram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildModelHandCorpus(t *testing.T) {
+	text := "the cat sat the cat ran the dog sat the cat sat"
+	recs := Extract(Tokenize(text), 2)
+	m := BuildModel(recs, 2)
+	if m.Contexts() == 0 {
+		t.Fatal("empty model")
+	}
+	// "the" is followed by cat(3), dog(1); topK=2 keeps both, cat first.
+	got := m.Suggest("the")
+	if len(got) != 2 || got[0].Word != "cat" || got[0].Count != 3 || got[1].Word != "dog" {
+		t.Fatalf("suggestions for 'the': %v", got)
+	}
+	// "cat" is followed by sat(2), ran(1).
+	got = m.Suggest("cat")
+	if len(got) != 2 || got[0].Word != "sat" || got[0].Count != 2 {
+		t.Fatalf("suggestions for 'cat': %v", got)
+	}
+	if s := m.Suggest("unknown"); s != nil {
+		t.Fatalf("unknown context suggested %v", s)
+	}
+}
+
+func TestBuildModelTopKTruncation(t *testing.T) {
+	var sb strings.Builder
+	// Context "x" followed by 10 distinct words with distinct counts.
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			sb.WriteString("x w")
+			sb.WriteByte(byte('a' + i))
+			sb.WriteString(" ")
+		}
+	}
+	recs := Extract(Tokenize(sb.String()), 2)
+	m := BuildModel(recs, 3)
+	got := m.Suggest("x")
+	if len(got) != 3 {
+		t.Fatalf("topK=3 returned %d suggestions", len(got))
+	}
+	if got[0].Word != "wj" || got[0].Count != 10 {
+		t.Fatalf("top suggestion %v, want wj x10", got[0])
+	}
+	if got[0].Count < got[1].Count || got[1].Count < got[2].Count {
+		t.Fatalf("suggestions not sorted: %v", got)
+	}
+}
+
+func TestBuildModelTrigrams(t *testing.T) {
+	text := "a b c a b d a b c a b c"
+	recs := Extract(Tokenize(text), 3)
+	m := BuildModel(recs, 5)
+	got := m.Suggest("a b")
+	if len(got) != 2 || got[0].Word != "c" || got[0].Count != 3 || got[1].Word != "d" || got[1].Count != 1 {
+		t.Fatalf("suggestions for 'a b': %v", got)
+	}
+}
+
+func TestBuildModelMatchesDirectCounts(t *testing.T) {
+	v := NewVocabulary(200)
+	recs := Extract(Tokenize(GenerateText(v, 20000, 1.0, 3)), 2)
+	m := BuildModel(recs, 1<<30)
+	want := map[string]map[string]int{}
+	for _, r := range recs {
+		if want[r.Key] == nil {
+			want[r.Key] = map[string]int{}
+		}
+		want[r.Key][r.Value]++
+	}
+	if m.Contexts() != len(want) {
+		t.Fatalf("contexts %d want %d", m.Contexts(), len(want))
+	}
+	for ctx, succ := range want {
+		got := m.Suggest(ctx)
+		if len(got) != len(succ) {
+			t.Fatalf("context %q: %d successors want %d", ctx, len(got), len(succ))
+		}
+		for _, s := range got {
+			if succ[s.Word] != s.Count {
+				t.Fatalf("context %q successor %q: count %d want %d", ctx, s.Word, s.Count, succ[s.Word])
+			}
+		}
+	}
+}
+
+func TestBuildModelDeterministic(t *testing.T) {
+	v := NewVocabulary(100)
+	recs := Extract(Tokenize(GenerateText(v, 5000, 1.2, 9)), 2)
+	a := BuildModel(recs, 3)
+	b := BuildModel(recs, 3)
+	if a.Contexts() != b.Contexts() {
+		t.Fatal("context count differs")
+	}
+	for ctx := range a.next {
+		ga, gb := a.Suggest(ctx), b.Suggest(ctx)
+		if len(ga) != len(gb) {
+			t.Fatalf("context %q suggestion count differs", ctx)
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("context %q suggestion %d differs: %v vs %v", ctx, i, ga[i], gb[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package ngram provides the text substrate for the paper's second
+// application (Section 5.3): semisorting n-grams. It includes a synthetic
+// corpus generator whose word frequencies follow a Zipfian law (the
+// empirical distribution of English; the paper's Wikipedia dataset is not
+// redistributable — see DESIGN.md), the cleaning/tokenization the paper
+// describes (lowercase alphabetic words), n-gram extraction (first n-1
+// words are the key, the last word is the value), and grouping kernels
+// based on semisort and the comparison-sort baselines.
+package ngram
+
+import (
+	"strings"
+
+	"repro/internal/baseline/ips4"
+	"repro/internal/baseline/samplesort"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+)
+
+// Record is one n-gram: the first n-1 words joined with spaces as the key
+// and the final word as the value.
+type Record struct {
+	Key   string
+	Value string
+}
+
+// Vocabulary is a deterministic synthetic vocabulary: word i is a short
+// lowercase alphabetic string, unique per id.
+type Vocabulary struct {
+	words []string
+}
+
+// NewVocabulary builds size distinct words.
+func NewVocabulary(size int) *Vocabulary {
+	v := &Vocabulary{words: make([]string, size)}
+	parallel.For(size, 1024, func(i int) {
+		v.words[i] = wordFor(i)
+	})
+	return v
+}
+
+// wordFor encodes an id in base 26 over 'a'..'z', low digit first, always
+// at least 3 letters so the words look plausible.
+func wordFor(id int) string {
+	var b [16]byte
+	n := 0
+	x := id
+	for x > 0 || n < 3 {
+		b[n] = byte('a' + x%26)
+		x /= 26
+		n++
+	}
+	return string(b[:n])
+}
+
+// Word returns word i.
+func (v *Vocabulary) Word(i int) string { return v.words[i%len(v.words)] }
+
+// Size returns the vocabulary size.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// GenerateText produces a corpus of nWords words drawn Zipfian(s) from the
+// vocabulary, separated by spaces with occasional punctuation and mixed
+// case so the cleaning step has something to do.
+func GenerateText(v *Vocabulary, nWords int, s float64, seed uint64) string {
+	ranks := dist.Keys64(nWords, dist.Spec{Kind: dist.Zipfian, Param: s}, seed)
+	var sb strings.Builder
+	rng := hashutil.NewRNG(seed ^ 0x7777)
+	for i, r := range ranks {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		w := v.Word(int(r - 1))
+		switch rng.Intn(16) {
+		case 0:
+			sb.WriteString(strings.ToUpper(w[:1]) + w[1:])
+		case 1:
+			sb.WriteString(w + ",")
+		case 2:
+			sb.WriteString(w + ".")
+		default:
+			sb.WriteString(w)
+		}
+	}
+	return sb.String()
+}
+
+// Tokenize cleans text the way the paper describes: keep only alphabetic
+// characters, lowercase them, and split on everything else.
+func Tokenize(text string) []string {
+	words := make([]string, 0, len(text)/5)
+	var cur []byte
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			cur = append(cur, c)
+		case c >= 'A' && c <= 'Z':
+			cur = append(cur, c-'A'+'a')
+		default:
+			if len(cur) > 0 {
+				words = append(words, string(cur))
+				cur = nil
+			}
+		}
+	}
+	if len(cur) > 0 {
+		words = append(words, string(cur))
+	}
+	return words
+}
+
+// Extract builds the n-gram records of a token stream: for each window of
+// n consecutive words, the first n-1 joined by single spaces form the key
+// and the last word is the value.
+func Extract(words []string, n int) []Record {
+	if len(words) < n || n < 2 {
+		return nil
+	}
+	recs := make([]Record, len(words)-n+1)
+	parallel.For(len(recs), 1024, func(i int) {
+		recs[i] = Record{
+			Key:   strings.Join(words[i:i+n-1], " "),
+			Value: words[i+n-1],
+		}
+	})
+	return recs
+}
+
+// Method selects the grouping algorithm (the any-type algorithms of
+// Table 5; the integer-only baselines cannot sort string keys).
+type Method int
+
+const (
+	// SemisortEq is "Ours=": string keys, hash computed on the fly.
+	SemisortEq Method = iota
+	// SemisortLess is "Ours<".
+	SemisortLess
+	// SampleSort is the PLSS analogue.
+	SampleSort
+	// IPS4 is the IPS4o analogue.
+	IPS4
+)
+
+func (m Method) String() string {
+	switch m {
+	case SemisortEq:
+		return "Ours="
+	case SemisortLess:
+		return "Ours<"
+	case SampleSort:
+		return "PLSS"
+	case IPS4:
+		return "IPS4o"
+	}
+	return "?"
+}
+
+// Methods lists the grouping methods in Table 5 column order.
+func Methods() []Method { return []Method{SemisortEq, SemisortLess, SampleSort, IPS4} }
+
+// Group reorders recs in place so records with equal keys are contiguous.
+// This is the kernel Table 5 times; hash values of the string keys are
+// computed on the fly, as the paper notes its implementation does.
+func Group(recs []Record, m Method) {
+	key := func(r Record) string { return r.Key }
+	switch m {
+	case SemisortEq:
+		core.SortEq(recs, key, hashutil.String,
+			func(a, b string) bool { return a == b }, core.Config{})
+	case SemisortLess:
+		core.SortLess(recs, key, hashutil.String,
+			func(a, b string) bool { return a < b }, core.Config{})
+	case SampleSort:
+		samplesort.Sort(recs, func(a, b Record) bool { return a.Key < b.Key })
+	case IPS4:
+		ips4.Sort(recs, func(a, b Record) bool { return a.Key < b.Key })
+	}
+}
+
+// Stats reports Table 5's skew statistics for a set of n-gram records.
+func Stats(recs []Record, heavyCut int) dist.Stats {
+	counts := make(map[string]int, 1024)
+	for _, r := range recs {
+		counts[r.Key]++
+	}
+	st := dist.Stats{Distinct: len(counts)}
+	heavy := 0
+	for _, c := range counts {
+		if c > st.MaxFreq {
+			st.MaxFreq = c
+		}
+		if c > heavyCut {
+			heavy += c
+		}
+	}
+	if len(recs) > 0 {
+		st.HeavyFrac = float64(heavy) / float64(len(recs))
+	}
+	return st
+}

@@ -1,0 +1,158 @@
+package ngram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The quick, brown FOX!  jumps-over 42 dogs.")
+	want := []string{"the", "quick", "brown", "fox", "jumps", "over", "dogs"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	if out := Tokenize(""); len(out) != 0 {
+		t.Fatalf("empty text gave tokens %v", out)
+	}
+	if out := Tokenize("12 34 !!"); len(out) != 0 {
+		t.Fatalf("non-alphabetic text gave tokens %v", out)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	words := []string{"a", "b", "c", "d"}
+	bi := Extract(words, 2)
+	if len(bi) != 3 || bi[0] != (Record{"a", "b"}) || bi[2] != (Record{"c", "d"}) {
+		t.Fatalf("bigrams wrong: %v", bi)
+	}
+	tri := Extract(words, 3)
+	if len(tri) != 2 || tri[0] != (Record{"a b", "c"}) || tri[1] != (Record{"b c", "d"}) {
+		t.Fatalf("trigrams wrong: %v", tri)
+	}
+	if out := Extract(words, 5); out != nil {
+		t.Fatalf("n > len(words) must give nil, got %v", out)
+	}
+	if out := Extract(words, 1); out != nil {
+		t.Fatalf("n < 2 must give nil, got %v", out)
+	}
+}
+
+func TestVocabularyDistinct(t *testing.T) {
+	v := NewVocabulary(5000)
+	seen := map[string]bool{}
+	for i := 0; i < v.Size(); i++ {
+		w := v.Word(i)
+		if seen[w] {
+			t.Fatalf("duplicate word %q at %d", w, i)
+		}
+		seen[w] = true
+		for _, c := range w {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("word %q not lowercase alphabetic", w)
+			}
+		}
+		if len(w) < 3 {
+			t.Fatalf("word %q too short", w)
+		}
+	}
+}
+
+func TestGenerateTextZipfian(t *testing.T) {
+	v := NewVocabulary(1000)
+	text := GenerateText(v, 50000, 1.0, 3)
+	words := Tokenize(text)
+	if len(words) != 50000 {
+		t.Fatalf("tokenized %d words, want 50000", len(words))
+	}
+	counts := map[string]int{}
+	for _, w := range words {
+		counts[w]++
+	}
+	// The top word should dominate: Zipf(1) over 50k draws gives the top
+	// rank several thousand occurrences.
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if top < 2000 {
+		t.Fatalf("top word frequency %d suspiciously low for Zipf-1", top)
+	}
+}
+
+func refGroups(recs []Record) map[string]int {
+	m := map[string]int{}
+	for _, r := range recs {
+		m[r.Key]++
+	}
+	return m
+}
+
+func TestGroupAllMethods(t *testing.T) {
+	v := NewVocabulary(500)
+	text := GenerateText(v, 30000, 1.0, 5)
+	base := Extract(Tokenize(text), 2)
+	want := refGroups(base)
+	for _, m := range Methods() {
+		recs := append([]Record(nil), base...)
+		Group(recs, m)
+		if len(recs) != len(base) {
+			t.Fatalf("%s: record count changed", m)
+		}
+		got := map[string]int{}
+		closed := map[string]bool{}
+		for i, r := range recs {
+			got[r.Key]++
+			if i > 0 && recs[i-1].Key != r.Key {
+				closed[recs[i-1].Key] = true
+				if closed[r.Key] {
+					t.Fatalf("%s: key %q not contiguous at %d", m, r.Key, i)
+				}
+			}
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("%s: key %q count %d want %d", m, k, got[k], c)
+			}
+		}
+	}
+}
+
+// TestGroupStability: the semisort methods are stable, so the values of a
+// key must keep corpus order (this is what makes "suggestions in corpus
+// order" work in the example).
+func TestGroupStability(t *testing.T) {
+	recs := []Record{
+		{"to", "be"}, {"or", "not"}, {"to", "morrow"}, {"or", "else"}, {"to", "day"},
+	}
+	for _, m := range []Method{SemisortEq, SemisortLess} {
+		got := append([]Record(nil), recs...)
+		Group(got, m)
+		var toVals []string
+		for _, r := range got {
+			if r.Key == "to" {
+				toVals = append(toVals, r.Value)
+			}
+		}
+		if strings.Join(toVals, " ") != "be morrow day" {
+			t.Fatalf("%s: values of 'to' out of order: %v", m, toVals)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	recs := []Record{{"a", "x"}, {"a", "y"}, {"b", "z"}}
+	st := Stats(recs, 1)
+	if st.Distinct != 2 || st.MaxFreq != 2 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.HeavyFrac <= 0.6 || st.HeavyFrac >= 0.7 {
+		t.Fatalf("heavy fraction %g want 2/3", st.HeavyFrac)
+	}
+}

@@ -1,0 +1,149 @@
+// Package parallel provides fork-join parallel primitives in the style of
+// the work-span model used by the paper (parallel_for over index ranges,
+// parallel reduce, and exclusive scan). All primitives are deterministic in
+// their results: parallelism only affects scheduling, never output values.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultGrain is the sequential grain size used when a caller passes a
+// non-positive grain. It is chosen so that per-task scheduling overhead is
+// amortized over enough work for cheap loop bodies.
+const DefaultGrain = 2048
+
+// Workers reports the current parallelism level (GOMAXPROCS).
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// SetWorkers sets GOMAXPROCS and returns the previous value. It is used by
+// the benchmark harness to reproduce the paper's thread-scaling experiments.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return runtime.GOMAXPROCS(n)
+}
+
+// Do runs the given functions in parallel and waits for all of them.
+// It is the binary (well, k-ary) fork primitive of the work-span model.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// For runs body(i) for every i in [0, n) in parallel. Consecutive indices
+// within a grain-sized chunk run sequentially on one goroutine.
+func For(n, grain int, body func(i int)) {
+	ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange splits [0, n) into chunks of at most grain indices and runs
+// body(lo, hi) on the chunks in parallel. Recursion is divide-and-conquer so
+// the span of the spawn tree is logarithmic in the number of chunks.
+func ForRange(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	forRange(0, n, grain, body)
+}
+
+func forRange(lo, hi, grain int, body func(lo, hi int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func(mid, hi int) {
+			defer wg.Done()
+			forRange(mid, hi, grain, body)
+		}(mid, hi)
+		hi = mid
+		defer wg.Wait()
+	}
+	body(lo, hi)
+}
+
+// Blocks splits [0, n) into nBlocks nearly equal contiguous blocks and runs
+// body(b, lo, hi) for each block b in parallel. Block b covers [lo, hi).
+// It matches the paper's "process all subarrays in parallel" step.
+func Blocks(n, nBlocks int, body func(b, lo, hi int)) {
+	if n <= 0 || nBlocks <= 0 {
+		return
+	}
+	if nBlocks > n {
+		nBlocks = n
+	}
+	For(nBlocks, 1, func(b int) {
+		lo, hi := BlockRange(n, nBlocks, b)
+		body(b, lo, hi)
+	})
+}
+
+// BlockRange returns the half-open range [lo, hi) of block b when [0, n) is
+// split into nBlocks nearly equal contiguous blocks.
+func BlockRange(n, nBlocks, b int) (lo, hi int) {
+	q, r := n/nBlocks, n%nBlocks
+	lo = b*q + min(b, r)
+	hi = lo + q
+	if b < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// Reduce computes comb over mapf(i) for all i in [0, n) in parallel.
+// comb must be associative and id its identity; the combination order is
+// deterministic (a fixed reduction tree), so non-commutative monoids work.
+func Reduce[T any](n, grain int, id T, mapf func(i int) T, comb func(T, T) T) T {
+	if n <= 0 {
+		return id
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	return reduce(0, n, grain, id, mapf, comb)
+}
+
+func reduce[T any](lo, hi, grain int, id T, mapf func(i int) T, comb func(T, T) T) T {
+	if hi-lo <= grain {
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = comb(acc, mapf(i))
+		}
+		return acc
+	}
+	mid := lo + (hi-lo)/2
+	var right T
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		right = reduce(mid, hi, grain, id, mapf, comb)
+	}()
+	left := reduce(lo, mid, grain, id, mapf, comb)
+	wg.Wait()
+	return comb(left, right)
+}

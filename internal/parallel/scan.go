@@ -1,0 +1,116 @@
+package parallel
+
+// Integer is the constraint for scan/pack index arithmetic.
+type Integer interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64
+}
+
+// scanSeqThreshold is the size below which an exclusive scan runs
+// sequentially; a two-pass parallel scan only pays off for large arrays.
+const scanSeqThreshold = 1 << 15
+
+// ScanExclusive replaces a with its exclusive prefix sums and returns the
+// total. a[i] becomes a[0]+...+a[i-1]; the return value is the full sum.
+func ScanExclusive[T Integer](a []T) T {
+	n := len(a)
+	if n < scanSeqThreshold {
+		var sum T
+		for i := range a {
+			v := a[i]
+			a[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	nBlocks := 4 * Workers()
+	if nBlocks > n {
+		nBlocks = n
+	}
+	sums := make([]T, nBlocks)
+	Blocks(n, nBlocks, func(b, lo, hi int) {
+		var s T
+		for i := lo; i < hi; i++ {
+			s += a[i]
+		}
+		sums[b] = s
+	})
+	var total T
+	for b := range sums {
+		v := sums[b]
+		sums[b] = total
+		total += v
+	}
+	Blocks(n, nBlocks, func(b, lo, hi int) {
+		s := sums[b]
+		for i := lo; i < hi; i++ {
+			v := a[i]
+			a[i] = s
+			s += v
+		}
+	})
+	return total
+}
+
+// ScanInclusive replaces a with its inclusive prefix sums and returns the
+// total (equal to the final element for non-empty input).
+func ScanInclusive[T Integer](a []T) T {
+	total := ScanExclusive(a)
+	n := len(a)
+	For(n, 0, func(i int) {
+		if i+1 < n {
+			a[i] = a[i+1]
+		} else {
+			a[i] = total
+		}
+	})
+	return total
+}
+
+// Pack copies the elements of src whose flag is true into a fresh slice,
+// preserving order. It is the standard parallel filter primitive.
+func Pack[T any](src []T, keep func(i int) bool) []T {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	nBlocks := 8 * Workers()
+	if nBlocks > n {
+		nBlocks = n
+	}
+	counts := make([]int, nBlocks)
+	Blocks(n, nBlocks, func(b, lo, hi int) {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	total := ScanExclusive(counts)
+	out := make([]T, total)
+	Blocks(n, nBlocks, func(b, lo, hi int) {
+		w := counts[b]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[w] = src[i]
+				w++
+			}
+		}
+	})
+	return out
+}
+
+// MapInto fills dst[i] = f(i) for all i in parallel. dst and the domain of f
+// must have the same length.
+func MapInto[T any](dst []T, f func(i int) T) {
+	For(len(dst), 0, func(i int) { dst[i] = f(i) })
+}
+
+// Copy copies src into dst in parallel. Slices must have equal length and
+// must not overlap.
+func Copy[T any](dst, src []T) {
+	ForRange(len(src), 1<<16, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}

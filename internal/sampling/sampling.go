@@ -1,0 +1,156 @@
+// Package sampling implements the Sampling and Bucketing step shared by
+// semisort, histogram, and collect-reduce (Alg. 1 lines 2-10): draw a
+// random sample S of the records, count per-key occurrences, and promote
+// keys with at least `Thresh` sample hits to dedicated heavy buckets. The
+// resulting heavy table H maps heavy keys to bucket ids and is immutable
+// after construction, so it is read concurrently without synchronization.
+package sampling
+
+import (
+	"math/bits"
+
+	"repro/internal/hashutil"
+)
+
+// Params configures one sampling round.
+type Params struct {
+	// SampleSize is |S|; it is clamped to the input length.
+	SampleSize int
+	// Thresh is the number of sample occurrences that makes a key heavy
+	// (the paper uses log2 n).
+	Thresh int
+	// IDBase is the bucket id assigned to the first heavy key; subsequent
+	// heavy keys get consecutive ids (the paper uses IDBase = n_L).
+	IDBase int
+}
+
+// HeavyTable is the paper's heavy table H. Keys are stored with their user
+// hash for fast probing; Order lists the heavy keys by bucket id (Order[i]
+// has id IDBase+i), which collect-reduce uses to emit heavy results.
+type HeavyTable[K any] struct {
+	hashes []uint64
+	keys   []K
+	ids    []int32
+	used   []bool
+	mask   uint64
+
+	// NH is the number of heavy keys.
+	NH int
+	// Order holds the heavy keys in bucket-id order.
+	Order []K
+}
+
+// Lookup returns the heavy bucket id of key k (whose user hash is h), or -1
+// if k is light.
+func (t *HeavyTable[K]) Lookup(h uint64, k K, eq func(K, K) bool) int32 {
+	i := h & t.mask
+	for {
+		if !t.used[i] {
+			return -1
+		}
+		if t.hashes[i] == h && eq(t.keys[i], k) {
+			return t.ids[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
+	i := h & t.mask
+	for t.used[i] {
+		i = (i + 1) & t.mask
+	}
+	t.used[i] = true
+	t.hashes[i] = h
+	t.keys[i] = k
+	t.ids[i] = id
+}
+
+// Build runs one sampling round over a and returns the heavy table, or nil
+// when no key is heavy. Heavy ids are assigned in first-sampled order, so
+// the result is a pure function of (a, p, rng state), never of scheduling.
+func Build[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
+	n := len(a)
+	m := p.SampleSize
+	if m > n {
+		m = n
+	}
+	if m < p.Thresh || m <= 0 {
+		return nil
+	}
+
+	// Count sampled keys in a small open-addressing multiset; order keeps
+	// slots in first-insertion order for deterministic id assignment.
+	tabCap := CeilPow2(2 * m)
+	mask := uint64(tabCap - 1)
+	slotHash := make([]uint64, tabCap)
+	slotRec := make([]int32, tabCap) // index into a of the slot's first record
+	slotCnt := make([]int32, tabCap)
+	order := make([]uint64, 0, 64)
+	for j := 0; j < m; j++ {
+		idx := rng.Intn(n)
+		k := key(a[idx])
+		h := hash(k)
+		i := h & mask
+		for {
+			if slotCnt[i] == 0 {
+				slotHash[i] = h
+				slotRec[i] = int32(idx)
+				slotCnt[i] = 1
+				order = append(order, i)
+				break
+			}
+			if slotHash[i] == h && eq(key(a[slotRec[i]]), k) {
+				slotCnt[i]++
+				break
+			}
+			i = (i + 1) & mask
+		}
+	}
+
+	nH := 0
+	for _, i := range order {
+		if int(slotCnt[i]) >= p.Thresh {
+			nH++
+		}
+	}
+	if nH == 0 {
+		return nil
+	}
+	hCap := CeilPow2(4 * nH)
+	t := &HeavyTable[K]{
+		hashes: make([]uint64, hCap),
+		keys:   make([]K, hCap),
+		ids:    make([]int32, hCap),
+		used:   make([]bool, hCap),
+		mask:   uint64(hCap - 1),
+		NH:     nH,
+		Order:  make([]K, 0, nH),
+	}
+	id := int32(p.IDBase)
+	for _, i := range order {
+		if int(slotCnt[i]) >= p.Thresh {
+			k := key(a[slotRec[i]])
+			t.insert(slotHash[i], k, id)
+			t.Order = append(t.Order, k)
+			id++
+		}
+	}
+	return t
+}
+
+// CeilPow2 returns the smallest power of two >= x (and 1 for x <= 1).
+func CeilPow2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(x-1))
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 2, and 1 otherwise.
+func CeilLog2(x int) int {
+	if x <= 2 {
+		return 1
+	}
+	return bits.Len(uint(x - 1))
+}

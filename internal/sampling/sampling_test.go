@@ -1,0 +1,141 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/hashutil"
+)
+
+func ident(k uint64) uint64  { return k }
+func mix(k uint64) uint64    { return hashutil.Mix64(k) }
+func eqU64(a, b uint64) bool { return a == b }
+
+func TestBuildFindsHeavyKeys(t *testing.T) {
+	// 60% of records are key 7; sampling must promote it.
+	n := 100000
+	a := make([]uint64, n)
+	for i := range a {
+		if i%5 < 3 {
+			a[i] = 7
+		} else {
+			a[i] = uint64(1000 + i)
+		}
+	}
+	rng := hashutil.NewRNG(1)
+	ht := Build(a, ident, mix, eqU64, Params{SampleSize: 2000, Thresh: 17, IDBase: 1024}, &rng)
+	if ht == nil {
+		t.Fatal("no heavy table built despite a 60% key")
+	}
+	id := ht.Lookup(mix(7), 7, eqU64)
+	if id < 1024 {
+		t.Fatalf("key 7 not heavy (id %d)", id)
+	}
+	if got := ht.Lookup(mix(1234567), 1234567, eqU64); got != -1 {
+		t.Fatalf("light key reported heavy with id %d", got)
+	}
+	if len(ht.Order) != ht.NH {
+		t.Fatalf("Order has %d keys, NH=%d", len(ht.Order), ht.NH)
+	}
+	if ht.Order[int(id)-1024] != 7 {
+		t.Fatalf("Order[%d]=%d, want 7", int(id)-1024, ht.Order[int(id)-1024])
+	}
+}
+
+func TestBuildNilWhenNoHeavy(t *testing.T) {
+	// All-distinct keys: no key can reach the threshold.
+	n := 50000
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i)
+	}
+	rng := hashutil.NewRNG(2)
+	if ht := Build(a, ident, mix, eqU64, Params{SampleSize: 1000, Thresh: 16, IDBase: 8}, &rng); ht != nil {
+		t.Fatalf("heavy table with %d keys on all-distinct input", ht.NH)
+	}
+}
+
+func TestBuildDeterministicGivenRNG(t *testing.T) {
+	a := make([]uint64, 30000)
+	for i := range a {
+		a[i] = uint64(i % 5)
+	}
+	r1 := hashutil.NewRNG(3)
+	r2 := hashutil.NewRNG(3)
+	p := Params{SampleSize: 500, Thresh: 10, IDBase: 16}
+	h1 := Build(a, ident, mix, eqU64, p, &r1)
+	h2 := Build(a, ident, mix, eqU64, p, &r2)
+	if h1 == nil || h2 == nil {
+		t.Fatal("expected heavy tables on 5-key input")
+	}
+	if h1.NH != h2.NH {
+		t.Fatalf("NH differs: %d vs %d", h1.NH, h2.NH)
+	}
+	for i := range h1.Order {
+		if h1.Order[i] != h2.Order[i] {
+			t.Fatalf("heavy id order differs at %d", i)
+		}
+	}
+}
+
+func TestBuildIDsConsecutive(t *testing.T) {
+	a := make([]uint64, 40000)
+	for i := range a {
+		a[i] = uint64(i % 3) // three heavy keys
+	}
+	rng := hashutil.NewRNG(4)
+	ht := Build(a, ident, mix, eqU64, Params{SampleSize: 600, Thresh: 20, IDBase: 100}, &rng)
+	if ht == nil || ht.NH != 3 {
+		t.Fatalf("expected 3 heavy keys, got %+v", ht)
+	}
+	seen := map[int32]bool{}
+	for _, k := range ht.Order {
+		id := ht.Lookup(mix(k), k, eqU64)
+		if id < 100 || id >= 103 {
+			t.Fatalf("id %d outside [100,103)", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	rng := hashutil.NewRNG(5)
+	if ht := Build(nil, ident, mix, eqU64, Params{SampleSize: 100, Thresh: 5, IDBase: 4}, &rng); ht != nil {
+		t.Fatal("heavy table on empty input")
+	}
+	one := []uint64{9}
+	if ht := Build(one, ident, mix, eqU64, Params{SampleSize: 100, Thresh: 5, IDBase: 4}, &rng); ht != nil {
+		t.Fatal("heavy table on single record with thresh 5")
+	}
+}
+
+func TestHashCollisionResolvedByEq(t *testing.T) {
+	// A constant hash forces every probe through eq; distinct keys must
+	// still get distinct ids.
+	a := make([]uint64, 10000)
+	for i := range a {
+		a[i] = uint64(i % 2)
+	}
+	rng := hashutil.NewRNG(6)
+	constHash := func(uint64) uint64 { return 99 }
+	ht := Build(a, ident, constHash, eqU64, Params{SampleSize: 400, Thresh: 20, IDBase: 10}, &rng)
+	if ht == nil || ht.NH != 2 {
+		t.Fatalf("want 2 heavy keys under constant hash, got %+v", ht)
+	}
+	id0 := ht.Lookup(99, 0, eqU64)
+	id1 := ht.Lookup(99, 1, eqU64)
+	if id0 == id1 || id0 < 0 || id1 < 0 {
+		t.Fatalf("collision not resolved: ids %d %d", id0, id1)
+	}
+}
+
+func TestCeilHelpers(t *testing.T) {
+	if CeilPow2(0) != 1 || CeilPow2(1) != 1 || CeilPow2(3) != 4 || CeilPow2(1024) != 1024 || CeilPow2(1025) != 2048 {
+		t.Fatal("CeilPow2 broken")
+	}
+	if CeilLog2(1) != 1 || CeilLog2(2) != 1 || CeilLog2(3) != 2 || CeilLog2(1024) != 10 || CeilLog2(1025) != 11 {
+		t.Fatal("CeilLog2 broken")
+	}
+}

@@ -1,0 +1,167 @@
+// Package seqsort provides the sequential sorting kernels shared by the
+// baseline algorithms: an introspective three-way quicksort (good on heavy
+// duplicates), a bottom-up heapsort fallback, insertion sort, and a stable
+// merge sort. All are generic and comparison-based.
+package seqsort
+
+import "math/bits"
+
+// insertionCutoff is the run length below which insertion sort is used.
+const insertionCutoff = 24
+
+// Insertion sorts a by less using insertion sort. It is stable.
+func Insertion[T any](a []T, less func(T, T) bool) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && less(v, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Quick3 sorts a by less with an introspective three-way quicksort:
+// median-of-three pivots, Dutch-flag partitioning (linear on all-equal
+// runs, which semisort workloads are full of), insertion sort below a
+// cutoff, and a heapsort fallback past the depth limit so adversarial
+// inputs stay O(n log n).
+func Quick3[T any](a []T, less func(T, T) bool) {
+	limit := 2 * bits.Len(uint(len(a)))
+	quick3(a, less, limit)
+}
+
+func quick3[T any](a []T, less func(T, T) bool, limit int) {
+	for len(a) > insertionCutoff {
+		if limit == 0 {
+			HeapSort(a, less)
+			return
+		}
+		limit--
+		pivot := median3(a, less)
+		lt, gt := partition3(a, pivot, less)
+		// Recurse on the smaller side, loop on the larger to bound stack.
+		if lt < len(a)-gt {
+			quick3(a[:lt], less, limit)
+			a = a[gt:]
+		} else {
+			quick3(a[gt:], less, limit)
+			a = a[:lt]
+		}
+	}
+	Insertion(a, less)
+}
+
+// median3 returns the median of the first, middle, and last elements.
+func median3[T any](a []T, less func(T, T) bool) T {
+	lo, mid, hi := a[0], a[len(a)/2], a[len(a)-1]
+	if less(mid, lo) {
+		lo, mid = mid, lo
+	}
+	if less(hi, mid) {
+		mid = hi
+		if less(mid, lo) {
+			mid = lo
+		}
+	}
+	return mid
+}
+
+// partition3 performs Dutch-flag partitioning around pivot: on return,
+// a[:lt] < pivot, a[lt:gt] == pivot, a[gt:] > pivot.
+func partition3[T any](a []T, pivot T, less func(T, T) bool) (lt, gt int) {
+	lt, gt = 0, len(a)
+	i := 0
+	for i < gt {
+		switch {
+		case less(a[i], pivot):
+			a[i], a[lt] = a[lt], a[i]
+			lt++
+			i++
+		case less(pivot, a[i]):
+			gt--
+			a[i], a[gt] = a[gt], a[i]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+// HeapSort sorts a by less; it is the introsort fallback.
+func HeapSort[T any](a []T, less func(T, T) bool) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end, less)
+	}
+}
+
+func siftDown[T any](a []T, root, end int, less func(T, T) bool) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && less(a[child], a[child+1]) {
+			child++
+		}
+		if !less(a[root], a[child]) {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// MergeStable sorts a by less stably, using tmp (len(tmp) >= len(a)) as
+// scratch. Ties keep their input order.
+func MergeStable[T any](a, tmp []T, less func(T, T) bool) {
+	n := len(a)
+	if n <= insertionCutoff {
+		Insertion(a, less)
+		return
+	}
+	m := n / 2
+	MergeStable(a[:m], tmp[:m], less)
+	MergeStable(a[m:], tmp[m:], less)
+	if !less(a[m], a[m-1]) {
+		return
+	}
+	copy(tmp[:n], a)
+	i, j, w := 0, m, 0
+	for i < m && j < n {
+		if less(tmp[j], tmp[i]) {
+			a[w] = tmp[j]
+			j++
+		} else {
+			a[w] = tmp[i]
+			i++
+		}
+		w++
+	}
+	for i < m {
+		a[w] = tmp[i]
+		i++
+		w++
+	}
+	for j < n {
+		a[w] = tmp[j]
+		j++
+		w++
+	}
+}
+
+// IsSorted reports whether a is non-decreasing under less.
+func IsSorted[T any](a []T, less func(T, T) bool) bool {
+	for i := 1; i < len(a); i++ {
+		if less(a[i], a[i-1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,153 @@
+package seqsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func lessInt(a, b int) bool { return a < b }
+
+func sortedCopy(a []int) []int {
+	w := append([]int(nil), a...)
+	sort.Ints(w)
+	return w
+}
+
+func patterns(n int, rng *rand.Rand) map[string][]int {
+	asc := make([]int, n)
+	desc := make([]int, n)
+	eq := make([]int, n)
+	rnd := make([]int, n)
+	few := make([]int, n)
+	for i := 0; i < n; i++ {
+		asc[i] = i
+		desc[i] = n - i
+		eq[i] = 42
+		rnd[i] = rng.Int()
+		few[i] = rng.Intn(3)
+	}
+	return map[string][]int{
+		"ascending": asc, "descending": desc, "all-equal": eq,
+		"random": rnd, "three-values": few,
+	}
+}
+
+func TestQuick3AllPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 24, 25, 1000, 50000} {
+		for name, a := range patterns(n, rng) {
+			want := sortedCopy(a)
+			Quick3(a, lessInt)
+			for i := range a {
+				if a[i] != want[i] {
+					t.Fatalf("Quick3/%s n=%d mismatch at %d", name, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestHeapSortAllPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 17, 5000} {
+		for name, a := range patterns(n, rng) {
+			want := sortedCopy(a)
+			HeapSort(a, lessInt)
+			for i := range a {
+				if a[i] != want[i] {
+					t.Fatalf("HeapSort/%s n=%d mismatch at %d", name, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeStableIsStable(t *testing.T) {
+	type kv struct{ k, seq int }
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 24, 25, 10000} {
+		a := make([]kv, n)
+		for i := range a {
+			a[i] = kv{k: rng.Intn(5), seq: i}
+		}
+		tmp := make([]kv, n)
+		MergeStable(a, tmp, func(x, y kv) bool { return x.k < y.k })
+		for i := 1; i < n; i++ {
+			if a[i-1].k > a[i].k {
+				t.Fatalf("MergeStable unsorted at %d", i)
+			}
+			if a[i-1].k == a[i].k && a[i-1].seq > a[i].seq {
+				t.Fatalf("MergeStable unstable at %d", i)
+			}
+		}
+	}
+}
+
+func TestInsertionStable(t *testing.T) {
+	type kv struct{ k, seq int }
+	a := []kv{{2, 0}, {1, 1}, {2, 2}, {1, 3}, {0, 4}, {2, 5}}
+	Insertion(a, func(x, y kv) bool { return x.k < y.k })
+	want := []kv{{0, 4}, {1, 1}, {1, 3}, {2, 0}, {2, 2}, {2, 5}}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Insertion unstable: %v", a)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]int{1, 2, 2, 3}, lessInt) {
+		t.Fatal("sorted slice rejected")
+	}
+	if IsSorted([]int{2, 1}, lessInt) {
+		t.Fatal("unsorted slice accepted")
+	}
+	if !IsSorted([]int{}, lessInt) || !IsSorted([]int{5}, lessInt) {
+		t.Fatal("trivial slices rejected")
+	}
+}
+
+// TestQuick3IntrosortFallback drives the depth limit with an adversarially
+// structured input (many duplicates of a few values in long runs) to make
+// sure the heapsort fallback path also sorts correctly.
+func TestQuick3IntrosortFallback(t *testing.T) {
+	n := 1 << 16
+	a := make([]int, n)
+	for i := range a {
+		a[i] = (i * i) % 7
+	}
+	want := sortedCopy(a)
+	Quick3(a, lessInt)
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("fallback path mismatch at %d", i)
+		}
+	}
+}
+
+func TestQuickCheckAllSorters(t *testing.T) {
+	f := func(raw []int16) bool {
+		a := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v)
+		}
+		b := append([]int(nil), a...)
+		c := append([]int(nil), a...)
+		tmp := make([]int, len(a))
+		want := sortedCopy(a)
+		Quick3(a, lessInt)
+		HeapSort(b, lessInt)
+		MergeStable(c, tmp, lessInt)
+		for i := range want {
+			if a[i] != want[i] || b[i] != want[i] || c[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package semisort
+
+import "repro/internal/core"
+
+// SortEqInPlace is the space-efficient variant of SortEq sketched in the
+// paper's conclusion (Section 6): distribution happens inside the input
+// array via cycle-chasing permutation, dropping the Theta(n) auxiliary
+// array to O(P*alpha) per-worker scratch plus the bucket counters.
+//
+// Trade-offs versus SortEq, as the paper predicts for in-place
+// distribution: the result is NOT stable (equal keys are contiguous but in
+// arbitrary relative order), and the top-level permutation is sequential,
+// so peak throughput is lower. Output is still deterministic for a fixed
+// seed. Use it when the extra n-record footprint of SortEq is the
+// bottleneck.
+func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) {
+	core.SortEqInPlace(a, key, hash, eq, buildConfig(opts))
+}
+
+// SortLessInPlace is the space-efficient variant of SortLess; see
+// SortEqInPlace for the trade-offs.
+func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) {
+	core.SortLessInPlace(a, key, hash, less, buildConfig(opts))
+}

@@ -1,0 +1,79 @@
+package semisort_test
+
+import (
+	"testing"
+
+	semisort "repro"
+)
+
+func TestSortEqInPlacePublicAPI(t *testing.T) {
+	in := randItems(60000, 73, 21)
+	out := append([]item(nil), in...)
+	semisort.SortEqInPlace(out,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+	)
+	// Weaker contract than SortEq: permutation + contiguity (no stability).
+	want := map[string]int{}
+	for _, it := range in {
+		want[it.key]++
+	}
+	got := map[string]int{}
+	closed := map[string]bool{}
+	for i, it := range out {
+		got[it.key]++
+		if i > 0 && out[i-1].key != it.key {
+			closed[out[i-1].key] = true
+			if closed[it.key] {
+				t.Fatalf("key %q split at %d", it.key, i)
+			}
+		}
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("key %q count %d want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestSortLessInPlacePublicAPI(t *testing.T) {
+	in := randItems(60000, 73, 22)
+	out := append([]item(nil), in...)
+	semisort.SortLessInPlace(out,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(a, b string) bool { return a < b },
+	)
+	closed := map[string]bool{}
+	for i := 1; i < len(out); i++ {
+		if out[i].key != out[i-1].key {
+			if closed[out[i].key] {
+				t.Fatalf("key %q split at %d", out[i].key, i)
+			}
+			closed[out[i-1].key] = true
+		}
+	}
+}
+
+func TestInPlaceOptionsApplied(t *testing.T) {
+	a := make([]uint64, 30000)
+	for i := range a {
+		a[i] = uint64(i % 17)
+	}
+	semisort.SortEqInPlace(a,
+		func(x uint64) uint64 { return x },
+		semisort.Identity64,
+		func(x, y uint64) bool { return x == y },
+		semisort.WithSeed(3), semisort.WithLightBuckets(8), semisort.WithBaseCase(128),
+	)
+	closed := map[uint64]bool{}
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[i-1] {
+			if closed[a[i]] {
+				t.Fatalf("key %d split", a[i])
+			}
+			closed[a[i-1]] = true
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package semisort
+
+import "repro/internal/core"
+
+// Option adjusts the tunable parameters of Section 3.6. The defaults are
+// the paper's: 2^10 light buckets, base case 2^14, at most 5000 subarrays
+// per recursion level, |S| = 500 log2 n samples.
+type Option func(*core.Config)
+
+// WithSeed fixes the sampling seed. The algorithms are deterministic for a
+// fixed seed; different seeds may produce different (all valid) orders of
+// the key groups.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithLightBuckets sets n_L, the number of light buckets (rounded up to a
+// power of two). Larger values increase parallelism but grow the counting
+// matrix; the paper picks 2^10 so it stays cache-resident (Section 3.6).
+func WithLightBuckets(nL int) Option {
+	return func(c *core.Config) { c.LightBuckets = nL }
+}
+
+// WithBaseCase sets alpha, the sequential base-case threshold.
+func WithBaseCase(alpha int) Option {
+	return func(c *core.Config) { c.BaseCase = alpha }
+}
+
+// WithMaxSubarrays bounds the number of subarrays per recursion level
+// (the paper uses 5000; the subarray length is l = n/MaxSubarrays).
+func WithMaxSubarrays(m int) Option {
+	return func(c *core.Config) { c.MaxSubarrays = m }
+}
+
+// WithSampleFactor sets c in |S| = c log2 n; at most c heavy keys can be
+// detected per recursion level (the paper uses 500).
+func WithSampleFactor(f int) Option {
+	return func(c *core.Config) { c.SampleFactor = f }
+}
+
+// WithMaxDepth bounds the recursion depth; past it the base case runs on
+// whole buckets. It is a safety net for adversarial user hash functions.
+func WithMaxDepth(d int) Option {
+	return func(c *core.Config) { c.MaxDepth = d }
+}
+
+func buildConfig(opts []Option) core.Config {
+	var c core.Config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

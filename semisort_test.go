@@ -1,0 +1,246 @@
+package semisort_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	semisort "repro"
+)
+
+type item struct {
+	key string
+	seq int
+}
+
+func randItems(n, distinct int, seed int64) []item {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]item, n)
+	for i := range a {
+		a[i] = item{key: fmt.Sprintf("key-%d", rng.Intn(distinct)), seq: i}
+	}
+	return a
+}
+
+func checkGrouped(t *testing.T, in, out []item) {
+	t.Helper()
+	if len(in) != len(out) {
+		t.Fatalf("length changed")
+	}
+	want := map[int]string{}
+	for _, it := range in {
+		want[it.seq] = it.key
+	}
+	closed := map[string]bool{}
+	prevSeq := map[string]int{}
+	for i, it := range out {
+		if want[it.seq] != it.key {
+			t.Fatalf("record %d corrupted", it.seq)
+		}
+		if i > 0 && out[i-1].key != it.key {
+			closed[out[i-1].key] = true
+			if closed[it.key] {
+				t.Fatalf("key %q not contiguous at %d", it.key, i)
+			}
+		}
+		if p, ok := prevSeq[it.key]; ok && p > it.seq {
+			t.Fatalf("key %q unstable: %d after %d", it.key, it.seq, p)
+		}
+		prevSeq[it.key] = it.seq
+	}
+}
+
+func TestSortEqStringsPublicAPI(t *testing.T) {
+	in := randItems(50000, 100, 1)
+	out := append([]item(nil), in...)
+	semisort.SortEq(out,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+	)
+	checkGrouped(t, in, out)
+}
+
+func TestSortLessStringsPublicAPI(t *testing.T) {
+	in := randItems(50000, 100, 2)
+	out := append([]item(nil), in...)
+	semisort.SortLess(out,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(a, b string) bool { return a < b },
+	)
+	checkGrouped(t, in, out)
+}
+
+func TestOptionsAreApplied(t *testing.T) {
+	in := randItems(30000, 50, 3)
+	out := append([]item(nil), in...)
+	semisort.SortEq(out,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+		semisort.WithSeed(99),
+		semisort.WithLightBuckets(16),
+		semisort.WithBaseCase(64),
+		semisort.WithMaxSubarrays(100),
+		semisort.WithSampleFactor(16),
+		semisort.WithMaxDepth(8),
+	)
+	checkGrouped(t, in, out)
+}
+
+func TestUint64sHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]uint64, 100000)
+	for i := range a {
+		a[i] = uint64(rng.Intn(1000))
+	}
+	want := map[uint64]int{}
+	for _, k := range a {
+		want[k]++
+	}
+	semisort.Uint64s(a)
+	closed := map[uint64]bool{}
+	got := map[uint64]int{}
+	for i, k := range a {
+		got[k]++
+		if i > 0 && a[i-1] != k {
+			closed[a[i-1]] = true
+			if closed[k] {
+				t.Fatalf("key %d not contiguous", k)
+			}
+		}
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("key %d count %d want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestSortPairsHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func() []semisort.Pair[uint64, string] {
+		ps := make([]semisort.Pair[uint64, string], 40000)
+		for i := range ps {
+			k := uint64(rng.Intn(64))
+			ps[i] = semisort.Pair[uint64, string]{Key: k, Value: fmt.Sprintf("v%d", i)}
+		}
+		return ps
+	}
+	for name, run := range map[string]func([]semisort.Pair[uint64, string]){
+		"eq-hash":    func(a []semisort.Pair[uint64, string]) { semisort.SortPairsEq(a, semisort.Hash64) },
+		"eq-ident":   func(a []semisort.Pair[uint64, string]) { semisort.SortPairsEq(a, semisort.Identity64) },
+		"less-hash":  func(a []semisort.Pair[uint64, string]) { semisort.SortPairsLess(a, semisort.Hash64) },
+		"less-ident": func(a []semisort.Pair[uint64, string]) { semisort.SortPairsLess(a, semisort.Identity64) },
+	} {
+		ps := mk()
+		want := map[uint64]int{}
+		for _, p := range ps {
+			want[p.Key]++
+		}
+		run(ps)
+		closed := map[uint64]bool{}
+		run2 := map[uint64]int{}
+		for i, p := range ps {
+			run2[p.Key]++
+			if i > 0 && ps[i-1].Key != p.Key {
+				closed[ps[i-1].Key] = true
+				if closed[p.Key] {
+					t.Fatalf("%s: key %d not contiguous", name, p.Key)
+				}
+			}
+		}
+		for k, c := range want {
+			if run2[k] != c {
+				t.Fatalf("%s: key %d count %d want %d", name, k, run2[k], c)
+			}
+		}
+	}
+}
+
+func TestHistogramPublicAPI(t *testing.T) {
+	in := randItems(60000, 37, 6)
+	got := semisort.Histogram(in,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+	)
+	want := map[string]int64{}
+	for _, it := range in {
+		want[it.key]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct %d want %d", len(got), len(want))
+	}
+	for _, kc := range got {
+		if want[kc.Key] != kc.Count {
+			t.Fatalf("key %q: %d want %d", kc.Key, kc.Count, want[kc.Key])
+		}
+	}
+}
+
+func TestCollectReducePublicAPI(t *testing.T) {
+	in := randItems(60000, 37, 7)
+	// Non-commutative: concatenate sequence numbers in input order.
+	got := semisort.CollectReduce(in,
+		func(it item) string { return it.key },
+		semisort.HashString,
+		func(a, b string) bool { return a == b },
+		func(it item) string { return fmt.Sprintf("%d", it.seq) },
+		func(a, b string) string {
+			if a == "" {
+				return b
+			}
+			return a + "," + b
+		},
+		"",
+	)
+	want := map[string][]string{}
+	for _, it := range in {
+		want[it.key] = append(want[it.key], fmt.Sprintf("%d", it.seq))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct %d want %d", len(got), len(want))
+	}
+	for _, kv := range got {
+		if kv.Value != strings.Join(want[kv.Key], ",") {
+			t.Fatalf("key %q: wrong or reordered reduction", kv.Key)
+		}
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	if semisort.Hash64(7) == semisort.Hash64(8) {
+		t.Fatal("Hash64 collision on adjacent keys")
+	}
+	if semisort.Identity64(7) != 7 || semisort.Identity32(7) != 7 {
+		t.Fatal("identity hashes must be identities")
+	}
+	if semisort.Hash32(7) != semisort.Hash64(7) {
+		t.Fatal("Hash32 must agree with Hash64 on small values")
+	}
+	if semisort.HashString("x") != semisort.HashBytes([]byte("x")) {
+		t.Fatal("HashString and HashBytes disagree")
+	}
+	p := semisort.Pair[uint64, string]{Key: 3, Value: "v"}
+	if semisort.PairKey(p) != 3 {
+		t.Fatal("PairKey broken")
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	semisort.SortEq([]item{}, func(it item) string { return it.key },
+		semisort.HashString, func(a, b string) bool { return a == b })
+	one := []item{{key: "x", seq: 0}}
+	semisort.SortLess(one, func(it item) string { return it.key },
+		semisort.HashString, func(a, b string) bool { return a < b })
+	if one[0].key != "x" {
+		t.Fatal("singleton corrupted")
+	}
+	if got := semisort.Histogram([]item{}, func(it item) string { return it.key },
+		semisort.HashString, func(a, b string) bool { return a == b }); len(got) != 0 {
+		t.Fatal("histogram of empty input not empty")
+	}
+}
