@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench-steady bench
+
+all: check
+
+## check: everything CI runs — format, vet, build, test, short race pass
+check: fmt vet build test race
+
+## fmt: fail if any file is not gofmt-formatted
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector pass on the runtime and the semisort core
+race:
+	$(GO) test -race ./internal/parallel ./internal/core
+
+## bench-steady: steady-state allocation benchmark (see EXPERIMENTS.md)
+bench-steady:
+	$(GO) test -bench SortEqSteadyState -benchtime 20x -run ^$$ .
+
+## bench: representative cells of every table/figure
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .

@@ -38,6 +38,23 @@
 // and a reduce monoid; because the algorithms are stable, the monoid needs
 // to be associative but not commutative.
 //
-// See DESIGN.md for the algorithm internals and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// # Runtime
+//
+// All calls execute on a persistent parallel runtime: a fixed pool of
+// long-lived worker goroutines plus a buffer arena that recycles every
+// transient allocation (the O(n) auxiliary array, counting matrices, cached
+// bucket ids, sample tables, base-case hash tables). By default calls share
+// one process-wide runtime, so repeated calls are allocation-free in steady
+// state — the regime a high-throughput service runs in. A service that
+// wants an explicitly sized pool creates its own once and passes it to
+// every call:
+//
+//	rt := semisort.NewRuntime(16)
+//	semisort.SortEq(pairs, key, semisort.Hash64, eq, semisort.WithRuntime(rt))
+//
+// The runtime never affects results: for a fixed seed the output is
+// identical at any pool size and any GOMAXPROCS.
+//
+// See DESIGN.md for the algorithm internals and the runtime architecture,
+// and EXPERIMENTS.md for the reproduction of the paper's evaluation.
 package semisort

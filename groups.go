@@ -16,31 +16,35 @@ type Group struct {
 //	    neighbors := edges[g.Lo:g.Hi]
 //	}
 func GroupsEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []Group {
+	cfg := buildConfig(opts)
 	SortEq(a, key, hash, eq, opts...)
-	return boundaries(a, key, eq)
+	return boundaries(parallel.Or(cfg.Runtime), a, key, eq)
 }
 
 // GroupsLess is GroupsEq using SortLess (semisort<).
 func GroupsLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) []Group {
+	cfg := buildConfig(opts)
 	SortLess(a, key, hash, less, opts...)
 	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
-	return boundaries(a, key, eq)
+	return boundaries(parallel.Or(cfg.Runtime), a, key, eq)
 }
 
 // boundaries locates the group starts of an already-semisorted array in
 // parallel (a head is any position whose key differs from its predecessor).
-func boundaries[R, K any](a []R, key func(R) K, eq func(K, K) bool) []Group {
+// It runs on the same runtime as the sort so a WithRuntime caller keeps its
+// pool isolation for the whole call.
+func boundaries[R, K any](rt *parallel.Runtime, a []R, key func(R) K, eq func(K, K) bool) []Group {
 	n := len(a)
 	if n == 0 {
 		return nil
 	}
 	idx := make([]int, n)
-	parallel.MapInto(idx, func(i int) int { return i })
-	heads := parallel.Pack(idx, func(i int) bool {
+	rt.For(n, 0, func(i int) { idx[i] = i })
+	heads := parallel.PackIn(rt, idx, func(i int) bool {
 		return i == 0 || !eq(key(a[i-1]), key(a[i]))
 	})
 	groups := make([]Group, len(heads))
-	parallel.For(len(heads), 1024, func(g int) {
+	rt.For(len(heads), 1024, func(g int) {
 		hi := n
 		if g+1 < len(heads) {
 			hi = heads[g+1]

@@ -11,7 +11,7 @@
 package radix
 
 import (
-	"repro/internal/distribute"
+	"repro/internal/dist"
 	"repro/internal/parallel"
 	"repro/internal/seqsort"
 )
@@ -110,7 +110,7 @@ func rec[T any](cur, other []T, curIsA bool, level int, d Digits[T]) {
 	// Small buckets run their whole subtree sequentially: per-goroutine
 	// overhead would dominate the counting passes otherwise.
 	if n <= serialCutoff {
-		starts := distribute.Serial(cur, other, 256, func(i int) int {
+		starts := dist.Serial(cur, other, 256, func(i int) int {
 			return int(d.At(cur[i], level))
 		})
 		for b := 0; b < 256; b++ {
@@ -122,7 +122,7 @@ func rec[T any](cur, other []T, curIsA bool, level int, d Digits[T]) {
 		return
 	}
 	l := max(16384, n/2000)
-	starts := distribute.Stable(cur, other, 256, l, func(i int) int {
+	starts := dist.Stable(nil, cur, other, 256, l, func(i int) int {
 		return int(d.At(cur[i], level))
 	})
 	parallel.For(256, 1, func(b int) {

@@ -8,7 +8,7 @@
 package samplesort
 
 import (
-	"repro/internal/distribute"
+	"repro/internal/dist"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
 	"repro/internal/sampling"
@@ -44,7 +44,7 @@ func Sort[T any](a []T, less func(T, T) bool) {
 	}
 	tmp := make([]T, n)
 	l := max(16384, n/2000)
-	starts := distribute.Stable(a, tmp, nB, l, bucketOf)
+	starts := dist.Stable(nil, a, tmp, nB, l, bucketOf)
 	parallel.Copy(a, tmp)
 
 	// Sort the range buckets in parallel; equal buckets are already done

@@ -5,11 +5,14 @@
 // Distributing step and the per-subarray partials are combined afterwards in
 // subarray order. Because the algorithm is stable, any associative combine
 // function works — commutativity is not required.
+//
+// All transient state (cached bucket ids, counting matrices, heavy partial
+// accumulators, the light-record scatter buffer, base-case tables) comes
+// from the configured runtime's Scratch arena, so repeated Reduce calls
+// only allocate their result slices in steady state.
 package collect
 
 import (
-	"sync"
-
 	"repro/internal/core"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
@@ -45,7 +48,8 @@ func Reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config) []KV[K, E]
 		return nil
 	}
 	cfg = cfg.WithDefaults()
-	s := &reducer[R, K, E]{Reducer: rd, cfg: cfg}
+	rt := parallel.Or(cfg.Runtime)
+	s := &reducer[R, K, E]{Reducer: rd, cfg: cfg, rt: rt, sc: rt.Scratch()}
 	s.nL = cfg.LightBuckets
 	if s.nL > 1<<15 {
 		// Light bucket ids must stay clear of the heavyMark sentinel in
@@ -85,10 +89,8 @@ type reducer[R, K, E any] struct {
 	sampleSize int
 	thresh     int
 
-	// basePool recycles the base-case hash-table slot arrays across the
-	// many light buckets of one Reduce call. Only dirtied slots are reset
-	// (tracked in order), so cleanup is O(distinct keys).
-	basePool sync.Pool
+	rt *parallel.Runtime
+	sc *parallel.Scratch
 }
 
 // crScratch is the pooled base-case scratch: open-addressing slots plus the
@@ -107,7 +109,7 @@ func (s *reducer[R, K, E]) levelBits(h uint64, depth int) uint64 {
 }
 
 // serialCutoff is the subproblem size below which the recursion spawns no
-// goroutines (scheduling would dominate cache-resident work).
+// parallel tasks (scheduling would dominate cache-resident work).
 const serialCutoff = 1 << 16
 
 func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] {
@@ -126,7 +128,7 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 			}
 			return
 		}
-		parallel.For(m, grain, body)
+		s.rt.For(m, grain, body)
 	}
 	nSubarrays := func() int {
 		if serial {
@@ -140,11 +142,15 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 		SampleSize: s.sampleSize,
 		Thresh:     s.thresh,
 		IDBase:     s.nL,
+		Scratch:    s.sc,
 	}, &rng)
 	nH := 0
 	if ht != nil {
 		nH = ht.NH
 	}
+	// Copy for the per-bucket forks: an addressed rng captured by the
+	// refining closure would be heap-boxed at every rec entry.
+	frng := rng
 	nSub := nSubarrays()
 	sl := s.l
 	if serial {
@@ -158,11 +164,15 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 	// Bucket ids are cached so the scatter pass needs no second hash or
 	// heavy-table probe (heavyMark flags records that must not move).
 	const heavyMark = ^uint16(0)
-	ids := make([]uint16, n)
-	c := make([]int32, nSub*s.nL)
+	idsBuf := parallel.GetBuf[uint16](s.sc, n)
+	cBuf := parallel.GetBuf[int32](s.sc, nSub*s.nL)
+	cBuf.Zero()
+	ids, c := idsBuf.S, cBuf.S
+	var hAccBuf *parallel.Buf[E]
 	var hAcc []E
 	if nH > 0 {
-		hAcc = make([]E, nSub*nH)
+		hAccBuf = parallel.GetBuf[E](s.sc, nSub*nH)
+		hAcc = hAccBuf.S
 		forEach(len(hAcc), 1<<12, func(i int) { hAcc[i] = s.Identity })
 	}
 	forEach(nSub, 1, func(i int) {
@@ -190,8 +200,9 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 	})
 
 	// Column-major prefix sums over the light counting matrix.
-	starts := make([]int, s.nL+1)
-	totals := make([]int32, s.nL)
+	startsBuf := parallel.GetBuf[int](s.sc, s.nL+1)
+	totalsBuf := parallel.GetBuf[int32](s.sc, s.nL)
+	starts, totals := startsBuf.S, totalsBuf.S
 	forEach(s.nL, 64, func(j int) {
 		var t int32
 		for i := 0; i < nSub; i++ {
@@ -213,9 +224,11 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 			off += cnt
 		}
 	})
+	totalsBuf.Release()
 
 	// Scatter only the light records (stable within each bucket).
-	light := make([]R, sum)
+	lightBuf := parallel.GetBuf[R](s.sc, sum)
+	light := lightBuf.S
 	forEach(nSub, 1, func(i int) {
 		row := c[i*s.nL : (i+1)*s.nL]
 		hi := min((i+1)*sl, n)
@@ -228,6 +241,8 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 			row[b]++
 		}
 	})
+	cBuf.Release()
+	idsBuf.Release()
 
 	// Combine heavy partials across subarrays in subarray order (this is
 	// where associativity without commutativity suffices).
@@ -240,20 +255,26 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 			}
 			heavyKV[h] = KV[K, E]{Key: ht.Order[h], Value: acc}
 		})
+		hAccBuf.Release()
 	}
 
 	// Local Refining: recurse on light buckets in parallel.
-	sub := make([][]KV[K, E], s.nL)
+	subBuf := parallel.GetBuf[[]KV[K, E]](s.sc, s.nL)
+	subBuf.Zero()
+	sub := subBuf.S
 	forEach(s.nL, 1, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if lo < hi {
-			sub[j] = s.rec(light[lo:hi], depth+1, rng.Fork(uint64(j)))
+			sub[j] = s.rec(light[lo:hi], depth+1, frng.Fork(uint64(j)))
 		}
 	})
+	lightBuf.Release()
+	startsBuf.Release()
 
 	// Pack: heavy results first, then light buckets in bucket order.
 	total := nH
-	offs := make([]int, s.nL)
+	offsBuf := parallel.GetBuf[int](s.sc, s.nL)
+	offs := offsBuf.S
 	for j := 0; j < s.nL; j++ {
 		offs[j] = total
 		total += len(sub[j])
@@ -263,6 +284,9 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 	forEach(s.nL, 16, func(j int) {
 		copy(out[offs[j]:], sub[j])
 	})
+	offsBuf.Release()
+	subBuf.Zero() // drop sub-slice references before pooling
+	subBuf.Release()
 	return out
 }
 
@@ -272,9 +296,9 @@ func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] 
 func (s *reducer[R, K, E]) base(cur []R) []KV[K, E] {
 	n := len(cur)
 	m := sampling.CeilPow2(2 * n)
-	scr, _ := s.basePool.Get().(*crScratch)
-	if scr == nil || len(scr.slots) < m {
-		scr = &crScratch{slots: make([]int32, m)}
+	scr := parallel.GetObj[crScratch](s.sc)
+	if len(scr.slots) < m {
+		scr.slots = make([]int32, m)
 		for i := range scr.slots {
 			scr.slots[i] = -1
 		}
@@ -306,6 +330,6 @@ func (s *reducer[R, K, E]) base(cur []R) []KV[K, E] {
 		slots[i] = -1
 	}
 	scr.order = scr.order[:0]
-	s.basePool.Put(scr)
+	parallel.PutObj(s.sc, scr)
 	return out
 }

@@ -1,8 +1,12 @@
 package core
 
+import "repro/internal/parallel"
+
 // Base cases of the Local Refining step (Section 3.3). Both variants
 // produce a stable grouping: records with equal keys appear contiguously in
-// their original relative order.
+// their original relative order. Base-case scratch lives in the runtime's
+// arena, so it is recycled both across the thousands of light buckets of
+// one call and across repeated calls sharing a runtime.
 
 // eqScratch holds the reusable arrays of the semisort= base-case hash
 // table. Base cases run thousands of times (one per light bucket), so the
@@ -52,10 +56,7 @@ func (s *eqScratch) release() {
 func (s *sorter[R, K]) baseEq(cur, out []R) {
 	n := len(cur)
 	m := ceilPow2(2 * n)
-	scr, _ := s.eqPool.Get().(*eqScratch)
-	if scr == nil {
-		scr = &eqScratch{}
-	}
+	scr := parallel.GetObj[eqScratch](s.sc)
 	scr.grow(m, n)
 	mask := uint64(m - 1)
 	slot, slotH := scr.slot, scr.slotH
@@ -98,7 +99,7 @@ func (s *sorter[R, K]) baseEq(cur, out []R) {
 		scr.counts[d]++
 	}
 	scr.release()
-	s.eqPool.Put(scr)
+	parallel.PutObj(s.sc, scr)
 }
 
 // baseLess is the semisort< base case: a sequential stable merge sort on

@@ -6,12 +6,21 @@
 // Both variants are stable, race-free, and deterministic given a seed.
 package core
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/parallel"
+)
 
 // Config holds the tunable parameters of Section 3.6. The zero value
 // selects the paper's defaults (n_L = 2^10, alpha = 2^14, at most 5000
 // subarrays per level, |S| = 500 log2 n samples).
 type Config struct {
+	// Runtime is the worker pool and buffer arena the call executes on.
+	// nil selects the shared process-wide runtime (parallel.Default()). A
+	// service handling many calls should create one Runtime and pass it in
+	// every Config so all calls share workers and recycled buffers.
+	Runtime *parallel.Runtime
 	// LightBuckets is n_L, the number of light buckets. It is rounded up to
 	// a power of two so light bucket ids are hash-bit windows.
 	LightBuckets int

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"sync"
-
-	"repro/internal/distribute"
+	"repro/internal/dist"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
 	"repro/internal/sampling"
@@ -16,6 +14,7 @@ func SortEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) b
 	s := newSorter(a, key, hash, eq, nil, cfg)
 	if s != nil {
 		s.run(a)
+		s.release()
 	}
 }
 
@@ -27,10 +26,13 @@ func SortLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, 
 	s := newSorter(a, key, hash, eq, less, cfg)
 	if s != nil {
 		s.run(a)
+		s.release()
 	}
 }
 
-// sorter carries the immutable per-call state of Algorithm 1.
+// sorter carries the immutable per-call state of Algorithm 1. Instances are
+// recycled through the runtime's arena, so steady-state calls do not
+// allocate one.
 type sorter[R, K any] struct {
 	key  func(R) K
 	hash func(K) uint64
@@ -48,12 +50,11 @@ type sorter[R, K any] struct {
 	disableHeavy   bool
 	disableInPlace bool
 
-	// eqPool recycles the semisort= base-case hash tables across the many
-	// light buckets of one Sort call (see eqScratch).
-	eqPool sync.Pool
-	// recPool recycles the in-place variant's base-case record buffers
-	// (see recScratch).
-	recPool sync.Pool
+	// rt is the worker pool the call runs on; sc is its buffer arena, the
+	// source of every transient buffer (the O(n) auxiliary array, counting
+	// matrices, cached ids, base-case tables, sample tables).
+	rt *parallel.Runtime
+	sc *parallel.Scratch
 }
 
 func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, less func(K, K) bool, cfg Config) *sorter[R, K] {
@@ -61,11 +62,13 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 	if n <= 1 {
 		return nil
 	}
-	if n > distribute.MaxLen {
+	if n > dist.MaxLen {
 		panic("semisort: input longer than 2^31-1 records")
 	}
 	cfg = cfg.WithDefaults()
-	s := &sorter[R, K]{
+	rt := parallel.Or(cfg.Runtime)
+	s := parallel.GetObj[sorter[R, K]](rt.Scratch())
+	*s = sorter[R, K]{
 		key:            key,
 		hash:           hash,
 		eq:             eq,
@@ -76,6 +79,8 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 		seed:           cfg.Seed,
 		disableHeavy:   cfg.DisableHeavy,
 		disableInPlace: cfg.DisableInPlace,
+		rt:             rt,
+		sc:             rt.Scratch(),
 	}
 	s.bBits = uint(ceilLog2(s.nL))
 	if 1<<s.bBits != s.nL {
@@ -94,12 +99,22 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 	return s
 }
 
-// run semisorts a in place, allocating the single O(n) auxiliary array T of
-// Section 3.4 (input and output share a; each record is copied about twice).
+// release returns the sorter to the arena. The closures it captured are
+// dropped so pooled sorters do not pin caller state between calls.
+func (s *sorter[R, K]) release() {
+	sc := s.sc
+	*s = sorter[R, K]{}
+	parallel.PutObj(sc, s)
+}
+
+// run semisorts a in place, taking the single O(n) auxiliary array T of
+// Section 3.4 from the arena (input and output share a; each record is
+// copied about twice).
 func (s *sorter[R, K]) run(a []R) {
-	t := make([]R, len(a))
+	tb := parallel.GetBuf[R](s.sc, len(a))
 	rng := hashutil.NewRNG(s.seed)
-	s.rec(a, t, true, 0, rng)
+	s.rec(a, tb.S, true, 0, rng)
+	tb.Release()
 }
 
 // rec is one level of Algorithm 1. Data currently lives in cur; other is
@@ -124,6 +139,7 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 			SampleSize: s.sampleSize,
 			Thresh:     s.thresh,
 			IDBase:     s.nL,
+			Scratch:    s.sc,
 		}, &rng)
 	}
 	nH := 0
@@ -131,6 +147,12 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 		nH = ht.NH
 	}
 	nB := s.nL + nH
+
+	// frng is a copy of the (sampling-advanced) generator for the per-bucket
+	// forks below. The copy is deliberate: rng itself has its address taken
+	// for sampling.Build, and closures capturing an addressed variable box
+	// it on the heap at every rec entry — one allocation per recursion node.
+	frng := rng
 
 	// Step 2: Blocked Distributing (cur -> other).
 	nLmask := uint64(s.nL - 1)
@@ -154,21 +176,23 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 	// scheduling thousands of microsecond tasks costs more than the work
 	// (the subproblem is cache-resident anyway).
 	serial := n <= serialCutoff
+	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
 	var starts []int
 	if serial {
-		starts = distribute.Serial(cur, other, nB, bucketOf)
+		starts = dist.SerialInto(s.sc, cur, other, nB, bucketOf, startsBuf.S)
 	} else {
-		starts = distribute.Stable(cur, other, nB, s.l, bucketOf)
+		starts = dist.StableInto(s.rt, cur, other, nB, s.l, bucketOf, startsBuf.S)
 	}
+	defer startsBuf.Release()
 
 	if s.disableInPlace {
 		// Ablation path: Alg. 1 line 23 verbatim — copy T back to A after
 		// every distribution instead of swapping roles down the recursion.
-		parallel.Copy(cur, other)
+		parallel.CopyIn(s.rt, cur, other)
 		s.forBuckets(serial, func(j int) {
 			lo, hi := starts[j], starts[j+1]
 			if lo < hi {
-				s.rec(cur[lo:hi], other[lo:hi], curIsA, depth+1, rng.Fork(uint64(j)))
+				s.rec(cur[lo:hi], other[lo:hi], curIsA, depth+1, frng.Fork(uint64(j)))
 			}
 		})
 		return
@@ -181,7 +205,7 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 		if serial {
 			copy(cur[lo:hi], other[lo:hi])
 		} else {
-			parallel.Copy(cur[lo:hi], other[lo:hi])
+			parallel.CopyIn(s.rt, cur[lo:hi], other[lo:hi])
 		}
 	}
 
@@ -190,13 +214,13 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 	s.forBuckets(serial, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if lo < hi {
-			s.rec(other[lo:hi], cur[lo:hi], !curIsA, depth+1, rng.Fork(uint64(j)))
+			s.rec(other[lo:hi], cur[lo:hi], !curIsA, depth+1, frng.Fork(uint64(j)))
 		}
 	})
 }
 
 // serialCutoff is the subproblem size below which recursion stops spawning
-// goroutines. It roughly matches the L2 cache in records, so serial
+// parallel tasks. It roughly matches the L2 cache in records, so serial
 // subtrees are also the cache-resident ones.
 const serialCutoff = 1 << 16
 
@@ -209,7 +233,7 @@ func (s *sorter[R, K]) forBuckets(serial bool, body func(j int)) {
 		}
 		return
 	}
-	parallel.For(s.nL, 1, body)
+	s.rt.For(s.nL, 1, body)
 }
 
 // levelBits returns the window of hash bits that determines light bucket

@@ -25,6 +25,7 @@ func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(
 	s := newSorter(a, key, hash, eq, nil, cfg)
 	if s != nil {
 		s.inPlaceRec(a, 0, hashutil.NewRNG(s.seed))
+		s.release()
 	}
 }
 
@@ -35,6 +36,7 @@ func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less f
 	s := newSorter(a, key, hash, eq, less, cfg)
 	if s != nil {
 		s.inPlaceRec(a, 0, hashutil.NewRNG(s.seed))
+		s.release()
 	}
 }
 
@@ -55,6 +57,7 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 			SampleSize: s.sampleSize,
 			Thresh:     s.thresh,
 			IDBase:     s.nL,
+			Scratch:    s.sc,
 		}, &rng)
 	}
 	nH := 0
@@ -62,6 +65,10 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 		nH = ht.NH
 	}
 	nB := s.nL + nH
+	// Copy for the per-bucket forks: see the matching comment in rec (an
+	// addressed rng captured by the bucket closure would be heap-boxed at
+	// every inPlaceRec entry).
+	frng := rng
 	nLmask := uint64(s.nL - 1)
 	bucketOf := func(r R) int {
 		k := s.key(r)
@@ -76,9 +83,12 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 
 	// Step 2': exact counting (parallel over chunks), then an in-place
 	// cycle-chasing permutation. Extra space is the O(n_B) counters only.
-	counts := s.countBuckets(a, nB, bucketOf)
-	starts := make([]int, nB+1)
-	heads := make([]int, nB)
+	countsBuf := parallel.GetBuf[int32](s.sc, nB)
+	counts := countsBuf.S
+	s.countBuckets(a, counts, bucketOf)
+	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
+	headsBuf := parallel.GetBuf[int](s.sc, nB)
+	starts, heads := startsBuf.S, headsBuf.S
 	sum := 0
 	for b := 0; b < nB; b++ {
 		starts[b] = sum
@@ -86,6 +96,7 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 		sum += int(counts[b])
 	}
 	starts[nB] = sum
+	countsBuf.Release()
 	for b := 0; b < nB; b++ {
 		end := starts[b+1]
 		for heads[b] < end {
@@ -106,65 +117,60 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 			heads[b]++
 		}
 	}
+	headsBuf.Release()
 
 	// Step 3: heavy buckets are final; recurse on light buckets in place.
 	serial := n <= serialCutoff
 	s.forBuckets(serial, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if hi-lo > 1 {
-			s.inPlaceRec(a[lo:hi], depth+1, rng.Fork(uint64(j)))
+			s.inPlaceRec(a[lo:hi], depth+1, frng.Fork(uint64(j)))
 		}
 	})
+	startsBuf.Release()
 }
 
-// countBuckets computes the exact bucket histogram, in parallel chunks for
-// large inputs.
-func (s *sorter[R, K]) countBuckets(a []R, nB int, bucketOf func(R) int) []int32 {
-	n := len(a)
+// countBuckets fills counts with the exact bucket histogram. Large inputs
+// count in parallel with per-participant counter rows (the ForRangeW slot
+// API), merged by commutative addition so the result is deterministic.
+func (s *sorter[R, K]) countBuckets(a []R, counts []int32, bucketOf func(R) int) {
+	n, nB := len(a), len(counts)
+	clear(counts)
 	if n <= serialCutoff {
-		counts := make([]int32, nB)
 		for i := 0; i < n; i++ {
 			counts[bucketOf(a[i])]++
 		}
-		return counts
+		return
 	}
-	nBlocks := 4 * parallel.Workers()
-	partial := make([][]int32, nBlocks)
-	parallel.Blocks(n, nBlocks, func(b, lo, hi int) {
-		c := make([]int32, nB)
+	slots := s.rt.MaxSlots()
+	partBuf := parallel.GetBuf[int32](s.sc, slots*nB)
+	partBuf.Zero()
+	part := partBuf.S
+	s.rt.ForRangeW(n, 1<<14, func(w, lo, hi int) {
+		row := part[w*nB : (w+1)*nB]
 		for i := lo; i < hi; i++ {
-			c[bucketOf(a[i])]++
+			row[bucketOf(a[i])]++
 		}
-		partial[b] = c
 	})
-	counts := make([]int32, nB)
-	for _, c := range partial {
+	for w := 0; w < slots; w++ {
+		row := part[w*nB : (w+1)*nB]
 		for b := range counts {
-			counts[b] += c[b]
+			counts[b] += row[b]
 		}
 	}
-	return counts
+	partBuf.Release()
 }
 
 // baseInPlace finishes one bucket within the input array. semisort< sorts
-// in place; semisort= groups through a pooled per-worker scratch buffer of
-// at most alpha records and copies back.
+// in place; semisort= groups through a pooled scratch buffer of at most
+// alpha records and copies back.
 func (s *sorter[R, K]) baseInPlace(a []R) {
 	if s.less != nil {
 		seqsort.Quick3(a, func(x, y R) bool { return s.less(s.key(x), s.key(y)) })
 		return
 	}
-	buf, _ := s.recPool.Get().(*recScratch[R])
-	if buf == nil || cap(buf.recs) < len(a) {
-		buf = &recScratch[R]{recs: make([]R, max(len(a), s.alpha))}
-	}
-	out := buf.recs[:len(a)]
-	s.baseEq(a, out)
-	copy(a, out)
-	s.recPool.Put(buf)
-}
-
-// recScratch is the pooled record buffer of the in-place base case.
-type recScratch[R any] struct {
-	recs []R
+	buf := parallel.GetBuf[R](s.sc, len(a))
+	s.baseEq(a, buf.S)
+	copy(a, buf.S)
+	buf.Release()
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// These tests pin the runtime-refactor contract: repeated SortEq calls on a
+// shared runtime reuse the arena instead of allocating, and sharing one
+// runtime across calls never breaks determinism.
+
+// steadyInput builds a distinct-key workload (no heavy table, so the only
+// per-call allocations left are a handful of escaping closures).
+func steadyInput(n int) []rec {
+	in := make([]rec, n)
+	for i := range in {
+		in[i] = rec{key: uint64(i) * 2654435761, seq: i}
+	}
+	return in
+}
+
+func TestSortEqSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	n := 1 << 16
+	in := steadyInput(n)
+	work := make([]rec, n)
+	run := func() {
+		copy(work, in)
+		SortEq(work, keyOf, hashMix, eqU64, Config{})
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm the arena
+	}
+	if allocs := testing.AllocsPerRun(20, run); allocs > 8 {
+		t.Fatalf("steady-state SortEq allocates %.0f objects/call, want near-zero (<= 8)", allocs)
+	}
+}
+
+func TestSortEqSteadyStateAllocsHeavyKeys(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	// Heavy inputs additionally build a (small, escaping) heavy table per
+	// recursion level; everything else must still come from the arena.
+	n := 1 << 16
+	in := makeRecs(n, 50, 3)
+	work := make([]rec, n)
+	run := func() {
+		copy(work, in)
+		SortEq(work, keyOf, hashMix, eqU64, Config{})
+	}
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(20, run); allocs > 32 {
+		t.Fatalf("steady-state SortEq (heavy keys) allocates %.0f objects/call, want <= 32", allocs)
+	}
+}
+
+func TestExplicitRuntimeSharedAcrossCalls(t *testing.T) {
+	// An explicitly created runtime must be usable for many calls and
+	// produce output identical to the default runtime's (the runtime moves
+	// work and buffers around, never values).
+	rt := parallel.NewRuntime(4)
+	in := makeRecs(120000, 64, 59)
+	withRT := append([]rec(nil), in...)
+	withDefault := append([]rec(nil), in...)
+	SortEq(withRT, keyOf, hashMix, eqU64, Config{Seed: 3, Runtime: rt})
+	SortEq(withDefault, keyOf, hashMix, eqU64, Config{Seed: 3})
+	if !reflect.DeepEqual(withRT, withDefault) {
+		t.Fatal("explicit runtime changed the output")
+	}
+	checkSemisorted(t, in, withRT)
+
+	// Reuse the same runtime for a differently-shaped call (exercises arena
+	// buffer growth and reuse paths).
+	in2 := makeRecs(30000, 5, 61)
+	out2 := append([]rec(nil), in2...)
+	SortLess(out2, keyOf, hashMix, lessU64, Config{Runtime: rt})
+	checkSemisorted(t, in2, out2)
+}
+
+func TestInPlaceSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	n := 1 << 15
+	in := steadyInput(n)
+	work := make([]rec, n)
+	run := func() {
+		copy(work, in)
+		SortEqInPlace(work, keyOf, hashMix, eqU64, Config{})
+	}
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(20, run); allocs > 8 {
+		t.Fatalf("steady-state SortEqInPlace allocates %.0f objects/call, want <= 8", allocs)
+	}
+}

@@ -1,0 +1,198 @@
+// Package dist is the unified distribution layer of the reproduction. It
+// has two halves that every layer of the stack consumes:
+//
+//   - Workload distributions (this file): the synthetic key generators of
+//     the paper's evaluation — uniform(mu), exponential(lambda) and
+//     Zipfian(s) keys at 32/64/128-bit widths — plus the skew statistics
+//     (Stats) the paper reports next to each input. Generation is
+//     deterministic for a fixed seed at any GOMAXPROCS: keys are produced
+//     in fixed-size chunks, each from its own forked splitmix64 stream.
+//
+//   - Record distribution (distribute.go): the paper's Blocked
+//     Distributing engine (stable counting-matrix scatter) shared by the
+//     semisort core and the sorting baselines.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+)
+
+// Kind names a distribution family of the paper's evaluation (Section 5.1).
+type Kind int
+
+const (
+	// Uniform draws keys uniformly from [0, mu): about mu distinct keys,
+	// each with frequency n/mu (the paper's uniform(mu) inputs).
+	Uniform Kind = iota
+	// Exponential draws keys as floor(Exp(lambda)): key k has probability
+	// proportional to exp(-lambda*k), so small keys are heavy.
+	Exponential
+	// Zipfian draws 1-based ranks from a power law with exponent s: rank r
+	// has probability proportional to r^-s (the paper's zipfian(s) inputs).
+	Zipfian
+)
+
+// String returns the family name used in tables and flags.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Exponential:
+		return "exponential"
+	case Zipfian:
+		return "zipfian"
+	}
+	return "unknown"
+}
+
+// Spec selects one input distribution: a family and its parameter (mu for
+// uniform, lambda for exponential, s for Zipfian).
+type Spec struct {
+	Kind  Kind
+	Param float64
+}
+
+// String formats the spec the way the paper labels its inputs, e.g.
+// "zipfian-1.2" or "uniform-1000".
+func (s Spec) String() string { return fmt.Sprintf("%s-%g", s.Kind, s.Param) }
+
+// genChunk is the fixed generation chunk: each chunk of keys comes from its
+// own RNG stream forked from (seed, chunk index), so the output is a pure
+// function of (n, spec, seed) regardless of scheduling or GOMAXPROCS.
+const genChunk = 1 << 15
+
+// Keys64 generates n keys drawn from spec, deterministically from seed.
+func Keys64(n int, spec Spec, seed uint64) []uint64 {
+	out := make([]uint64, n)
+	fillKeys(out, spec, seed)
+	return out
+}
+
+// Keys32 is Keys64 truncated to 32-bit keys (the paper's Figure 5 width).
+func Keys32(n int, spec Spec, seed uint64) []uint32 {
+	k64 := Keys64(n, spec, seed)
+	out := make([]uint32, n)
+	parallel.For(n, 1<<14, func(i int) { out[i] = uint32(k64[i]) })
+	return out
+}
+
+// Keys128 is Keys64 widened to 128-bit keys (the paper's Figure 6 width):
+// the low word carries the generated key, the high word a seeded mix of it,
+// so distinct 64-bit keys stay distinct and the high bits are nontrivial.
+func Keys128(n int, spec Spec, seed uint64) []U128 {
+	k64 := Keys64(n, spec, seed)
+	out := make([]U128, n)
+	parallel.For(n, 1<<14, func(i int) {
+		out[i] = U128{Hi: hashutil.Seeded(k64[i], 0x128), Lo: k64[i]}
+	})
+	return out
+}
+
+// fillKeys fills out with keys from spec in deterministic parallel chunks.
+func fillKeys(out []uint64, spec Spec, seed uint64) {
+	n := len(out)
+	if n == 0 {
+		return
+	}
+	base := hashutil.NewRNG(seed)
+	var gen func(rng *hashutil.RNG) uint64
+	switch spec.Kind {
+	case Uniform:
+		mu := int(spec.Param)
+		if mu < 2 {
+			mu = 2
+		}
+		gen = func(rng *hashutil.RNG) uint64 { return uint64(rng.Intn(mu)) }
+	case Exponential:
+		lambda := spec.Param
+		if lambda <= 0 {
+			lambda = 1e-5
+		}
+		gen = func(rng *hashutil.RNG) uint64 {
+			u := rng.Float64()
+			return uint64(-math.Log1p(-u) / lambda)
+		}
+	case Zipfian:
+		// Continuous power-law inversion over [1, n+1): pdf(x) ~ x^-s.
+		// Rank = floor(x) gives a Zipf-like law over [1, n] in O(1) per
+		// key (the exact discrete Zipf CDF would need an O(n) harmonic
+		// table; the continuous approximation preserves the skew shape
+		// the experiments measure).
+		s := spec.Param
+		if s <= 0 {
+			s = 1
+		}
+		hi := float64(n + 1)
+		if s == 1 {
+			logHi := math.Log(hi)
+			gen = func(rng *hashutil.RNG) uint64 {
+				x := math.Exp(rng.Float64() * logHi)
+				return clampRank(x, n)
+			}
+		} else {
+			t := math.Pow(hi, 1-s) - 1
+			inv := 1 / (1 - s)
+			gen = func(rng *hashutil.RNG) uint64 {
+				x := math.Pow(1+rng.Float64()*t, inv)
+				return clampRank(x, n)
+			}
+		}
+	default:
+		panic("dist: unknown distribution kind")
+	}
+	parallel.ForRange(n, genChunk, func(lo, hi int) {
+		// Chunk boundaries are multiples of genChunk, so the stream id is
+		// stable across grain choices and worker counts.
+		rng := base.Fork(uint64(lo / genChunk))
+		for i := lo; i < hi; i++ {
+			out[i] = gen(&rng)
+		}
+	})
+}
+
+// clampRank floors x into the 1-based rank range [1, n].
+func clampRank(x float64, n int) uint64 {
+	r := uint64(x)
+	if r < 1 {
+		return 1
+	}
+	if r > uint64(n) {
+		return uint64(n)
+	}
+	return r
+}
+
+// U128 is a 128-bit key (the paper's widest record type).
+type U128 struct{ Hi, Lo uint64 }
+
+// Less orders U128 lexicographically (Hi, then Lo); the comparison-sort
+// baselines use it.
+func (a U128) Less(b U128) bool {
+	if a.Hi != b.Hi {
+		return a.Hi < b.Hi
+	}
+	return a.Lo < b.Lo
+}
+
+// Table3Specs returns the fifteen input distributions of the paper's
+// Table 3 (five per family). The paper states them for n = 10^9; parameters
+// are rescaled to the actual input size so the skew statistics (distinct
+// keys, heavy ratio) stay comparable at benchmark-friendly sizes.
+func Table3Specs(n int) []Spec {
+	scale := float64(n) / 1e9
+	specs := make([]Spec, 0, 15)
+	for _, mu := range []float64{10, 1e3, 1e5, 1e7, 1e9} {
+		specs = append(specs, Spec{Kind: Uniform, Param: math.Max(2, mu*scale)})
+	}
+	for _, lambda := range []float64{1e-4, 7e-5, 5e-5, 2e-5, 1e-5} {
+		specs = append(specs, Spec{Kind: Exponential, Param: lambda / scale})
+	}
+	for _, s := range []float64{1.5, 1.2, 1.0, 0.8, 0.6} {
+		specs = append(specs, Spec{Kind: Zipfian, Param: s})
+	}
+	return specs
+}

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestKeys64Deterministic(t *testing.T) {
+	a := Keys64(100000, Spec{Kind: Zipfian, Param: 1.2}, 42)
+	b := Keys64(100000, Spec{Kind: Zipfian, Param: 1.2}, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := Keys64(100000, Spec{Kind: Zipfian, Param: 1.2}, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestKeys64DeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []uint64 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(workers))
+		return Keys64(150000, Spec{Kind: Exponential, Param: 1e-3}, 7)
+	}
+	a := run(1)
+	b := run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation depends on GOMAXPROCS at %d", i)
+		}
+	}
+}
+
+func TestUniformKeyRange(t *testing.T) {
+	keys := Keys64(50000, Spec{Kind: Uniform, Param: 100}, 3)
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if k >= 100 {
+			t.Fatalf("uniform-100 produced key %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("uniform-100 hit only %d distinct keys", len(seen))
+	}
+}
+
+func TestZipfianSkewOrdering(t *testing.T) {
+	// Higher exponent => fewer distinct keys and a heavier top key.
+	n := 200000
+	mild := Stats64(Keys64(n, Spec{Kind: Zipfian, Param: 0.6}, 9), HeavyCut(n))
+	steep := Stats64(Keys64(n, Spec{Kind: Zipfian, Param: 1.5}, 9), HeavyCut(n))
+	if steep.Distinct >= mild.Distinct {
+		t.Fatalf("zipfian-1.5 distinct %d >= zipfian-0.6 distinct %d", steep.Distinct, mild.Distinct)
+	}
+	if steep.MaxFreq <= mild.MaxFreq {
+		t.Fatalf("zipfian-1.5 max freq %d <= zipfian-0.6 max freq %d", steep.MaxFreq, mild.MaxFreq)
+	}
+	if steep.HeavyFrac <= mild.HeavyFrac {
+		t.Fatalf("zipfian-1.5 heavy frac %g <= zipfian-0.6 %g", steep.HeavyFrac, mild.HeavyFrac)
+	}
+	for _, k := range Keys64(1000, Spec{Kind: Zipfian, Param: 1.2}, 1) {
+		if k < 1 || k > 1000 {
+			t.Fatalf("zipf rank %d outside [1, n]", k)
+		}
+	}
+}
+
+func TestKeys32And128MirrorKeys64(t *testing.T) {
+	spec := Spec{Kind: Uniform, Param: 500}
+	k64 := Keys64(10000, spec, 5)
+	k32 := Keys32(10000, spec, 5)
+	k128 := Keys128(10000, spec, 5)
+	for i := range k64 {
+		if uint64(k32[i]) != k64[i] {
+			t.Fatalf("32-bit key %d diverges", i)
+		}
+		if k128[i].Lo != k64[i] {
+			t.Fatalf("128-bit low word %d diverges", i)
+		}
+	}
+	// Distinct 64-bit keys must stay distinct at 128 bits.
+	d64 := map[uint64]bool{}
+	d128 := map[U128]bool{}
+	for i := range k64 {
+		d64[k64[i]] = true
+		d128[k128[i]] = true
+	}
+	if len(d64) != len(d128) {
+		t.Fatalf("widening changed distinct count: %d vs %d", len(d64), len(d128))
+	}
+}
+
+func TestU128Less(t *testing.T) {
+	a := U128{Hi: 1, Lo: 100}
+	b := U128{Hi: 2, Lo: 0}
+	c := U128{Hi: 1, Lo: 101}
+	if !a.Less(b) || b.Less(a) || !a.Less(c) || c.Less(a) || a.Less(a) {
+		t.Fatal("U128 lexicographic order broken")
+	}
+}
+
+func TestStats64(t *testing.T) {
+	keys := []uint64{1, 1, 1, 1, 2, 2, 3}
+	st := Stats64(keys, 2)
+	if st.Distinct != 3 || st.MaxFreq != 4 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	// Only key 1 (freq 4 > 2) is heavy: 4 of 7 records.
+	if st.HeavyFrac < 4.0/7-1e-9 || st.HeavyFrac > 4.0/7+1e-9 {
+		t.Fatalf("heavy frac %g want 4/7", st.HeavyFrac)
+	}
+}
+
+func TestTable3SpecsShape(t *testing.T) {
+	specs := Table3Specs(1_000_000)
+	if len(specs) != 15 {
+		t.Fatalf("Table 3 has 15 inputs, got %d", len(specs))
+	}
+	counts := map[Kind]int{}
+	for _, s := range specs {
+		counts[s.Kind]++
+	}
+	if counts[Uniform] != 5 || counts[Exponential] != 5 || counts[Zipfian] != 5 {
+		t.Fatalf("want 5 specs per family, got %v", counts)
+	}
+	found := false
+	for _, s := range specs {
+		if s.String() == "zipfian-1.2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("zipfian-1.2 (the paper's headline input) missing")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if s := (Spec{Kind: Zipfian, Param: 1.2}).String(); s != "zipfian-1.2" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := (Spec{Kind: Uniform, Param: 1000}).String(); s != "uniform-1000" {
+		t.Fatalf("String() = %q", s)
+	}
+}

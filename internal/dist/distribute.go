@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// This file is the record-distribution half of the package: the paper's
+// Blocked Distributing step (Section 3.2, Figure 2) — a stable, race-free
+// redistribution of records to buckets via exact counting. The input is
+// split into consecutive subarrays; a counting matrix C (one row per
+// subarray, one column per bucket) is filled in parallel, turned into
+// per-subarray write offsets X by a column-major prefix sum, and then
+// records are scattered to disjoint destinations. No atomics are needed,
+// and the output is stable: records of the same bucket keep their input
+// order.
+//
+// The engine is shared by the semisort core, the samplesort baseline, and
+// the stable radix-sort baseline. All transient state (the cached bucket
+// ids, the counting matrix, the column totals) comes from the runtime's
+// Scratch arena, so repeated calls are allocation-free in steady state;
+// the *Into variants additionally let the caller own the starts array.
+
+// MaxLen is the largest supported input length. Offsets are kept in 32-bit
+// cells so the counting matrix stays compact (the paper sizes C and X to fit
+// in last-level cache); this bounds inputs to 2^31-1 records, which covers
+// the paper's largest experiments (10^9).
+const MaxLen = math.MaxInt32
+
+// maxBuckets bounds nB so bucket ids fit the 2-byte id cache.
+const maxBuckets = 1 << 16
+
+// NumSubarrays returns how many subarrays an input of length n is split
+// into when each subarray holds l records.
+func NumSubarrays(n, l int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + l - 1) / l
+}
+
+// Stable scatters src into dst, grouping records by bucket id, on the given
+// runtime (nil selects the shared default).
+//
+// bucketOf(i) must return the bucket of src[i] in [0, nB); nB is at most
+// 65536. bucketOf is called exactly once per record (during counting); the
+// ids are cached in a pooled 2-byte-per-record array and replayed during
+// the scatter, so expensive classifiers (hashing plus a heavy-table probe
+// for semisort, pivot binary search for samplesort) are not paid twice.
+// l is the subarray length. dst must have the same length as src and must
+// not alias it.
+//
+// The returned slice has nB+1 entries; bucket j occupies dst[starts[j]:
+// starts[j+1]]. Records within a bucket preserve their src order.
+func Stable[R any](rt *parallel.Runtime, src, dst []R, nB, l int, bucketOf func(i int) int) []int {
+	return StableInto(rt, src, dst, nB, l, bucketOf, make([]int, nB+1))
+}
+
+// StableInto is Stable writing bucket boundaries into a caller-provided
+// starts slice of length nB+1 (hot callers keep starts pooled too).
+func StableInto[R any](rt *parallel.Runtime, src, dst []R, nB, l int, bucketOf func(i int) int, starts []int) []int {
+	n := len(src)
+	if n > MaxLen {
+		panic("dist: input longer than 2^31-1 records")
+	}
+	if len(dst) != n {
+		panic("dist: src and dst length mismatch")
+	}
+	if nB > maxBuckets {
+		panic("dist: more than 2^16 buckets")
+	}
+	if len(starts) != nB+1 {
+		panic("dist: starts length must be nB+1")
+	}
+	if n == 0 {
+		clear(starts)
+		return starts
+	}
+	if l < 1 {
+		l = 1
+	}
+	rt = parallel.Or(rt)
+	sc := rt.Scratch()
+	nSub := NumSubarrays(n, l)
+
+	// Counting pass: C[i*nB+j] = #records of subarray i in bucket j, with
+	// the per-record bucket id cached for the scatter pass.
+	idsBuf := parallel.GetBuf[uint16](sc, n)
+	cBuf := parallel.GetBuf[int32](sc, nSub*nB)
+	cBuf.Zero()
+	ids, c := idsBuf.S, cBuf.S
+	rt.For(nSub, 1, func(i int) {
+		row := c[i*nB : (i+1)*nB]
+		hi := min((i+1)*l, n)
+		for j := i * l; j < hi; j++ {
+			b := bucketOf(j)
+			ids[j] = uint16(b)
+			row[b]++
+		}
+	})
+
+	// Column-major prefix sum: bucket totals, exclusive scan across
+	// buckets, then per-bucket scan across subarrays, all in place in c.
+	totalsBuf := parallel.GetBuf[int32](sc, nB)
+	totals := totalsBuf.S
+	rt.For(nB, 64, func(j int) {
+		var s int32
+		for i := 0; i < nSub; i++ {
+			s += c[i*nB+j]
+		}
+		totals[j] = s
+	})
+	sum := 0
+	for j := 0; j < nB; j++ {
+		starts[j] = sum
+		sum += int(totals[j])
+	}
+	starts[nB] = sum
+	rt.For(nB, 64, func(j int) {
+		off := int32(starts[j])
+		for i := 0; i < nSub; i++ {
+			cnt := c[i*nB+j]
+			c[i*nB+j] = off
+			off += cnt
+		}
+	})
+
+	// Scatter pass: subarrays in parallel, sequential within a subarray so
+	// the result is stable and every write destination is exclusive.
+	rt.For(nSub, 1, func(i int) {
+		row := c[i*nB : (i+1)*nB]
+		hi := min((i+1)*l, n)
+		for j := i * l; j < hi; j++ {
+			b := ids[j]
+			dst[row[b]] = src[j]
+			row[b]++
+		}
+	})
+	totalsBuf.Release()
+	cBuf.Release()
+	idsBuf.Release()
+	return starts
+}
+
+// Serial is the sequential single-subarray specialization of Stable for
+// cache-resident subproblems: one counting pass (caching ids), one prefix
+// pass over nB counters, one scatter pass. Same contract as Stable, but it
+// spawns no goroutines. Scratch comes from the shared default arena.
+func Serial[R any](src, dst []R, nB int, bucketOf func(i int) int) []int {
+	return SerialInto(nil, src, dst, nB, bucketOf, make([]int, nB+1))
+}
+
+// SerialInto is Serial against an explicit arena (nil selects the shared
+// default) and a caller-provided starts slice of length nB+1. Recursive
+// algorithms call this once per small bucket, thousands of times per sort,
+// so the id cache and counters must not hit the allocator each time.
+func SerialInto[R any](sc *parallel.Scratch, src, dst []R, nB int, bucketOf func(i int) int, starts []int) []int {
+	n := len(src)
+	if len(dst) != n {
+		panic("dist: src and dst length mismatch")
+	}
+	if nB > maxBuckets {
+		panic("dist: more than 2^16 buckets")
+	}
+	if len(starts) != nB+1 {
+		panic("dist: starts length must be nB+1")
+	}
+	if n == 0 {
+		clear(starts)
+		return starts
+	}
+	if sc == nil {
+		sc = parallel.Default().Scratch()
+	}
+	idsBuf := parallel.GetBuf[uint16](sc, n)
+	countsBuf := parallel.GetBuf[int32](sc, nB)
+	countsBuf.Zero()
+	ids, counts := idsBuf.S, countsBuf.S
+	for i := 0; i < n; i++ {
+		b := bucketOf(i)
+		ids[i] = uint16(b)
+		counts[b]++
+	}
+	off := int32(0)
+	for b := 0; b < nB; b++ {
+		starts[b] = int(off)
+		c := counts[b]
+		counts[b] = off
+		off += c
+	}
+	starts[nB] = int(off)
+	for i := 0; i < n; i++ {
+		b := ids[i]
+		dst[counts[b]] = src[i]
+		counts[b]++
+	}
+	countsBuf.Release()
+	idsBuf.Release()
+	return starts
+}

@@ -1,4 +1,4 @@
-package distribute
+package dist
 
 import (
 	"math/rand"
@@ -20,7 +20,7 @@ func TestStableGroupsAndOrders(t *testing.T) {
 					src[i] = rec{b: rng.Intn(nB), seq: i}
 				}
 				dst := make([]rec, n)
-				starts := Stable(src, dst, nB, l, func(i int) int { return src[i].b })
+				starts := Stable(nil, src, dst, nB, l, func(i int) int { return src[i].b })
 
 				if len(starts) != nB+1 {
 					t.Fatalf("starts length %d want %d", len(starts), nB+1)
@@ -55,7 +55,7 @@ func TestStableCountsMatch(t *testing.T) {
 			src[i] = int(v % uint8(nB))
 		}
 		dst := make([]int, n)
-		starts := Stable(src, dst, nB, l, func(i int) int { return src[i] })
+		starts := Stable(nil, src, dst, nB, l, func(i int) int { return src[i] })
 		want := make([]int, nB)
 		for _, b := range src {
 			want[b]++
@@ -89,13 +89,13 @@ func TestStablePanicsOnBadDst(t *testing.T) {
 			t.Fatal("expected panic on mismatched dst length")
 		}
 	}()
-	Stable(make([]int, 4), make([]int, 3), 2, 2, func(int) int { return 0 })
+	Stable(nil, make([]int, 4), make([]int, 3), 2, 2, func(int) int { return 0 })
 }
 
 func TestStableSingleBucket(t *testing.T) {
 	src := []int{5, 4, 3, 2, 1}
 	dst := make([]int, 5)
-	starts := Stable(src, dst, 1, 2, func(int) int { return 0 })
+	starts := Stable(nil, src, dst, 1, 2, func(int) int { return 0 })
 	if starts[1] != 5 {
 		t.Fatalf("bucket size %d want 5", starts[1])
 	}
@@ -120,7 +120,7 @@ func TestSerialMatchesStable(t *testing.T) {
 			}
 			d1 := make([]rec, n)
 			d2 := make([]rec, n)
-			s1 := Stable(src, d1, nB, 512, func(i int) int { return src[i].b })
+			s1 := Stable(nil, src, d1, nB, 512, func(i int) int { return src[i].b })
 			s2 := Serial(src, d2, nB, func(i int) int { return src[i].b })
 			for b := 0; b <= nB; b++ {
 				if s1[b] != s2[b] {
@@ -167,5 +167,5 @@ func TestStableTooManyBucketsPanics(t *testing.T) {
 			t.Fatal("expected panic for nB > 2^16")
 		}
 	}()
-	Stable(make([]int, 2), make([]int, 2), 1<<16+1, 1, func(int) int { return 0 })
+	Stable(nil, make([]int, 2), make([]int, 2), 1<<16+1, 1, func(int) int { return 0 })
 }

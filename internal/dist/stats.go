@@ -1,0 +1,41 @@
+package dist
+
+// Stats reports the skew statistics the paper prints next to each input
+// (Tables 3-5): the number of distinct keys, the maximum key frequency, and
+// the fraction of records whose key is heavy (frequency above the cut).
+type Stats struct {
+	Distinct  int
+	MaxFreq   int
+	HeavyFrac float64
+}
+
+// HeavyCut returns the frequency above which a key of an n-record input
+// counts as heavy in the reported statistics. It mirrors the algorithm's
+// detection threshold: with |S| = 500 log2 n samples and a log2 n hit
+// threshold, keys with frequency around n/500 are the ones sampling can
+// promote, so that is the natural reporting cut.
+func HeavyCut(n int) int {
+	return max(1, n/500)
+}
+
+// Stats64 computes Stats over 64-bit keys with the given heavy cut.
+func Stats64(keys []uint64, heavyCut int) Stats {
+	counts := make(map[uint64]int, 1024)
+	for _, k := range keys {
+		counts[k]++
+	}
+	st := Stats{Distinct: len(counts)}
+	heavy := 0
+	for _, c := range counts {
+		if c > st.MaxFreq {
+			st.MaxFreq = c
+		}
+		if c > heavyCut {
+			heavy += c
+		}
+	}
+	if len(keys) > 0 {
+		st.HeavyFrac = float64(heavy) / float64(len(keys))
+	}
+	return st
+}

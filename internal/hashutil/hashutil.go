@@ -96,7 +96,11 @@ func (r *RNG) Float64() float64 {
 }
 
 // Fork returns a new independent generator derived from this one and a
-// stream id. Forked streams are deterministic functions of (seed, id).
-func (r *RNG) Fork(id uint64) RNG {
+// stream id. Forked streams are deterministic functions of (seed, id). The
+// receiver is a value on purpose: closures that fork per-task streams then
+// capture the parent generator by value, keeping it off the heap (a pointer
+// receiver here costs one allocation per recursion node in the semisort
+// core).
+func (r RNG) Fork(id uint64) RNG {
 	return RNG{state: Mix64(r.state ^ Mix64(id+0x632be59bd9b4e019))}
 }

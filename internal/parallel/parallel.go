@@ -1,16 +1,19 @@
-// Package parallel provides fork-join parallel primitives in the style of
-// the work-span model used by the paper (parallel_for over index ranges,
-// parallel reduce, and exclusive scan). All primitives are deterministic in
+// Package parallel provides the concurrency substrate of the reproduction:
+// a persistent worker-pool Runtime with chunk-stealing parallel loops, a
+// Scratch buffer arena for allocation-free steady-state kernels, and the
+// work-span-style primitives of the paper (parallel_for over index ranges,
+// parallel reduce, exclusive scan). All primitives are deterministic in
 // their results: parallelism only affects scheduling, never output values.
+//
+// The package-level functions run on the shared Default runtime; kernels
+// that receive an explicit *Runtime (via core.Config) use the *In variants
+// so one service-wide pool and arena can be shared.
 package parallel
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // DefaultGrain is the sequential grain size used when a caller passes a
-// non-positive grain. It is chosen so that per-task scheduling overhead is
+// non-positive grain. It is chosen so that per-chunk scheduling overhead is
 // amortized over enough work for cheap loop bodies.
 const DefaultGrain = 2048
 
@@ -18,7 +21,9 @@ const DefaultGrain = 2048
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
 // SetWorkers sets GOMAXPROCS and returns the previous value. It is used by
-// the benchmark harness to reproduce the paper's thread-scaling experiments.
+// the benchmark harness to reproduce the paper's thread-scaling experiments:
+// the pool goroutines of a Runtime outlive the change, but only GOMAXPROCS
+// of them run at a time, which is what the experiments measure.
 func SetWorkers(n int) int {
 	if n < 1 {
 		n = 1
@@ -26,81 +31,20 @@ func SetWorkers(n int) int {
 	return runtime.GOMAXPROCS(n)
 }
 
-// Do runs the given functions in parallel and waits for all of them.
-// It is the binary (well, k-ary) fork primitive of the work-span model.
-func Do(fns ...func()) {
-	switch len(fns) {
-	case 0:
-		return
-	case 1:
-		fns[0]()
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(fns) - 1)
-	for _, fn := range fns[1:] {
-		go func() {
-			defer wg.Done()
-			fn()
-		}()
-	}
-	fns[0]()
-	wg.Wait()
-}
+// Do runs the given functions in parallel on the default runtime and waits
+// for all of them.
+func Do(fns ...func()) { Default().Do(fns...) }
 
-// For runs body(i) for every i in [0, n) in parallel. Consecutive indices
-// within a grain-sized chunk run sequentially on one goroutine.
-func For(n, grain int, body func(i int)) {
-	ForRange(n, grain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
-}
+// For runs body(i) for every i in [0, n) in parallel on the default runtime.
+func For(n, grain int, body func(i int)) { Default().For(n, grain, body) }
 
 // ForRange splits [0, n) into chunks of at most grain indices and runs
-// body(lo, hi) on the chunks in parallel. Recursion is divide-and-conquer so
-// the span of the spawn tree is logarithmic in the number of chunks.
-func ForRange(n, grain int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	forRange(0, n, grain, body)
-}
-
-func forRange(lo, hi, grain int, body func(lo, hi int)) {
-	for hi-lo > grain {
-		mid := lo + (hi-lo)/2
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func(mid, hi int) {
-			defer wg.Done()
-			forRange(mid, hi, grain, body)
-		}(mid, hi)
-		hi = mid
-		defer wg.Wait()
-	}
-	body(lo, hi)
-}
+// body(lo, hi) on the chunks in parallel on the default runtime.
+func ForRange(n, grain int, body func(lo, hi int)) { Default().ForRange(n, grain, body) }
 
 // Blocks splits [0, n) into nBlocks nearly equal contiguous blocks and runs
-// body(b, lo, hi) for each block b in parallel. Block b covers [lo, hi).
-// It matches the paper's "process all subarrays in parallel" step.
-func Blocks(n, nBlocks int, body func(b, lo, hi int)) {
-	if n <= 0 || nBlocks <= 0 {
-		return
-	}
-	if nBlocks > n {
-		nBlocks = n
-	}
-	For(nBlocks, 1, func(b int) {
-		lo, hi := BlockRange(n, nBlocks, b)
-		body(b, lo, hi)
-	})
-}
+// body(b, lo, hi) for each block b in parallel on the default runtime.
+func Blocks(n, nBlocks int, body func(b, lo, hi int)) { Default().Blocks(n, nBlocks, body) }
 
 // BlockRange returns the half-open range [lo, hi) of block b when [0, n) is
 // split into nBlocks nearly equal contiguous blocks.
@@ -116,34 +60,59 @@ func BlockRange(n, nBlocks, b int) (lo, hi int) {
 
 // Reduce computes comb over mapf(i) for all i in [0, n) in parallel.
 // comb must be associative and id its identity; the combination order is
-// deterministic (a fixed reduction tree), so non-commutative monoids work.
+// deterministic (chunk partials folded in index order), so non-commutative
+// monoids work.
 func Reduce[T any](n, grain int, id T, mapf func(i int) T, comb func(T, T) T) T {
+	return ReduceIn(Default(), n, grain, id, mapf, comb)
+}
+
+// ReduceIn is Reduce on an explicit runtime. Per-chunk partial results go
+// through the runtime's arena, so steady-state calls do not allocate.
+func ReduceIn[T any](rt *Runtime, n, grain int, id T, mapf func(i int) T, comb func(T, T) T) T {
 	if n <= 0 {
 		return id
 	}
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
-	return reduce(0, n, grain, id, mapf, comb)
-}
-
-func reduce[T any](lo, hi, grain int, id T, mapf func(i int) T, comb func(T, T) T) T {
-	if hi-lo <= grain {
+	rt = resolve(rt)
+	chunks := int(chunkCount(n, grain))
+	seq := func(lo, hi int) T {
 		acc := id
 		for i := lo; i < hi; i++ {
 			acc = comb(acc, mapf(i))
 		}
 		return acc
 	}
-	mid := lo + (hi-lo)/2
-	var right T
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		right = reduce(mid, hi, grain, id, mapf, comb)
-	}()
-	left := reduce(lo, mid, grain, id, mapf, comb)
-	wg.Wait()
-	return comb(left, right)
+	if chunks == 1 || rt.pool == 0 {
+		return seq(0, n)
+	}
+	partials := GetBuf[T](rt.Scratch(), chunks)
+	rt.ForRange(n, grain, func(lo, hi int) {
+		partials.S[lo/grain] = seq(lo, hi)
+	})
+	total := id
+	for i := range partials.S {
+		total = comb(total, partials.S[i])
+	}
+	partials.Zero() // drop references held by pooled partials
+	partials.Release()
+	return total
+}
+
+// MapInto fills dst[i] = f(i) for all i in parallel. dst and the domain of f
+// must have the same length.
+func MapInto[T any](dst []T, f func(i int) T) {
+	For(len(dst), 0, func(i int) { dst[i] = f(i) })
+}
+
+// Copy copies src into dst in parallel on the default runtime. Slices must
+// have equal length and must not overlap.
+func Copy[T any](dst, src []T) { CopyIn(Default(), dst, src) }
+
+// CopyIn is Copy on an explicit runtime.
+func CopyIn[T any](rt *Runtime, dst, src []T) {
+	resolve(rt).ForRange(len(src), 1<<16, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
 }

@@ -1,0 +1,265 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runtime is a persistent parallel scheduler: a fixed set of long-lived
+// worker goroutines that execute chunk ranges of parallel loops. Unlike the
+// fork-join primitives of the original reproduction (fresh goroutines per
+// call), a Runtime amortizes goroutine creation across millions of calls and
+// carries a Scratch buffer arena, so repeated kernel invocations are
+// allocation-free in steady state.
+//
+// Scheduling model: every parallel loop becomes a job — a range [lo, hi)
+// cut into grain-sized chunks plus an atomic claim counter. The calling
+// goroutine always participates (it claims chunks like any worker), and the
+// job is announced to idle pool workers, which steal chunks until none are
+// left. Chunk boundaries depend only on (n, grain), never on scheduling, so
+// any algorithm that is deterministic over chunk ranges stays deterministic
+// at any parallelism level.
+//
+// Nesting is safe: a worker executing a chunk may start a nested parallel
+// loop; it then participates in the nested job itself, so progress never
+// depends on other workers being idle (no deadlock; worst case a nested job
+// runs sequentially on its caller).
+type Runtime struct {
+	pool    int // number of pool worker goroutines (parallelism is pool+1)
+	queue   chan *job
+	scratch Scratch
+}
+
+// job is one parallel loop in flight.
+type job struct {
+	next   atomic.Int64 // next chunk to claim
+	slots  atomic.Int64 // dense participant-slot allocator (ForRangeW)
+	chunks int64
+	hi     int
+	grain  int
+	body   func(lo, hi int)
+	bodyW  func(w, lo, hi int)
+	wg     sync.WaitGroup // one count per chunk
+}
+
+// NewRuntime creates a runtime with the given target parallelism (the
+// calling goroutine plus workers-1 pool goroutines). workers <= 0 selects
+// GOMAXPROCS. The pool goroutines live for the life of the process; create
+// one shared Runtime per service, not one per request.
+func NewRuntime(workers int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{
+		pool:  workers - 1,
+		queue: make(chan *job, max(workers-1, 1)),
+	}
+	for i := 0; i < rt.pool; i++ {
+		go rt.worker()
+	}
+	return rt
+}
+
+var (
+	defaultOnce sync.Once
+	defaultRT   *Runtime
+)
+
+// Default returns the process-wide shared runtime, creating it on first use
+// with one worker per CPU (and a small floor, so machines with few CPUs
+// still exercise real chunk stealing and a later SetWorkers increase finds
+// pool workers to run on — idle workers cost nothing but a parked
+// goroutine). The package-level For/ForRange/Do/... helpers all run on this
+// runtime.
+func Default() *Runtime {
+	defaultOnce.Do(func() {
+		defaultRT = NewRuntime(max(runtime.GOMAXPROCS(0), runtime.NumCPU(), 4))
+	})
+	return defaultRT
+}
+
+// resolve substitutes the shared default for a nil runtime, so a zero
+// core.Config keeps working.
+func resolve(rt *Runtime) *Runtime {
+	if rt == nil {
+		return Default()
+	}
+	return rt
+}
+
+// Or returns rt unchanged, or the shared Default runtime when rt is nil.
+// Kernels use it to resolve an optional configured runtime.
+func Or(rt *Runtime) *Runtime { return resolve(rt) }
+
+// Scratch returns the runtime's buffer arena. Buffers taken from it are
+// recycled across calls by every kernel sharing this runtime.
+func (rt *Runtime) Scratch() *Scratch { return &rt.scratch }
+
+// MaxSlots returns an upper bound on the participant-slot ids handed to
+// ForRangeW bodies: slots are dense in [0, MaxSlots()).
+func (rt *Runtime) MaxSlots() int { return rt.pool + 1 }
+
+// worker is the long-lived pool goroutine loop: receive a job announcement,
+// steal chunks until the job is drained, repeat. Announcements may be stale
+// (the job already finished); help then claims nothing and returns.
+func (rt *Runtime) worker() {
+	for j := range rt.queue {
+		j.help()
+	}
+}
+
+// help claims and runs chunks until none are left. The first claimed chunk
+// lazily assigns this participant a dense slot id for bodyW.
+func (j *job) help() {
+	slot := int64(-1)
+	for {
+		c := j.next.Add(1) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo := int(c) * j.grain
+		hi := min(lo+j.grain, j.hi)
+		if j.bodyW != nil {
+			if slot < 0 {
+				slot = j.slots.Add(1) - 1
+			}
+			j.bodyW(int(slot), lo, hi)
+		} else {
+			j.body(lo, hi)
+		}
+		j.wg.Done()
+	}
+}
+
+// announce wakes up to want idle pool workers for j. Sends are non-blocking:
+// if the queue is full, every worker is already busy and the caller (which
+// always participates) will run the unclaimed chunks itself.
+func (rt *Runtime) announce(j *job, want int) {
+	for i := 0; i < want; i++ {
+		select {
+		case rt.queue <- j:
+		default:
+			return
+		}
+	}
+}
+
+// chunkCount returns how many grain-sized chunks cover [0, n).
+func chunkCount(n, grain int) int64 {
+	return int64((n + grain - 1) / grain)
+}
+
+// run executes one job to completion: announce, participate, wait for
+// straggler chunks claimed by pool workers.
+func (rt *Runtime) run(j *job) {
+	j.wg.Add(int(j.chunks))
+	rt.announce(j, min(int(j.chunks)-1, rt.pool))
+	j.help()
+	j.wg.Wait()
+}
+
+// ForRange splits [0, n) into chunks of at most grain indices and runs
+// body(lo, hi) on the chunks in parallel. A non-positive grain selects
+// DefaultGrain. Chunk boundaries are a pure function of (n, grain).
+func (rt *Runtime) ForRange(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	chunks := chunkCount(n, grain)
+	if chunks == 1 {
+		body(0, n)
+		return
+	}
+	if rt.pool == 0 {
+		// No pool workers: run the chunks sequentially, preserving the
+		// chunk-size contract (no chunk exceeds grain).
+		for lo := 0; lo < n; lo += grain {
+			body(lo, min(lo+grain, n))
+		}
+		return
+	}
+	j := &job{chunks: chunks, hi: n, grain: grain, body: body}
+	rt.run(j)
+}
+
+// For runs body(i) for every i in [0, n) in parallel. Consecutive indices
+// within a grain-sized chunk run sequentially on one participant.
+func (rt *Runtime) For(n, grain int, body func(i int)) {
+	rt.ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRangeW is ForRange with a participant slot id: body(w, lo, hi) may use
+// w to index per-worker scratch (counters, buffers) without atomics or false
+// sharing. Slots are dense in [0, MaxSlots()) and exclusive to one
+// participant for the duration of the call, but WHICH chunks a slot receives
+// depends on scheduling — per-slot results must be merged order-insensitively
+// (e.g. commutative sums) to preserve determinism.
+func (rt *Runtime) ForRangeW(n, grain int, body func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	chunks := chunkCount(n, grain)
+	if chunks == 1 {
+		body(0, 0, n)
+		return
+	}
+	if rt.pool == 0 {
+		for lo := 0; lo < n; lo += grain {
+			body(0, lo, min(lo+grain, n))
+		}
+		return
+	}
+	j := &job{chunks: chunks, hi: n, grain: grain, bodyW: body}
+	rt.run(j)
+}
+
+// Do runs the given functions concurrently and waits for all of them. It is
+// the k-ary fork primitive of the work-span model: unlike the loop
+// primitives (which may run chunks sequentially on the caller when the pool
+// is busy), Do guarantees every function gets its own goroutine, so
+// functions that synchronize with each other cannot deadlock.
+func (rt *Runtime) Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// Blocks splits [0, n) into nBlocks nearly equal contiguous blocks and runs
+// body(b, lo, hi) for each block b in parallel.
+func (rt *Runtime) Blocks(n, nBlocks int, body func(b, lo, hi int)) {
+	if n <= 0 || nBlocks <= 0 {
+		return
+	}
+	if nBlocks > n {
+		nBlocks = n
+	}
+	rt.For(nBlocks, 1, func(b int) {
+		lo, hi := BlockRange(n, nBlocks, b)
+		body(b, lo, hi)
+	})
+}

@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The runtime tests construct pools explicitly (NewRuntime(8)) so the
+// chunk-stealing path is exercised even on machines where the default pool
+// would be small.
+
+func TestRuntimeForCoversEveryIndexOnce(t *testing.T) {
+	rt := NewRuntime(8)
+	for _, n := range []int{0, 1, 2, 7, 100, 10000} {
+		for _, grain := range []int{0, 1, 3, 64, 100000} {
+			hits := make([]int32, n)
+			rt.For(n, grain, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d grain=%d: index %d hit %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRuntimeForRangeChunkContract(t *testing.T) {
+	rt := NewRuntime(8)
+	n, grain := 100003, 1234
+	var total, chunks int64
+	rt.ForRange(n, grain, func(lo, hi int) {
+		if lo >= hi || hi-lo > grain {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		if lo%grain != 0 {
+			t.Errorf("chunk start %d not aligned to grain", lo)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+		atomic.AddInt64(&chunks, 1)
+	})
+	if total != int64(n) {
+		t.Fatalf("chunks cover %d indices, want %d", total, n)
+	}
+	if want := int64((n + grain - 1) / grain); chunks != want {
+		t.Fatalf("%d chunks, want %d", chunks, want)
+	}
+}
+
+func TestRuntimeNestedForNoDeadlock(t *testing.T) {
+	// A small pool with nested parallel loops: every participant of the
+	// outer loop starts an inner one. The caller-participates design must
+	// complete without deadlock regardless of pool saturation.
+	rt := NewRuntime(2)
+	var sum atomic.Int64
+	rt.For(64, 1, func(i int) {
+		rt.For(64, 1, func(j int) {
+			sum.Add(1)
+		})
+	})
+	if sum.Load() != 64*64 {
+		t.Fatalf("nested loops ran %d bodies, want %d", sum.Load(), 64*64)
+	}
+}
+
+func TestRuntimeForRangeWSlots(t *testing.T) {
+	rt := NewRuntime(8)
+	maxSlots := rt.MaxSlots()
+	if maxSlots != 8 {
+		t.Fatalf("MaxSlots = %d, want 8", maxSlots)
+	}
+	// Per-slot counters must sum to n: slots are exclusive per participant.
+	counts := make([]int64, maxSlots*8) // padded stride to dodge sharing
+	n := 1 << 16
+	rt.ForRangeW(n, 128, func(w, lo, hi int) {
+		if w < 0 || w >= maxSlots {
+			t.Errorf("slot %d out of range [0,%d)", w, maxSlots)
+		}
+		counts[w*8] += int64(hi - lo)
+	})
+	var total int64
+	for w := 0; w < maxSlots; w++ {
+		total += counts[w*8]
+	}
+	if total != int64(n) {
+		t.Fatalf("slot counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestRuntimeReduceDeterministicNonCommutative(t *testing.T) {
+	rt := NewRuntime(8)
+	n := 3000
+	got := ReduceIn(rt, n, 7, "",
+		func(i int) string { return string(rune('a' + i%26)) },
+		func(a, b string) string { return a + b })
+	want := ""
+	for i := 0; i < n; i++ {
+		want += string(rune('a' + i%26))
+	}
+	if got != want {
+		t.Fatal("runtime reduce broke the deterministic combination order")
+	}
+}
+
+func TestRuntimeDoRunsAll(t *testing.T) {
+	rt := NewRuntime(4)
+	var a, b, c atomic.Int32
+	rt.Do(
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatal("Do skipped a function")
+	}
+	rt.Do() // must not hang or panic
+}
+
+func TestRuntimeDoIsConcurrentEvenWithoutPool(t *testing.T) {
+	// Do is the fork primitive: functions that synchronize with each other
+	// must not deadlock even when the runtime has no pool workers (the
+	// loop primitives may serialize; Do must not).
+	rt := NewRuntime(1)
+	done := make(chan struct{})
+	ch := make(chan int) // unbuffered: requires both fns to be live at once
+	go func() {
+		rt.Do(
+			func() { ch <- 1 },
+			func() { <-ch },
+		)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-timeout(t):
+		t.Fatal("Do deadlocked on synchronizing functions")
+	}
+}
+
+func timeout(t *testing.T) <-chan struct{} {
+	t.Helper()
+	c := make(chan struct{})
+	go func() {
+		defer close(c)
+		// Generous bound; only hit on deadlock.
+		for i := 0; i < 50; i++ {
+			runtime.Gosched()
+		}
+		time.Sleep(2 * time.Second)
+	}()
+	return c
+}
+
+func TestRuntimeSingleWorkerIsSerial(t *testing.T) {
+	rt := NewRuntime(1)
+	// With no pool workers the caller runs everything; concurrent access
+	// without atomics must be safe.
+	count := 0
+	rt.For(10000, 64, func(i int) { count++ })
+	if count != 10000 {
+		t.Fatalf("serial runtime ran %d bodies", count)
+	}
+}
+
+func TestOrResolvesNil(t *testing.T) {
+	if Or(nil) != Default() {
+		t.Fatal("Or(nil) must return the default runtime")
+	}
+	rt := NewRuntime(2)
+	if Or(rt) != rt {
+		t.Fatal("Or must pass through a non-nil runtime")
+	}
+}

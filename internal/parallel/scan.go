@@ -11,7 +11,11 @@ const scanSeqThreshold = 1 << 15
 
 // ScanExclusive replaces a with its exclusive prefix sums and returns the
 // total. a[i] becomes a[0]+...+a[i-1]; the return value is the full sum.
-func ScanExclusive[T Integer](a []T) T {
+func ScanExclusive[T Integer](a []T) T { return ScanExclusiveIn(Default(), a) }
+
+// ScanExclusiveIn is ScanExclusive on an explicit runtime; the per-block
+// partial sums come from the runtime's arena.
+func ScanExclusiveIn[T Integer](rt *Runtime, a []T) T {
 	n := len(a)
 	if n < scanSeqThreshold {
 		var sum T
@@ -22,32 +26,34 @@ func ScanExclusive[T Integer](a []T) T {
 		}
 		return sum
 	}
+	rt = resolve(rt)
 	nBlocks := 4 * Workers()
 	if nBlocks > n {
 		nBlocks = n
 	}
-	sums := make([]T, nBlocks)
-	Blocks(n, nBlocks, func(b, lo, hi int) {
+	sums := GetBuf[T](rt.Scratch(), nBlocks)
+	rt.Blocks(n, nBlocks, func(b, lo, hi int) {
 		var s T
 		for i := lo; i < hi; i++ {
 			s += a[i]
 		}
-		sums[b] = s
+		sums.S[b] = s
 	})
 	var total T
-	for b := range sums {
-		v := sums[b]
-		sums[b] = total
+	for b := range sums.S {
+		v := sums.S[b]
+		sums.S[b] = total
 		total += v
 	}
-	Blocks(n, nBlocks, func(b, lo, hi int) {
-		s := sums[b]
+	rt.Blocks(n, nBlocks, func(b, lo, hi int) {
+		s := sums.S[b]
 		for i := lo; i < hi; i++ {
 			v := a[i]
 			a[i] = s
 			s += v
 		}
 	})
+	sums.Release()
 	return total
 }
 
@@ -69,6 +75,13 @@ func ScanInclusive[T Integer](a []T) T {
 // Pack copies the elements of src whose flag is true into a fresh slice,
 // preserving order. It is the standard parallel filter primitive.
 func Pack[T any](src []T, keep func(i int) bool) []T {
+	return PackIn(Default(), src, keep)
+}
+
+// PackIn is Pack on an explicit runtime; the per-block counters come from
+// the runtime's arena.
+func PackIn[T any](rt *Runtime, src []T, keep func(i int) bool) []T {
+	rt = resolve(rt)
 	n := len(src)
 	if n == 0 {
 		return nil
@@ -77,20 +90,20 @@ func Pack[T any](src []T, keep func(i int) bool) []T {
 	if nBlocks > n {
 		nBlocks = n
 	}
-	counts := make([]int, nBlocks)
-	Blocks(n, nBlocks, func(b, lo, hi int) {
+	counts := GetBuf[int](rt.Scratch(), nBlocks)
+	rt.Blocks(n, nBlocks, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if keep(i) {
 				c++
 			}
 		}
-		counts[b] = c
+		counts.S[b] = c
 	})
-	total := ScanExclusive(counts)
+	total := ScanExclusiveIn(rt, counts.S)
 	out := make([]T, total)
-	Blocks(n, nBlocks, func(b, lo, hi int) {
-		w := counts[b]
+	rt.Blocks(n, nBlocks, func(b, lo, hi int) {
+		w := counts.S[b]
 		for i := lo; i < hi; i++ {
 			if keep(i) {
 				out[w] = src[i]
@@ -98,19 +111,6 @@ func Pack[T any](src []T, keep func(i int) bool) []T {
 			}
 		}
 	})
+	counts.Release()
 	return out
-}
-
-// MapInto fills dst[i] = f(i) for all i in parallel. dst and the domain of f
-// must have the same length.
-func MapInto[T any](dst []T, f func(i int) T) {
-	For(len(dst), 0, func(i int) { dst[i] = f(i) })
-}
-
-// Copy copies src into dst in parallel. Slices must have equal length and
-// must not overlap.
-func Copy[T any](dst, src []T) {
-	ForRange(len(src), 1<<16, func(lo, hi int) {
-		copy(dst[lo:hi], src[lo:hi])
-	})
 }

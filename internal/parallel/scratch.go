@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"math/bits"
+	"reflect"
+	"sync"
+)
+
+// Scratch is a buffer arena: a set of per-type free lists for the temporary
+// slices and scratch objects the semisort kernels need on every call (record
+// temporaries, counting matrices, cached bucket ids, prefix arrays, sample
+// tables, base-case hash tables). One Scratch lives inside each Runtime, so
+// every kernel sharing a runtime also shares its buffers and repeated calls
+// allocate (close to) nothing in steady state.
+//
+// Buffer-reuse contract (see DESIGN.md): buffers come back with arbitrary
+// contents — callers must not assume zeroed memory (use Buf.Zero when the
+// kernel needs zeros). Release must not be called twice, and a released
+// buffer must not be used again. Free lists are built on sync.Pool, so
+// concurrent Get/Release from any goroutine is safe, idle buffers are
+// reclaimed by the GC under memory pressure, and pooled record buffers may
+// keep their referenced objects alive until then.
+type Scratch struct {
+	pools sync.Map // reflect.Type of []T or T -> *sync.Pool
+}
+
+// Buf is a pooled slice handle. Use the S field; call Release when done.
+type Buf[T any] struct {
+	S    []T
+	pool *sync.Pool
+}
+
+// poolFor returns the free list keyed by the given type, creating it once.
+func (s *Scratch) poolFor(key reflect.Type) *sync.Pool {
+	if p, ok := s.pools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := s.pools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// GetBuf takes an n-element slice of T from the arena, growing a recycled
+// buffer if needed. Contents are unspecified.
+func GetBuf[T any](s *Scratch, n int) *Buf[T] {
+	p := s.poolFor(reflect.TypeFor[[]T]())
+	b, _ := p.Get().(*Buf[T])
+	if b == nil {
+		b = &Buf[T]{pool: p}
+	}
+	if cap(b.S) < n {
+		b.S = make([]T, ceilCap(n))
+	}
+	b.S = b.S[:n]
+	return b
+}
+
+// Release returns the buffer to its arena.
+func (b *Buf[T]) Release() {
+	if b.pool != nil {
+		b.pool.Put(b)
+	}
+}
+
+// Zero clears the buffer contents.
+func (b *Buf[T]) Zero() { clear(b.S) }
+
+// GetObj takes a pooled *T from the arena (zero-valued when fresh; otherwise
+// in whatever state PutObj left it). Kernels use this for reusable scratch
+// structs whose internal arrays grow monotonically, e.g. base-case hash
+// tables.
+func GetObj[T any](s *Scratch) *T {
+	p := s.poolFor(reflect.TypeFor[T]())
+	if v, _ := p.Get().(*T); v != nil {
+		return v
+	}
+	return new(T)
+}
+
+// PutObj returns an object taken with GetObj to the arena.
+func PutObj[T any](s *Scratch, v *T) {
+	s.poolFor(reflect.TypeFor[T]()).Put(v)
+}
+
+// ceilCap rounds allocation capacities up to a power of two so recycled
+// buffers converge onto a few size classes instead of growing by dribs.
+func ceilCap(n int) int {
+	if n <= 8 {
+		return 8
+	}
+	return 1 << bits.Len(uint(n-1))
+}

@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetBufSizing(t *testing.T) {
+	var sc Scratch
+	b := GetBuf[int32](&sc, 100)
+	if len(b.S) != 100 {
+		t.Fatalf("buffer length %d, want 100", len(b.S))
+	}
+	for i := range b.S {
+		b.S[i] = int32(i)
+	}
+	b.Release()
+	// A bigger request after release must grow.
+	b2 := GetBuf[int32](&sc, 5000)
+	if len(b2.S) != 5000 {
+		t.Fatalf("buffer length %d, want 5000", len(b2.S))
+	}
+	b2.Release()
+}
+
+func TestGetBufReusesAcrossCalls(t *testing.T) {
+	var sc Scratch
+	b := GetBuf[uint16](&sc, 1<<12)
+	p := &b.S[0]
+	b.Release()
+	got := false
+	// sync.Pool may drop items, so accept reuse on any of a few tries.
+	for i := 0; i < 8 && !got; i++ {
+		b2 := GetBuf[uint16](&sc, 1<<12)
+		got = &b2.S[0] == p
+		b2.Release()
+	}
+	if !got {
+		t.Skip("pool dropped the buffer (GC); nothing to assert")
+	}
+}
+
+func TestGetBufDistinctTypesDoNotMix(t *testing.T) {
+	var sc Scratch
+	a := GetBuf[int32](&sc, 64)
+	b := GetBuf[uint32](&sc, 64)
+	a.S[0], b.S[0] = 7, 9
+	if a.S[0] != 7 || b.S[0] != 9 {
+		t.Fatal("typed pools aliased")
+	}
+	a.Release()
+	b.Release()
+}
+
+func TestGetBufConcurrent(t *testing.T) {
+	var sc Scratch
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := GetBuf[int](&sc, 256+i)
+				for j := range b.S {
+					b.S[j] = g
+				}
+				for j := range b.S {
+					if b.S[j] != g {
+						t.Errorf("buffer shared between goroutines")
+						break
+					}
+				}
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestGetObjRoundTrip(t *testing.T) {
+	type scratchObj struct{ xs []int }
+	var sc Scratch
+	o := GetObj[scratchObj](&sc)
+	if o == nil || o.xs != nil {
+		t.Fatal("fresh object must be zero-valued")
+	}
+	o.xs = append(o.xs, 1, 2, 3)
+	PutObj(&sc, o)
+	o2 := GetObj[scratchObj](&sc)
+	// Either the recycled object (with state) or a fresh one; both usable.
+	_ = o2
+}
+
+func TestZero(t *testing.T) {
+	var sc Scratch
+	b := GetBuf[int64](&sc, 32)
+	for i := range b.S {
+		b.S[i] = 5
+	}
+	b.Zero()
+	for i := range b.S {
+		if b.S[i] != 0 {
+			t.Fatal("Zero left data behind")
+		}
+	}
+	b.Release()
+}

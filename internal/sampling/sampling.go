@@ -10,6 +10,7 @@ import (
 	"math/bits"
 
 	"repro/internal/hashutil"
+	"repro/internal/parallel"
 )
 
 // Params configures one sampling round.
@@ -22,6 +23,10 @@ type Params struct {
 	// IDBase is the bucket id assigned to the first heavy key; subsequent
 	// heavy keys get consecutive ids (the paper uses IDBase = n_L).
 	IDBase int
+	// Scratch supplies the transient sample-counting tables; nil falls back
+	// to the shared default arena. The returned HeavyTable itself is
+	// allocated only when heavy keys exist (it escapes to the caller).
+	Scratch *parallel.Scratch
 }
 
 // HeavyTable is the paper's heavy table H. Keys are stored with their user
@@ -80,13 +85,30 @@ func Build[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bo
 	}
 
 	// Count sampled keys in a small open-addressing multiset; order keeps
-	// slots in first-insertion order for deterministic id assignment.
+	// slots in first-insertion order for deterministic id assignment. The
+	// tables are transient and arena-pooled: one sampling round runs per
+	// recursion level, so these would otherwise dominate steady-state
+	// allocations.
+	sc := p.Scratch
+	if sc == nil {
+		sc = parallel.Default().Scratch()
+	}
 	tabCap := CeilPow2(2 * m)
 	mask := uint64(tabCap - 1)
-	slotHash := make([]uint64, tabCap)
-	slotRec := make([]int32, tabCap) // index into a of the slot's first record
-	slotCnt := make([]int32, tabCap)
-	order := make([]uint64, 0, 64)
+	slotHashBuf := parallel.GetBuf[uint64](sc, tabCap)
+	slotRecBuf := parallel.GetBuf[int32](sc, tabCap) // index into a of the slot's first record
+	slotCntBuf := parallel.GetBuf[int32](sc, tabCap)
+	orderBuf := parallel.GetBuf[uint64](sc, 0)
+	slotCntBuf.Zero()
+	slotHash, slotRec, slotCnt := slotHashBuf.S, slotRecBuf.S, slotCntBuf.S
+	order := orderBuf.S
+	defer func() {
+		orderBuf.S = order[:0]
+		orderBuf.Release()
+		slotCntBuf.Release()
+		slotRecBuf.Release()
+		slotHashBuf.Release()
+	}()
 	for j := 0; j < m; j++ {
 		idx := rng.Intn(n)
 		k := key(a[idx])

@@ -4,7 +4,9 @@ import "repro/internal/core"
 
 // Option adjusts the tunable parameters of Section 3.6. The defaults are
 // the paper's: 2^10 light buckets, base case 2^14, at most 5000 subarrays
-// per recursion level, |S| = 500 log2 n samples.
+// per recursion level, |S| = 500 log2 n samples. Zero or negative values
+// fall back to these defaults. WithRuntime (runtime.go) selects the worker
+// pool and buffer arena the call executes on.
 type Option func(*core.Config)
 
 // WithSeed fixes the sampling seed. The algorithms are deterministic for a

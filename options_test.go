@@ -1,0 +1,117 @@
+package semisort
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// White-box tests for the options layer: every With* option must land in
+// the core.Config the algorithms actually receive, and zero/negative inputs
+// must fall back to the paper's defaults via Config.WithDefaults.
+
+func TestEveryOptionLandsInConfig(t *testing.T) {
+	rt := parallel.NewRuntime(2)
+	cfg := buildConfig([]Option{
+		WithSeed(9),
+		WithLightBuckets(100),
+		WithBaseCase(128),
+		WithMaxSubarrays(7),
+		WithSampleFactor(3),
+		WithMaxDepth(5),
+		WithRuntime(rt),
+	})
+	if cfg.Seed != 9 {
+		t.Fatalf("WithSeed: got %d", cfg.Seed)
+	}
+	if cfg.LightBuckets != 100 {
+		t.Fatalf("WithLightBuckets: got %d", cfg.LightBuckets)
+	}
+	if cfg.BaseCase != 128 {
+		t.Fatalf("WithBaseCase: got %d", cfg.BaseCase)
+	}
+	if cfg.MaxSubarrays != 7 {
+		t.Fatalf("WithMaxSubarrays: got %d", cfg.MaxSubarrays)
+	}
+	if cfg.SampleFactor != 3 {
+		t.Fatalf("WithSampleFactor: got %d", cfg.SampleFactor)
+	}
+	if cfg.MaxDepth != 5 {
+		t.Fatalf("WithMaxDepth: got %d", cfg.MaxDepth)
+	}
+	if cfg.Runtime != rt {
+		t.Fatal("WithRuntime did not land in the config")
+	}
+}
+
+func TestNoOptionsIsZeroConfig(t *testing.T) {
+	cfg := buildConfig(nil)
+	if cfg.LightBuckets != 0 || cfg.BaseCase != 0 || cfg.MaxSubarrays != 0 ||
+		cfg.SampleFactor != 0 || cfg.MaxDepth != 0 || cfg.Seed != 0 || cfg.Runtime != nil {
+		t.Fatalf("empty option list must produce the zero config, got %+v", cfg)
+	}
+}
+
+func TestZeroAndNegativeFallBackToPaperDefaults(t *testing.T) {
+	for _, opts := range [][]Option{
+		nil,
+		{WithLightBuckets(0), WithBaseCase(0), WithMaxSubarrays(0), WithSampleFactor(0), WithMaxDepth(0)},
+		{WithLightBuckets(-4), WithBaseCase(-1), WithMaxSubarrays(-7), WithSampleFactor(-3), WithMaxDepth(-5)},
+	} {
+		cfg := buildConfig(opts).WithDefaults()
+		if cfg.LightBuckets != 1<<10 {
+			t.Fatalf("n_L default %d, want 2^10", cfg.LightBuckets)
+		}
+		if cfg.BaseCase != 1<<14 {
+			t.Fatalf("alpha default %d, want 2^14", cfg.BaseCase)
+		}
+		if cfg.MaxSubarrays != 5000 {
+			t.Fatalf("MaxSubarrays default %d, want 5000", cfg.MaxSubarrays)
+		}
+		if cfg.SampleFactor != 500 {
+			t.Fatalf("SampleFactor default %d, want 500", cfg.SampleFactor)
+		}
+		if cfg.MaxDepth <= 0 || cfg.MinSubarray <= 0 {
+			t.Fatal("guards must default to positive values")
+		}
+	}
+}
+
+func TestLightBucketsRoundToPowerOfTwo(t *testing.T) {
+	cfg := buildConfig([]Option{WithLightBuckets(1000)}).WithDefaults()
+	if cfg.LightBuckets != 1024 {
+		t.Fatalf("n_L=1000 must round to 1024, got %d", cfg.LightBuckets)
+	}
+}
+
+func TestGroupsEqHonorsRuntime(t *testing.T) {
+	// The whole GroupsEq call — sort and boundary pass — must run on the
+	// configured runtime and produce the same groups as the default.
+	rt := parallel.NewRuntime(3)
+	a := make([]uint64, 50000)
+	for i := range a {
+		a[i] = uint64(i % 37)
+	}
+	ident := func(x uint64) uint64 { return x }
+	eq := func(x, y uint64) bool { return x == y }
+	b := append([]uint64(nil), a...)
+	gRT := GroupsEq(a, ident, Hash64, eq, WithRuntime(rt), WithSeed(5))
+	gDef := GroupsEq(b, ident, Hash64, eq, WithSeed(5))
+	if len(gRT) != 37 || len(gDef) != 37 {
+		t.Fatalf("got %d / %d groups, want 37", len(gRT), len(gDef))
+	}
+	for i := range gRT {
+		if gRT[i] != gDef[i] {
+			t.Fatalf("group %d differs across runtimes: %+v vs %+v", i, gRT[i], gDef[i])
+		}
+	}
+}
+
+func TestDefaultRuntimeIsShared(t *testing.T) {
+	if DefaultRuntime() == nil || DefaultRuntime() != DefaultRuntime() {
+		t.Fatal("DefaultRuntime must return one shared instance")
+	}
+	if NewRuntime(2) == DefaultRuntime() {
+		t.Fatal("NewRuntime must not return the shared instance")
+	}
+}

@@ -1,0 +1,34 @@
+package semisort
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// Runtime is a persistent parallel runtime: a fixed pool of long-lived
+// worker goroutines plus a buffer arena that recycles every transient
+// allocation of the algorithms (the O(n) auxiliary array, counting
+// matrices, cached bucket ids, sample tables, base-case hash tables).
+//
+// By default every call runs on a shared process-wide runtime, so repeated
+// SortEq/Histogram/CollectReduce calls are already allocation-free in
+// steady state. A service that wants an explicitly sized pool — or separate
+// pools for separate tenants — creates its own with NewRuntime and passes
+// it to each call via WithRuntime.
+type Runtime = parallel.Runtime
+
+// NewRuntime creates a runtime with the given target parallelism (the
+// calling goroutine plus workers-1 pool goroutines); workers <= 0 selects
+// GOMAXPROCS. The pool goroutines live for the life of the process: create
+// one runtime per service, not one per call.
+func NewRuntime(workers int) *Runtime { return parallel.NewRuntime(workers) }
+
+// DefaultRuntime returns the shared process-wide runtime used when no
+// WithRuntime option is given.
+func DefaultRuntime() *Runtime { return parallel.Default() }
+
+// WithRuntime runs the call on rt instead of the shared default runtime,
+// so the call uses rt's workers and recycled buffers.
+func WithRuntime(rt *Runtime) Option {
+	return func(c *core.Config) { c.Runtime = rt }
+}

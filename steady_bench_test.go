@@ -1,0 +1,63 @@
+// Steady-state benchmarks for the persistent runtime: the service scenario
+// of repeated semisort calls sharing one worker pool and buffer arena.
+// Run with -benchmem: allocs/op is the headline number — near zero after
+// warm-up, versus one O(n) auxiliary array plus per-level counting matrices,
+// id caches, and sample tables per call without buffer reuse.
+package semisort_test
+
+import (
+	"testing"
+
+	semisort "repro"
+	"repro/internal/bench"
+	"repro/internal/dist"
+	"repro/internal/parallel"
+)
+
+func steadyData(n int, spec dist.Spec) []bench.P64 {
+	return bench.Make64(n, spec, 42)
+}
+
+func benchSteady(b *testing.B, data []bench.P64, opts ...semisort.Option) {
+	key := func(p bench.P64) uint64 { return p.K }
+	eq := func(x, y uint64) bool { return x == y }
+	work := make([]bench.P64, len(data))
+	for i := 0; i < 3; i++ { // warm the arena before measuring
+		parallel.Copy(work, data)
+		semisort.SortEq(work, key, semisort.Hash64, eq, opts...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		parallel.Copy(work, data)
+		b.StartTimer()
+		semisort.SortEq(work, key, semisort.Hash64, eq, opts...)
+	}
+}
+
+// BenchmarkSortEqSteadyState measures repeated SortEq calls on the shared
+// default runtime — the high-throughput service steady state the runtime
+// refactor targets. Every temporary comes from the runtime's arena, so
+// allocs/op is (near) zero after warm-up.
+func BenchmarkSortEqSteadyState(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		spec dist.Spec
+	}{
+		{"distinct", dist.Spec{Kind: dist.Uniform, Param: 1 << 19}},
+		{"zipf-1.2", dist.Spec{Kind: dist.Zipfian, Param: 1.2}},
+	} {
+		data := steadyData(1<<19, c.spec)
+		b.Run(c.name, func(b *testing.B) { benchSteady(b, data) })
+	}
+}
+
+// BenchmarkSortEqSteadyStateOwnRuntime is the same workload on an
+// explicitly created runtime, as a service sharing one pool across tenants
+// would run it.
+func BenchmarkSortEqSteadyStateOwnRuntime(b *testing.B) {
+	rt := semisort.NewRuntime(0)
+	data := steadyData(1<<19, dist.Spec{Kind: dist.Zipfian, Param: 1.2})
+	benchSteady(b, data, semisort.WithRuntime(rt))
+}
