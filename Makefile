@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench-steady bench
+.PHONY: all check fmt vet build test race bench-steady bench bench-paper
 
 all: check
 
@@ -31,6 +31,11 @@ race:
 bench-steady:
 	$(GO) test -bench SortEqSteadyState -benchtime 20x -run ^$$ .
 
-## bench: representative cells of every table/figure
+## bench: steady-state suite at n=10^7 -> BENCH_steady.json (the perf
+## trajectory each PR appends to; see EXPERIMENTS.md)
 bench:
+	$(GO) run ./cmd/semibench -json BENCH_steady.json -n 10000000
+
+## bench-paper: representative cells of every table/figure
+bench-paper:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .

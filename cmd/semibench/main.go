@@ -8,6 +8,7 @@
 //	semibench -exp table3 -n 10000000
 //	semibench -exp table3,fig3a,table4 -n 5000000 -rounds 3
 //	semibench -exp all -out results.txt
+//	semibench -json BENCH_steady.json -n 10000000
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		seedFlag    = flag.Uint64("seed", 42, "workload generation seed")
 		threadsFlag = flag.String("threads", "", "comma-separated thread counts for scaling experiments")
 		outFlag     = flag.String("out", "", "write results to this file instead of stdout")
+		jsonFlag    = flag.String("json", "", "run the steady-state suite and write it as JSON to this file")
 	)
 	flag.Parse()
 
@@ -38,8 +40,8 @@ func main() {
 		bench.List(os.Stdout)
 		return
 	}
-	if *expFlag == "" {
-		fmt.Fprintln(os.Stderr, "semibench: use -exp <ids> (or -list); e.g. -exp table3")
+	if *expFlag == "" && *jsonFlag == "" {
+		fmt.Fprintln(os.Stderr, "semibench: use -exp <ids>, -json <file>, or -list; e.g. -exp table3")
 		os.Exit(2)
 	}
 
@@ -63,6 +65,28 @@ func main() {
 				os.Exit(2)
 			}
 			opts.Threads = append(opts.Threads, t)
+		}
+	}
+
+	if *jsonFlag != "" {
+		rep := bench.SteadyReportFor(opts)
+		rep.Print(w)
+		f, err := os.Create(*jsonFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: %v\n", err)
+			os.Exit(1)
+		}
+		err = rep.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\n[steady-state suite written to %s]\n", *jsonFlag)
+		if *expFlag == "" {
+			return
 		}
 	}
 

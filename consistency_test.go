@@ -2,10 +2,13 @@ package semisort_test
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	semisort "repro"
+	"repro/internal/dist"
+	"repro/internal/parallel"
 )
 
 // The three primitives are different views of the same grouping; this file
@@ -54,6 +57,34 @@ func TestPrimitivesAgree(t *testing.T) {
 			k := b[g.Lo]
 			if int64(g.Hi-g.Lo) != counts[k] {
 				t.Fatalf("trial %d: key %d group size %d vs count %d", trial, k, g.Hi-g.Lo, counts[k])
+			}
+		}
+	}
+}
+
+// TestBufferedScatterConsistency: with the software write buffers forced
+// on, a fixed seed must still produce byte-identical output at every
+// GOMAXPROCS level, and identical to the unbuffered scatter's output — the
+// staging lanes change only the order of stores, never a destination.
+func TestBufferedScatterConsistency(t *testing.T) {
+	n := 1 << 18 // above the serial cutoff, so the parallel scatter runs
+	rng := rand.New(rand.NewSource(99))
+	in := make([]semisort.Pair[uint64, uint64], n)
+	for i := range in {
+		in[i] = semisort.Pair[uint64, uint64]{Key: uint64(rng.Intn(1 << 12)), Value: uint64(i)}
+	}
+	run := func(workers int, buffered bool) []semisort.Pair[uint64, uint64] {
+		defer parallel.SetWorkers(parallel.SetWorkers(workers))
+		defer dist.SetScatterBuffering(dist.SetScatterBuffering(buffered))
+		out := append([]semisort.Pair[uint64, uint64](nil), in...)
+		semisort.SortPairsEq(out, semisort.Hash64, semisort.WithSeed(5))
+		return out
+	}
+	ref := run(1, false)
+	for _, workers := range []int{1, 4, parallel.Workers()} {
+		for _, buffered := range []bool{false, true} {
+			if got := run(workers, buffered); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("output differs at workers=%d buffered=%v", workers, buffered)
 			}
 		}
 	}

@@ -1,92 +1,171 @@
 package core
 
-import "repro/internal/parallel"
+import (
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+)
 
 // Base cases of the Local Refining step (Section 3.3). Both variants
 // produce a stable grouping: records with equal keys appear contiguously in
 // their original relative order. Base-case scratch lives in the runtime's
 // arena, so it is recycled both across the thousands of light buckets of
 // one call and across repeated calls sharing a runtime.
+//
+// The semisort= base case is built on the hash-once pipeline: the bucket
+// arrives with every record's cached 64-bit user hash, so instead of the
+// paper's chained hash table (one random cache-missing probe per record
+// into a table of 2n slots) it keeps splitting by fresh windows of the
+// cached hash — serial, stable, streaming counting sorts via
+// dist.SerialKeyedInto, whose byte-wide id cache covers the 256-way splits
+// — until groups are tiny, then groups each leaf with a linear
+// representative scan gated by full-hash equality. The user closures are
+// untouched on collision-free inputs: hashes come from the cache, and eq
+// (with its key extractions) runs only when two full 64-bit hashes agree.
 
-// eqScratch holds the reusable arrays of the semisort= base-case hash
-// table. Base cases run thousands of times (one per light bucket), so the
-// arrays are pooled and cleaned selectively — only the slots actually used
-// are reset, via the insertion-order list.
-type eqScratch struct {
-	slot    []int32  // m: table slot -> distinct-key index, or -1
-	slotH   []uint64 // m: user hash of the key occupying the slot
-	repIdx  []int32  // per distinct key: index of its first record
-	counts  []int32  // per distinct key: count, then write offset
-	recDist []int32  // n: record -> distinct-key index
-	order   []uint64 // dirtied table slots, in first-use order
+// eqSplitBits caps how many cached-hash bits one base-case split consumes
+// (256-way: exactly the byte-wide id-cache specialization of SerialInto).
+// Small buckets consume fewer bits so the per-split fixed costs (counters,
+// prefix, leaf dispatch) stay proportional to the bucket.
+const eqSplitBits = 8
+
+// eqTinyCutoff is the group size below which splitting stops and the leaf
+// grouper runs. Leaves this small are L1-resident.
+const eqTinyCutoff = 48
+
+// eqSplitWidth returns how many hash bits to consume splitting an n-record
+// group: enough for leaves of about eqTinyCutoff/2 records, at most
+// eqSplitBits.
+func eqSplitWidth(n int) uint {
+	bits := uint(ceilLog2(n/(eqTinyCutoff/2) + 1))
+	if bits > eqSplitBits {
+		return eqSplitBits
+	}
+	if bits < 2 {
+		return 2
+	}
+	return bits
 }
 
-// grow ensures capacity for table size m and bucket size n, keeping the
-// "slot[i] == -1 everywhere" invariant.
-func (s *eqScratch) grow(m, n int) {
-	if len(s.slot) < m {
-		s.slot = make([]int32, m)
-		s.slotH = make([]uint64, m)
-		for i := range s.slot {
-			s.slot[i] = -1
-		}
-	}
+// eqScratch holds the reusable arrays of the semisort= leaf grouper: per
+// distinct key a representative (full hash, first index, lazily extracted
+// key), per record its distinct-key index. Pooled via the arena; cached key
+// values are cleared before pooling so the arena does not pin caller state
+// beyond the records themselves.
+type eqScratch[K any] struct {
+	repH    []uint64
+	repIdx  []int32
+	counts  []int32
+	recDist []int32
+	keys    []K
+	haveKey []bool
+}
+
+func (s *eqScratch[K]) grow(n int) {
 	if len(s.recDist) < n {
-		s.recDist = make([]int32, n)
+		s.repH = make([]uint64, n)
 		s.repIdx = make([]int32, n)
 		s.counts = make([]int32, n)
+		s.recDist = make([]int32, n)
+		s.keys = make([]K, n)
+		s.haveKey = make([]bool, n)
 	}
-	s.order = s.order[:0]
 }
 
-// release resets only the dirtied slots (O(distinct keys), not O(m)).
-func (s *eqScratch) release() {
-	for _, slot := range s.order {
-		s.slot[slot] = -1
+// baseBits returns the bits-wide window of h at bit position bitpos,
+// remixing with the position as salt once the 64 hash bits are exhausted
+// (mirroring levelBits in the recursion above).
+func baseBits(h uint64, bitpos, bits uint) int {
+	if bitpos+bits <= 64 {
+		return int((h >> bitpos) & (1<<bits - 1))
 	}
-	s.order = s.order[:0]
+	return int(hashutil.Seeded(h, uint64(bitpos)) & (1<<bits - 1))
 }
 
-// baseEq is the semisort= base case: a sequential hash table groups the
-// records of cur into out (which must not alias cur). Distinct keys are
-// numbered in first-appearance order and records are emitted counting-sort
-// style, so the result is stable and both passes over cur are sequential.
-// The table stores full hashes, so the (indirect) eq call runs only on true
-// matches, not on every probe.
-func (s *sorter[R, K]) baseEq(cur, out []R) {
-	n := len(cur)
-	m := ceilPow2(2 * n)
-	scr := parallel.GetObj[eqScratch](s.sc)
-	scr.grow(m, n)
-	mask := uint64(m - 1)
-	slot, slotH := scr.slot, scr.slotH
-	nd := int32(0) // number of distinct keys seen
-	for i := 0; i < n; i++ {
-		k := s.key(cur[i])
-		h := s.hash(k)
-		j := h & mask
-		for {
-			d := slot[j]
-			if d < 0 {
-				slot[j] = nd
-				slotH[j] = h
-				scr.repIdx[nd] = int32(i)
-				scr.counts[nd] = 1
-				scr.recDist[i] = nd
-				scr.order = append(scr.order, j)
-				nd++
-				break
-			}
-			if slotH[j] == h && s.eq(s.key(cur[scr.repIdx[d]]), k) {
-				scr.recDist[i] = d
-				scr.counts[d]++
-				break
-			}
-			j = (j + 1) & mask
+// groupEq stably groups the records of a by key equality. b (same length,
+// non-aliasing) is scratch; ha/hb shadow a/b with the cached user hashes;
+// scr is the leaf grouper's scratch, acquired once per base call so the
+// hundreds of leaves under one bucket share a single arena round-trip.
+// The grouped result lands in b when intoB is true, in a otherwise.
+func (s *sorter[R, K]) groupEq(a []R, ha []uint64, b []R, hb []uint64, bitpos uint, intoB bool, scr *eqScratch[K]) {
+	n := len(a)
+	// bitpos grows every level; past 64+64 every window has been remixed
+	// once — if the input still has not split, the hashes are (nearly)
+	// constant and further splitting cannot help.
+	if n <= eqTinyCutoff || bitpos > 128 {
+		s.tinyGroupEq(a, ha, b, intoB, scr)
+		return
+	}
+
+	bits := eqSplitWidth(n)
+	nBk := 1 << bits
+	startsBuf := parallel.GetBuf[int](s.sc, nBk+1)
+	starts := dist.SerialKeyedInto(s.sc, a, b, ha, hb, nBk, nBk,
+		func(i int) int { return baseBits(ha[i], bitpos, bits) }, startsBuf.S)
+
+	// Adversarial guard: if every record shares one window value (constant
+	// or degenerate user hash), splitting made no progress; group the leaf
+	// directly (a is untouched by the scatter).
+	for j := 0; j < nBk; j++ {
+		if starts[j+1]-starts[j] == n {
+			startsBuf.Release()
+			s.tinyGroupEq(a, ha, b, intoB, scr)
+			return
 		}
 	}
-	// Exclusive prefix over the per-key counts (first-appearance order),
-	// then a second sequential pass places every record.
+	for j := 0; j < nBk; j++ {
+		lo, hi := starts[j], starts[j+1]
+		if lo < hi {
+			s.groupEq(b[lo:hi], hb[lo:hi], a[lo:hi], ha[lo:hi], bitpos+bits, !intoB, scr)
+		}
+	}
+	startsBuf.Release()
+}
+
+// tinyGroupEq is the leaf grouper: a linear scan over the distinct-key
+// representatives seen so far, comparing full cached hashes first so the
+// (indirect) eq call and its key extractions run only on true duplicates
+// and genuine 64-bit hash collisions. Stable: distinct keys are emitted in
+// first-appearance order, records within a key in input order. The result
+// lands in b when intoB is true, in a otherwise (b is scratch then).
+func (s *sorter[R, K]) tinyGroupEq(a []R, ha []uint64, b []R, intoB bool, scr *eqScratch[K]) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	scr.grow(n)
+	nd := int32(0)
+	for i := 0; i < n; i++ {
+		h := ha[i]
+		var k K
+		haveK := false
+		d := int32(0)
+		for ; d < nd; d++ {
+			if scr.repH[d] != h {
+				continue
+			}
+			if !haveK {
+				k = s.key(a[i])
+				haveK = true
+			}
+			if !scr.haveKey[d] {
+				scr.keys[d] = s.key(a[scr.repIdx[d]])
+				scr.haveKey[d] = true
+			}
+			if s.eq(scr.keys[d], k) {
+				break
+			}
+		}
+		if d == nd {
+			scr.repH[nd] = h
+			scr.repIdx[nd] = int32(i)
+			scr.haveKey[nd] = false
+			scr.counts[nd] = 0
+			nd++
+		}
+		scr.recDist[i] = d
+		scr.counts[d]++
+	}
 	off := int32(0)
 	for d := int32(0); d < nd; d++ {
 		c := scr.counts[d]
@@ -95,11 +174,13 @@ func (s *sorter[R, K]) baseEq(cur, out []R) {
 	}
 	for i := 0; i < n; i++ {
 		d := scr.recDist[i]
-		out[scr.counts[d]] = cur[i]
+		b[scr.counts[d]] = a[i]
 		scr.counts[d]++
 	}
-	scr.release()
-	parallel.PutObj(s.sc, scr)
+	if !intoB {
+		copy(a, b[:n])
+	}
+	clear(scr.keys[:nd])
 }
 
 // baseLess is the semisort< base case: a sequential stable merge sort on

@@ -54,12 +54,19 @@ type Config struct {
 	DisableInPlace bool
 }
 
-// WithDefaults fills unset fields with the paper's parameters.
+// WithDefaults fills unset fields with the paper's parameters. LightBuckets
+// comes out a power of two (so light bucket ids are exact hash-bit windows;
+// newSorter relies on this without re-checking) and at most 2^15, leaving
+// room for every detectable heavy bucket under the distribution layer's
+// 2^16 bucket-id ceiling.
 func (c Config) WithDefaults() Config {
 	if c.LightBuckets <= 0 {
 		c.LightBuckets = 1 << 10
 	}
 	c.LightBuckets = ceilPow2(c.LightBuckets)
+	if c.LightBuckets > 1<<15 {
+		c.LightBuckets = 1 << 15
+	}
 	if c.BaseCase <= 0 {
 		c.BaseCase = 1 << 14
 	}

@@ -56,3 +56,27 @@ func TestCeilLog2(t *testing.T) {
 		}
 	}
 }
+
+func TestWithDefaultsClampsLightBuckets(t *testing.T) {
+	// newSorter derives bBits from n_L assuming WithDefaults produced a
+	// power of two no larger than 2^15 (heavy buckets must fit under the
+	// distribution layer's 2^16 bucket-id ceiling); the old defensive
+	// bBits patch-up in newSorter is gone, so pin the invariant here.
+	for in, want := range map[int]int{
+		1 << 15:        1 << 15,
+		1<<15 + 1:      1 << 15,
+		1 << 16:        1 << 15,
+		1 << 20:        1 << 15,
+		(1 << 14) + 17: 1 << 15,
+	} {
+		if got := (Config{LightBuckets: in}).WithDefaults().LightBuckets; got != want {
+			t.Fatalf("LightBuckets=%d: got %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []int{1, 2, 3, 5, 100, 1000, 1 << 12} {
+		got := (Config{LightBuckets: in}).WithDefaults().LightBuckets
+		if got&(got-1) != 0 || got < in {
+			t.Fatalf("LightBuckets=%d: %d is not the next power of two", in, got)
+		}
+	}
+}

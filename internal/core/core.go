@@ -51,8 +51,9 @@ type sorter[R, K any] struct {
 	disableInPlace bool
 
 	// rt is the worker pool the call runs on; sc is its buffer arena, the
-	// source of every transient buffer (the O(n) auxiliary array, counting
-	// matrices, cached ids, base-case tables, sample tables).
+	// source of every transient buffer (the O(n) auxiliary array, the
+	// hash-once arrays, counting matrices, cached ids, base-case tables,
+	// sample tables).
 	rt *parallel.Runtime
 	sc *parallel.Scratch
 }
@@ -82,10 +83,9 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 		rt:             rt,
 		sc:             rt.Scratch(),
 	}
+	// nL is a power of two (enforced by Config.WithDefaults), so light
+	// bucket ids are exact hash-bit windows.
 	s.bBits = uint(ceilLog2(s.nL))
-	if 1<<s.bBits != s.nL {
-		s.bBits++ // defensive; nL is a power of two after withDefaults
-	}
 	s.l = (n + cfg.MaxSubarrays - 1) / cfg.MaxSubarrays
 	if s.l < cfg.MinSubarray {
 		s.l = cfg.MinSubarray
@@ -107,35 +107,56 @@ func (s *sorter[R, K]) release() {
 	parallel.PutObj(sc, s)
 }
 
+// hashAll is the hash-once pass: h[i] = hash(key(a[i])) for every record,
+// in parallel. It is the only place the user hash closure ever runs — the
+// sampling step, the heavy-table probes, the light bucket ids and the base
+// cases all consume (windows of) these cached 64-bit hashes, and the
+// distribution step permutes the array alongside the records so deeper
+// recursion levels inherit them (see dist.StableKeyedInto).
+func (s *sorter[R, K]) hashAll(a []R, h []uint64) {
+	key, hash := s.key, s.hash
+	s.rt.ForRange(len(a), 1<<14, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h[i] = hash(key(a[i]))
+		}
+	})
+}
+
 // run semisorts a in place, taking the single O(n) auxiliary array T of
-// Section 3.4 from the arena (input and output share a; each record is
-// copied about twice).
+// Section 3.4 plus the two hash-once arrays from the arena (input and
+// output share a; each record is copied about twice).
 func (s *sorter[R, K]) run(a []R) {
 	tb := parallel.GetBuf[R](s.sc, len(a))
+	hb := parallel.GetBuf[uint64](s.sc, len(a))
+	htb := parallel.GetBuf[uint64](s.sc, len(a))
+	s.hashAll(a, hb.S)
 	rng := hashutil.NewRNG(s.seed)
-	s.rec(a, tb.S, true, 0, rng)
+	s.rec(a, tb.S, hb.S, htb.S, true, 0, rng)
+	htb.Release()
+	hb.Release()
 	tb.Release()
 }
 
 // rec is one level of Algorithm 1. Data currently lives in cur; other is
-// equally sized scratch. curIsA records which side is the caller-visible
-// array A: the in-place optimization of Section 3.4 swaps the roles of A
-// and T down the recursion, and results must always materialize on the A
-// side of each disjoint bucket range.
-func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.RNG) {
+// equally sized scratch; hcur/hother hold the records' cached user hashes
+// and shadow every permutation of cur/other. curIsA records which side is
+// the caller-visible array A: the in-place optimization of Section 3.4
+// swaps the roles of A and T down the recursion, and results must always
+// materialize on the A side of each disjoint bucket range.
+func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA bool, depth int, rng hashutil.RNG) {
 	n := len(cur)
 	if n == 0 {
 		return
 	}
 	if n <= s.alpha || depth >= s.maxDepth {
-		s.base(cur, other, curIsA)
+		s.base(cur, other, hcur, hother, curIsA, depth)
 		return
 	}
 
-	// Step 1: Sampling and Bucketing.
+	// Step 1: Sampling and Bucketing (on cached hashes).
 	var ht *sampling.HeavyTable[K]
 	if !s.disableHeavy {
-		ht = sampling.Build(cur, s.key, s.hash, s.eq, sampling.Params{
+		ht = sampling.BuildHashed(cur, hcur, s.key, s.eq, sampling.Params{
 			SampleSize: s.sampleSize,
 			Thresh:     s.thresh,
 			IDBase:     s.nL,
@@ -150,26 +171,32 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 
 	// frng is a copy of the (sampling-advanced) generator for the per-bucket
 	// forks below. The copy is deliberate: rng itself has its address taken
-	// for sampling.Build, and closures capturing an addressed variable box
-	// it on the heap at every rec entry — one allocation per recursion node.
+	// for sampling.BuildHashed, and closures capturing an addressed variable
+	// box it on the heap at every rec entry — one allocation per recursion
+	// node.
 	frng := rng
 
-	// Step 2: Blocked Distributing (cur -> other).
+	// Step 2: Blocked Distributing (cur -> other, hcur -> hother). Bucket
+	// ids come entirely from the cached hashes; the user key closure runs
+	// only inside heavy-table probes whose stored hash matches (true heavy
+	// records, plus astronomically rare full-hash collisions).
 	nLmask := uint64(s.nL - 1)
 	var bucketOf func(i int) int
 	if nH > 0 {
 		bucketOf = func(i int) int {
-			k := s.key(cur[i])
-			h := s.hash(k)
-			if id := ht.Lookup(h, k, s.eq); id >= 0 {
-				return int(id)
+			h := hcur[i]
+			// Probe walks on cached hashes alone; the user key closure
+			// runs only when a stored heavy hash equals h.
+			if sl := ht.Probe(h); sl >= 0 {
+				if id := ht.Resolve(sl, h, s.key(cur[i]), s.eq); id >= 0 {
+					return int(id)
+				}
 			}
 			return int(s.levelBits(h, depth) & nLmask)
 		}
 	} else {
 		bucketOf = func(i int) int {
-			h := s.hash(s.key(cur[i]))
-			return int(s.levelBits(h, depth) & nLmask)
+			return int(s.levelBits(hcur[i], depth) & nLmask)
 		}
 	}
 	// Below serialCutoff the whole subtree runs on the calling goroutine:
@@ -179,20 +206,23 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
 	var starts []int
 	if serial {
-		starts = dist.SerialInto(s.sc, cur, other, nB, bucketOf, startsBuf.S)
+		starts = dist.SerialKeyedInto(s.sc, cur, other, hcur, hother, nB, s.nL, bucketOf, startsBuf.S)
 	} else {
-		starts = dist.StableInto(s.rt, cur, other, nB, s.l, bucketOf, startsBuf.S)
+		starts = dist.StableKeyedInto(s.rt, cur, other, hcur, hother, nB, s.l, s.nL, bucketOf, startsBuf.S)
 	}
 	defer startsBuf.Release()
 
 	if s.disableInPlace {
 		// Ablation path: Alg. 1 line 23 verbatim — copy T back to A after
 		// every distribution instead of swapping roles down the recursion.
+		// The hash array is copied back alongside so deeper levels still
+		// see each record's hash.
 		parallel.CopyIn(s.rt, cur, other)
+		parallel.CopyIn(s.rt, hcur, hother)
 		s.forBuckets(serial, func(j int) {
 			lo, hi := starts[j], starts[j+1]
 			if lo < hi {
-				s.rec(cur[lo:hi], other[lo:hi], curIsA, depth+1, frng.Fork(uint64(j)))
+				s.rec(cur[lo:hi], other[lo:hi], hcur[lo:hi], hother[lo:hi], curIsA, depth+1, frng.Fork(uint64(j)))
 			}
 		})
 		return
@@ -200,6 +230,7 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 
 	// Heavy buckets are final after distribution; move them to the A side
 	// if they landed in T (the heavy region is contiguous at the end).
+	// Their hashes are never read again, so only records move.
 	if nH > 0 && curIsA {
 		lo, hi := starts[s.nL], starts[nB]
 		if serial {
@@ -214,7 +245,7 @@ func (s *sorter[R, K]) rec(cur, other []R, curIsA bool, depth int, rng hashutil.
 	s.forBuckets(serial, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if lo < hi {
-			s.rec(other[lo:hi], cur[lo:hi], !curIsA, depth+1, frng.Fork(uint64(j)))
+			s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, depth+1, frng.Fork(uint64(j)))
 		}
 	})
 }
@@ -250,7 +281,9 @@ func (s *sorter[R, K]) levelBits(h uint64, depth int) uint64 {
 }
 
 // base solves one bucket sequentially and leaves the result on the A side.
-func (s *sorter[R, K]) base(cur, other []R, curIsA bool) {
+// depth tells the semisort= splitter which cached-hash bits the recursion
+// above has already consumed.
+func (s *sorter[R, K]) base(cur, other []R, hcur, hother []uint64, curIsA bool, depth int) {
 	if len(cur) <= 1 {
 		if !curIsA {
 			copy(other, cur)
@@ -265,10 +298,10 @@ func (s *sorter[R, K]) base(cur, other []R, curIsA bool) {
 		}
 		return
 	}
-	// semisort=: group via the chained hash table into the scratch side,
-	// then surface to the A side.
-	s.baseEq(cur, other)
-	if curIsA {
-		copy(cur, other)
-	}
+	// semisort=: keep splitting by fresh cached-hash windows, landing the
+	// grouped result on the A side (see groupEq). One leaf scratch serves
+	// every leaf under this bucket.
+	scr := parallel.GetObj[eqScratch[K]](s.sc)
+	s.groupEq(cur, hcur, other, hother, uint(depth)*s.bBits, !curIsA, scr)
+	parallel.PutObj(s.sc, scr)
 }

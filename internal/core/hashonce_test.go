@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// These tests pin the hash-once contract: the user hash closure runs exactly
+// once per record per sort (the hashAll pass), and on collision-free inputs
+// the user key closure does too — sampling, bucket ids, heavy-table probes
+// and the base cases all consume cached hashes, and eq-driven key
+// re-extraction only happens when two full 64-bit hashes agree.
+
+// countingClosures wraps key/hash with atomic call counters (the sorter
+// invokes them from pool workers).
+func countingClosures() (key func(rec) uint64, hash func(uint64) uint64, keyCalls, hashCalls *atomic.Int64) {
+	keyCalls, hashCalls = new(atomic.Int64), new(atomic.Int64)
+	key = func(r rec) uint64 { keyCalls.Add(1); return r.key }
+	hash = func(k uint64) uint64 { hashCalls.Add(1); return hashMix(k) }
+	return
+}
+
+func TestSortEqClosuresOncePerRecord(t *testing.T) {
+	// Distinct keys: hashMix (splitmix64) is a bijection, so distinct keys
+	// have distinct full 64-bit hashes and neither eq nor any lazy key
+	// extraction ever fires — both closures must run exactly n times.
+	// n > serialCutoff so the parallel counting+scatter path runs too.
+	n := (1 << 16) + (1 << 14)
+	in := steadyInput(n)
+	work := append([]rec(nil), in...)
+	key, hash, keyCalls, hashCalls := countingClosures()
+	SortEq(work, key, hash, eqU64, Config{})
+	if got := hashCalls.Load(); got != int64(n) {
+		t.Fatalf("hash closure ran %d times for %d records, want exactly once per record", got, n)
+	}
+	if got := keyCalls.Load(); got != int64(n) {
+		t.Fatalf("key closure ran %d times for %d distinct records, want exactly once per record", got, n)
+	}
+	checkSemisorted(t, in, work)
+}
+
+func TestHashClosureOncePerRecordAllVariants(t *testing.T) {
+	// Duplicated and heavy keys force eq comparisons (which may re-extract
+	// keys), but the hash closure itself must still run exactly once per
+	// record in every variant: it has no call site outside the hashAll pass.
+	n := (1 << 16) + 1234
+	in := makeRecs(n, 40, 11) // ~40 distinct keys: all heavy
+	t.Run("SortEq", func(t *testing.T) {
+		work := append([]rec(nil), in...)
+		key, hash, _, hashCalls := countingClosures()
+		SortEq(work, key, hash, eqU64, Config{})
+		if got := hashCalls.Load(); got != int64(n) {
+			t.Fatalf("hash closure ran %d times, want %d", got, n)
+		}
+		checkSemisorted(t, in, work)
+	})
+	t.Run("SortLess", func(t *testing.T) {
+		work := append([]rec(nil), in...)
+		key, hash, _, hashCalls := countingClosures()
+		SortLess(work, key, hash, lessU64, Config{})
+		if got := hashCalls.Load(); got != int64(n) {
+			t.Fatalf("hash closure ran %d times, want %d", got, n)
+		}
+		checkSemisorted(t, in, work)
+	})
+	t.Run("SortEqInPlace", func(t *testing.T) {
+		work := append([]rec(nil), in...)
+		key, hash, _, hashCalls := countingClosures()
+		SortEqInPlace(work, key, hash, eqU64, Config{})
+		if got := hashCalls.Load(); got != int64(n) {
+			t.Fatalf("hash closure ran %d times, want %d", got, n)
+		}
+	})
+}
+
+func TestSortEqDuplicateKeysKeyCallsBounded(t *testing.T) {
+	// With duplicates the key closure may run more than once per record
+	// (eq verification of hash-equal pairs), but it must stay O(n): one
+	// extraction in the hash pass plus a bounded number inside eq-gated
+	// paths — not once per record per recursion level.
+	n := 1 << 16
+	in := makeRecs(n, 5000, 23)
+	work := append([]rec(nil), in...)
+	key, hash, keyCalls, _ := countingClosures()
+	SortEq(work, key, hash, eqU64, Config{})
+	if got, limit := keyCalls.Load(), int64(4*n); got > limit {
+		t.Fatalf("key closure ran %d times for %d records with duplicates, want <= %d", got, n, limit)
+	}
+	checkSemisorted(t, in, work)
+}

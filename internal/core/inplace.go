@@ -14,46 +14,59 @@ import (
 // as future work. Here the Blocked Distributing step is replaced by an
 // in-place cycle-chasing permutation over the same heavy/light buckets, and
 // base cases reuse a per-worker scratch buffer, so the extra space drops
-// from Theta(n) records to O(P*alpha + n_L + n_H) — at the cost the paper
-// predicts: the permutation is unstable, and the top-level pass is less
-// parallel than the out-of-place distribution.
+// from Theta(n) records to O(n + P*alpha + n_L + n_H) bytes — the hash-once
+// array (8 bytes per record, permuted along with the records through the
+// cycle chase) replaces per-level rehashing, and everything else stays
+// sublinear — at the cost the paper predicts: the permutation is unstable,
+// and the top-level pass is less parallel than the out-of-place
+// distribution.
 
-// SortEqInPlace is semisort= with o(n) extra space. Records with equal keys
-// come out contiguous, but not in input order (unstable), and the grouping
-// order may differ from SortEq's. Deterministic for a fixed seed.
+// SortEqInPlace is semisort= with one 8-byte-per-record hash array of extra
+// space. Records with equal keys come out contiguous, but not in input
+// order (unstable), and the grouping order may differ from SortEq's.
+// Deterministic for a fixed seed.
 func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) {
 	s := newSorter(a, key, hash, eq, nil, cfg)
 	if s != nil {
-		s.inPlaceRec(a, 0, hashutil.NewRNG(s.seed))
+		hb := parallel.GetBuf[uint64](s.sc, len(a))
+		s.hashAll(a, hb.S)
+		s.inPlaceRec(a, hb.S, 0, hashutil.NewRNG(s.seed))
+		hb.Release()
 		s.release()
 	}
 }
 
-// SortLessInPlace is semisort< with o(n) extra space (unstable; base cases
-// use an in-place comparison sort).
+// SortLessInPlace is semisort< with the same space bound (unstable; base
+// cases use an in-place comparison sort).
 func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, cfg Config) {
 	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
 	s := newSorter(a, key, hash, eq, less, cfg)
 	if s != nil {
-		s.inPlaceRec(a, 0, hashutil.NewRNG(s.seed))
+		hb := parallel.GetBuf[uint64](s.sc, len(a))
+		s.hashAll(a, hb.S)
+		s.inPlaceRec(a, hb.S, 0, hashutil.NewRNG(s.seed))
+		hb.Release()
 		s.release()
 	}
 }
 
-func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
+// inPlaceRec is one level of the in-place variant: hs shadows a and is
+// permuted through exactly the same swaps, so every level (and the base
+// case) reads cached hashes instead of re-running the user closures.
+func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, depth int, rng hashutil.RNG) {
 	n := len(a)
 	if n <= 1 {
 		return
 	}
 	if n <= s.alpha || depth >= s.maxDepth {
-		s.baseInPlace(a)
+		s.baseInPlace(a, hs, depth)
 		return
 	}
 
 	// Step 1: Sampling and Bucketing, exactly as in Algorithm 1.
 	var ht *sampling.HeavyTable[K]
 	if !s.disableHeavy {
-		ht = sampling.Build(a, s.key, s.hash, s.eq, sampling.Params{
+		ht = sampling.BuildHashed(a, hs, s.key, s.eq, sampling.Params{
 			SampleSize: s.sampleSize,
 			Thresh:     s.thresh,
 			IDBase:     s.nL,
@@ -70,22 +83,23 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 	// every inPlaceRec entry).
 	frng := rng
 	nLmask := uint64(s.nL - 1)
-	bucketOf := func(r R) int {
-		k := s.key(r)
-		h := s.hash(k)
+	bucketOf := func(r R, h uint64) int {
 		if nH > 0 {
-			if id := ht.Lookup(h, k, s.eq); id >= 0 {
-				return int(id)
+			if sl := ht.Probe(h); sl >= 0 {
+				if id := ht.Resolve(sl, h, s.key(r), s.eq); id >= 0 {
+					return int(id)
+				}
 			}
 		}
 		return int(s.levelBits(h, depth) & nLmask)
 	}
 
 	// Step 2': exact counting (parallel over chunks), then an in-place
-	// cycle-chasing permutation. Extra space is the O(n_B) counters only.
+	// cycle-chasing permutation that carries each record's hash with it.
+	// Extra space is the O(n_B) counters only.
 	countsBuf := parallel.GetBuf[int32](s.sc, nB)
 	counts := countsBuf.S
-	s.countBuckets(a, counts, bucketOf)
+	s.countBuckets(a, hs, counts, bucketOf)
 	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
 	headsBuf := parallel.GetBuf[int](s.sc, nB)
 	starts, heads := startsBuf.S, headsBuf.S
@@ -101,19 +115,20 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 		end := starts[b+1]
 		for heads[b] < end {
 			i := heads[b]
-			db := bucketOf(a[i])
+			db := bucketOf(a[i], hs[i])
 			if db == b {
 				heads[b]++
 				continue
 			}
-			v := a[i]
+			v, hv := a[i], hs[i]
 			for db != b {
 				j := heads[db]
 				heads[db]++
 				a[j], v = v, a[j]
-				db = bucketOf(v)
+				hs[j], hv = hv, hs[j]
+				db = bucketOf(v, hv)
 			}
-			a[i] = v
+			a[i], hs[i] = v, hv
 			heads[b]++
 		}
 	}
@@ -124,7 +139,7 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 	s.forBuckets(serial, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if hi-lo > 1 {
-			s.inPlaceRec(a[lo:hi], depth+1, frng.Fork(uint64(j)))
+			s.inPlaceRec(a[lo:hi], hs[lo:hi], depth+1, frng.Fork(uint64(j)))
 		}
 	})
 	startsBuf.Release()
@@ -133,44 +148,46 @@ func (s *sorter[R, K]) inPlaceRec(a []R, depth int, rng hashutil.RNG) {
 // countBuckets fills counts with the exact bucket histogram. Large inputs
 // count in parallel with per-participant counter rows (the ForRangeW slot
 // API), merged by commutative addition so the result is deterministic.
-func (s *sorter[R, K]) countBuckets(a []R, counts []int32, bucketOf func(R) int) {
+func (s *sorter[R, K]) countBuckets(a []R, hs []uint64, counts []int32, bucketOf func(R, uint64) int) {
 	n, nB := len(a), len(counts)
 	clear(counts)
 	if n <= serialCutoff {
 		for i := 0; i < n; i++ {
-			counts[bucketOf(a[i])]++
+			counts[bucketOf(a[i], hs[i])]++
 		}
 		return
 	}
 	slots := s.rt.MaxSlots()
-	partBuf := parallel.GetBuf[int32](s.sc, slots*nB)
-	partBuf.Zero()
-	part := partBuf.S
+	part := parallel.GetSlotted[int32](s.sc, slots, nB)
+	part.Zero()
 	s.rt.ForRangeW(n, 1<<14, func(w, lo, hi int) {
-		row := part[w*nB : (w+1)*nB]
+		row := part.Lane(w)
 		for i := lo; i < hi; i++ {
-			row[bucketOf(a[i])]++
+			row[bucketOf(a[i], hs[i])]++
 		}
 	})
 	for w := 0; w < slots; w++ {
-		row := part[w*nB : (w+1)*nB]
+		row := part.Lane(w)
 		for b := range counts {
 			counts[b] += row[b]
 		}
 	}
-	partBuf.Release()
+	part.Release()
 }
 
 // baseInPlace finishes one bucket within the input array. semisort< sorts
-// in place; semisort= groups through a pooled scratch buffer of at most
-// alpha records and copies back.
-func (s *sorter[R, K]) baseInPlace(a []R) {
+// in place; semisort= groups through pooled scratch buffers of at most
+// alpha records, landing the result back in a.
+func (s *sorter[R, K]) baseInPlace(a []R, hs []uint64, depth int) {
 	if s.less != nil {
 		seqsort.Quick3(a, func(x, y R) bool { return s.less(s.key(x), s.key(y)) })
 		return
 	}
 	buf := parallel.GetBuf[R](s.sc, len(a))
-	s.baseEq(a, buf.S)
-	copy(a, buf.S)
+	hbuf := parallel.GetBuf[uint64](s.sc, len(a))
+	scr := parallel.GetObj[eqScratch[K]](s.sc)
+	s.groupEq(a, hs, buf.S, hbuf.S, uint(depth)*s.bBits, false, scr)
+	parallel.PutObj(s.sc, scr)
+	hbuf.Release()
 	buf.Release()
 }

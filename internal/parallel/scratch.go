@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"reflect"
 	"sync"
+	"unsafe"
 )
 
 // Scratch is a buffer arena: a set of per-type free lists for the temporary
@@ -63,6 +64,47 @@ func (b *Buf[T]) Release() {
 
 // Zero clears the buffer contents.
 func (b *Buf[T]) Zero() { clear(b.S) }
+
+// Slotted is a pooled per-participant scratch block: one fixed-size lane of
+// T per participant slot, indexed by the dense slot ids ForRangeW hands out.
+// Lanes are padded apart by at least a cache line so participants writing
+// their own lanes never false-share, which is what the buffered scatter in
+// internal/dist needs for its per-bucket staging blocks. Like every arena
+// buffer, lanes come back dirty.
+type Slotted[T any] struct {
+	buf    *Buf[T]
+	lane   int
+	stride int
+}
+
+// GetSlotted takes a Slotted block with `slots` lanes of `lane` elements
+// each from the arena. It is returned by value so hot callers (one scatter
+// per recursion level) do not allocate a handle.
+func GetSlotted[T any](s *Scratch, slots, lane int) Slotted[T] {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	pad := 0
+	if size > 0 {
+		// At least one full cache line between consecutive lanes (one
+		// element already spans a line when size >= 64).
+		pad = max(1, (64+size-1)/size)
+	}
+	stride := lane + pad
+	return Slotted[T]{buf: GetBuf[T](s, slots*stride), lane: lane, stride: stride}
+}
+
+// Lane returns participant slot w's lane. The caller owns it exclusively for
+// the duration of the parallel call that produced w.
+func (sl Slotted[T]) Lane(w int) []T {
+	lo := w * sl.stride
+	return sl.buf.S[lo : lo+sl.lane : lo+sl.lane]
+}
+
+// Zero clears every lane (padding included).
+func (sl Slotted[T]) Zero() { sl.buf.Zero() }
+
+// Release returns the block to its arena.
+func (sl Slotted[T]) Release() { sl.buf.Release() }
 
 // GetObj takes a pooled *T from the arena (zero-valued when fresh; otherwise
 // in whatever state PutObj left it). Kernels use this for reusable scratch

@@ -3,6 +3,7 @@ package parallel
 import (
 	"sync"
 	"testing"
+	"unsafe"
 )
 
 func TestGetBufSizing(t *testing.T) {
@@ -104,4 +105,56 @@ func TestZero(t *testing.T) {
 		}
 	}
 	b.Release()
+}
+
+func TestSlottedLanesDisjointAndPadded(t *testing.T) {
+	var sc Scratch
+	sl := GetSlotted[uint32](&sc, 4, 10)
+	defer sl.Release()
+	sl.Zero()
+	for w := 0; w < 4; w++ {
+		lane := sl.Lane(w)
+		if len(lane) != 10 {
+			t.Fatalf("lane length %d want 10", len(lane))
+		}
+		for i := range lane {
+			lane[i] = uint32(w + 1)
+		}
+	}
+	// Writes through one lane must never reach another (full-length writes
+	// above would trample neighbours if strides overlapped).
+	for w := 0; w < 4; w++ {
+		for i, v := range sl.Lane(w) {
+			if v != uint32(w+1) {
+				t.Fatalf("lane %d index %d = %d, overwritten by a neighbour", w, i, v)
+			}
+		}
+	}
+	// Padding: consecutive lanes at least a cache line apart.
+	a, b := sl.Lane(0), sl.Lane(1)
+	gap := uintptr(unsafe.Pointer(&b[0])) - uintptr(unsafe.Pointer(&a[len(a)-1]))
+	if gap < 64 {
+		t.Fatalf("lanes only %d bytes apart, want >= 64", gap)
+	}
+	// Appending to a lane must not be possible into the next lane's space.
+	if cap(a) != len(a) {
+		t.Fatalf("lane capacity %d exceeds length %d (three-index slice expected)", cap(a), len(a))
+	}
+}
+
+func TestSlottedReuse(t *testing.T) {
+	// Get/Release must recycle through the arena: steady-state round-trips
+	// allocate (close to) nothing. sync.Pool may drop an occasional buffer
+	// under GC pressure, so assert a small average, not strict zero.
+	var sc Scratch
+	sl := GetSlotted[byte](&sc, 2, 100)
+	sl.Release()
+	allocs := testing.AllocsPerRun(50, func() {
+		s := GetSlotted[byte](&sc, 2, 100)
+		s.Lane(1)[0] = 1
+		s.Release()
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state GetSlotted/Release allocates %.1f objects/op, want ~0", allocs)
+	}
 }

@@ -60,6 +60,44 @@ func (t *HeavyTable[K]) Lookup(h uint64, k K, eq func(K, K) bool) int32 {
 	}
 }
 
+// Probe and Resolve split Lookup so the hash-once pipeline can defer key
+// extraction without paying a per-record closure: Probe walks the cluster
+// on cached hashes alone and reports the first hash-equal slot (or -1 —
+// light records, the overwhelming majority, stop here without ever
+// touching the user key closure); the caller then extracts the key once
+// and calls Resolve to finish with real equality tests.
+
+// Probe returns the first slot whose stored hash equals h, or -1 if no
+// stored key can possibly equal a key hashing to h.
+func (t *HeavyTable[K]) Probe(h uint64) int32 {
+	i := h & t.mask
+	for {
+		if !t.used[i] {
+			return -1
+		}
+		if t.hashes[i] == h {
+			return int32(i)
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Resolve continues a successful Probe: starting at slot (whose stored
+// hash equals h), it returns the bucket id of the stored key equal to k,
+// or -1 after the cluster is exhausted.
+func (t *HeavyTable[K]) Resolve(slot int32, h uint64, k K, eq func(K, K) bool) int32 {
+	i := uint64(slot)
+	for {
+		if t.hashes[i] == h && eq(t.keys[i], k) {
+			return t.ids[i]
+		}
+		i = (i + 1) & t.mask
+		if !t.used[i] {
+			return -1
+		}
+	}
+}
+
 func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
 	i := h & t.mask
 	for t.used[i] {
@@ -75,6 +113,20 @@ func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
 // when no key is heavy. Heavy ids are assigned in first-sampled order, so
 // the result is a pure function of (a, p, rng state), never of scheduling.
 func Build[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
+	return build(a, key, func(idx int) uint64 { return hash(key(a[idx])) }, eq, p, rng)
+}
+
+// BuildHashed is Build consuming precomputed per-record user hashes (the
+// hash-once pipeline: core.run fills hs exactly once per sort). The user
+// hash closure is never called; the key closure runs only on hash-equal
+// sample collisions (duplicate keys) and when materializing heavy keys.
+func BuildHashed[R, K any](a []R, hs []uint64, key func(R) K, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
+	return build(a, key, func(idx int) uint64 { return hs[idx] }, eq, p, rng)
+}
+
+// build is the shared sampling round; hashAt supplies the user hash of
+// record idx (computed or cached).
+func build[R, K any](a []R, key func(R) K, hashAt func(idx int) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
 	n := len(a)
 	m := p.SampleSize
 	if m > n {
@@ -111,9 +163,14 @@ func Build[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bo
 	}()
 	for j := 0; j < m; j++ {
 		idx := rng.Intn(n)
-		k := key(a[idx])
-		h := hash(k)
+		h := hashAt(idx)
 		i := h & mask
+		// The sample key is extracted lazily, at most once per draw: only a
+		// hash-equal slot holding a *different* record index needs the real
+		// eq test (re-drawing the same index is common — samples are drawn
+		// with replacement — and trivially equal).
+		var k K
+		haveK := false
 		for {
 			if slotCnt[i] == 0 {
 				slotHash[i] = h
@@ -122,9 +179,19 @@ func Build[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bo
 				order = append(order, i)
 				break
 			}
-			if slotHash[i] == h && eq(key(a[slotRec[i]]), k) {
-				slotCnt[i]++
-				break
+			if slotHash[i] == h {
+				if slotRec[i] == int32(idx) {
+					slotCnt[i]++
+					break
+				}
+				if !haveK {
+					k = key(a[idx])
+					haveK = true
+				}
+				if eq(key(a[slotRec[i]]), k) {
+					slotCnt[i]++
+					break
+				}
 			}
 			i = (i + 1) & mask
 		}

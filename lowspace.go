@@ -4,15 +4,18 @@ import "repro/internal/core"
 
 // SortEqInPlace is the space-efficient variant of SortEq sketched in the
 // paper's conclusion (Section 6): distribution happens inside the input
-// array via cycle-chasing permutation, dropping the Theta(n) auxiliary
-// array to O(P*alpha) per-worker scratch plus the bucket counters.
+// array via cycle-chasing permutation. Extra space is 8 bytes per record —
+// the hash-once array, permuted along with the records so the user
+// closures still run once per record — plus O(P*alpha) per-worker scratch
+// and the bucket counters; SortEq by comparison takes a full n-record
+// auxiliary array plus two hash arrays (24 bytes per record on top of
+// that for 16-byte records).
 //
 // Trade-offs versus SortEq, as the paper predicts for in-place
 // distribution: the result is NOT stable (equal keys are contiguous but in
 // arbitrary relative order), and the top-level permutation is sequential,
 // so peak throughput is lower. Output is still deterministic for a fixed
-// seed. Use it when the extra n-record footprint of SortEq is the
-// bottleneck.
+// seed. Use it when the extra footprint of SortEq is the bottleneck.
 func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) {
 	core.SortEqInPlace(a, key, hash, eq, buildConfig(opts))
 }

@@ -51,6 +51,13 @@ func BenchmarkSortEqSteadyState(b *testing.B) {
 		data := steadyData(1<<19, c.spec)
 		b.Run(c.name, func(b *testing.B) { benchSteady(b, data) })
 	}
+	// The acceptance-tracking cell of the perf trajectory: uniform 64-bit
+	// distinct keys at n=10^7 (also recorded by `make bench` into
+	// BENCH_steady.json).
+	b.Run("distinct-10M", func(b *testing.B) {
+		n := 10_000_000
+		benchSteady(b, steadyData(n, dist.Spec{Kind: dist.Uniform, Param: float64(n)}))
+	})
 }
 
 // BenchmarkSortEqSteadyStateOwnRuntime is the same workload on an
