@@ -32,9 +32,12 @@ bench-steady:
 	$(GO) test -bench SortEqSteadyState -benchtime 20x -run ^$$ .
 
 ## bench: steady-state suite at n=10^7 -> BENCH_steady.json (the perf
-## trajectory each PR appends to; see EXPERIMENTS.md)
+## trajectory each PR appends to; see EXPERIMENTS.md). Fails if any cell
+## regresses more than 25% against the committed trajectory, so `make
+## bench` doubles as the perf smoke gate (the baseline is read before the
+## file is rewritten).
 bench:
-	$(GO) run ./cmd/semibench -json BENCH_steady.json -n 10000000
+	$(GO) run ./cmd/semibench -json BENCH_steady.json -compare BENCH_steady.json -n 10000000
 
 ## bench-paper: representative cells of every table/figure
 bench-paper:

@@ -31,16 +31,21 @@ type SteadyResult struct {
 }
 
 // SteadyReport is the machine-readable result of the steady-state suite.
+// NumCPU records the host's CPU count next to the worker count actually
+// used, so trajectory cells from differently-sized runners are comparable.
 type SteadyReport struct {
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
 	Results    []SteadyResult `json:"results"`
 }
 
 // steadyCases is the suite: the acceptance-tracking uniform 64-bit
-// distinct-key workload at the full configured size, plus the skewed
-// (heavy-key) counterpart.
+// distinct-key workload at the full configured size, plus three skew
+// shapes — mild Zipfian (zipf-0.8), the heavy-key stress (zipf-1.2), and
+// an exponential tail (Table 3's middle lambda rescaled to n) — so both
+// ends of the skew-adaptive path show up in the perf trajectory.
 func steadyCases(o Options) []struct {
 	name string
 	spec dist.Spec
@@ -52,7 +57,9 @@ func steadyCases(o Options) []struct {
 		n    int
 	}{
 		{"SortEq/uniform-distinct", dist.Spec{Kind: dist.Uniform, Param: float64(o.N)}, o.N},
+		{"SortEq/zipf-0.8", dist.Spec{Kind: dist.Zipfian, Param: 0.8}, o.N},
 		{"SortEq/zipf-1.2", dist.Spec{Kind: dist.Zipfian, Param: 1.2}, o.N},
+		{"SortEq/exponential", dist.Spec{Kind: dist.Exponential, Param: 2e-5 * 1e9 / float64(o.N)}, o.N},
 	}
 }
 
@@ -65,6 +72,7 @@ func SteadyReportFor(o Options) SteadyReport {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: parallel.Workers(),
+		NumCPU:     runtime.NumCPU(),
 	}
 	key := func(p P64) uint64 { return p.K }
 	eq := func(x, y uint64) bool { return x == y }
@@ -136,6 +144,62 @@ func (rep SteadyReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// ReadSteadyReport parses a previously written steady-state JSON report.
+func ReadSteadyReport(r io.Reader) (SteadyReport, error) {
+	var rep SteadyReport
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}
+
+// Comparable reports whether rep and baseline were measured with the same
+// worker count. Mrec/s from differently-parallel runs are not comparable
+// in either direction — a 4-worker run beats a 1-worker baseline by far
+// more than any tolerance hides, and the converse fails permanently — so
+// the regression gate skips (loudly) instead of producing a vacuous
+// verdict. CI pins GOMAXPROCS to the baseline's worker count to keep its
+// gate armed; raw per-core speed differences between hosts are what the
+// generous tolerance is for (num_cpu is recorded alongside as context).
+func (rep SteadyReport) Comparable(baseline SteadyReport) bool {
+	return rep.GOMAXPROCS == baseline.GOMAXPROCS
+}
+
+// Compare checks rep against a committed baseline report and returns one
+// line per regressed cell plus how many cells were actually compared: a
+// cell regresses when its throughput drops by more than tolerancePercent
+// against the baseline cell with the same name *and the same input size*
+// (Mrec/s at different n are not comparable — a cache-resident small-n
+// run would sail past any 10^7 baseline and could launder a regression
+// into the committed file). The generous default tolerance absorbs
+// virtualized-runner noise; real regressions are much larger. Cells
+// present on only one side — freshly added shapes, retired shapes, size
+// changes — are skipped, so extending the suite never fails the gate
+// retroactively; callers should treat matched == 0 as "gate did not
+// run", and should gate on Comparable first.
+func (rep SteadyReport) Compare(baseline SteadyReport, tolerancePercent float64) (regressions []string, matched int) {
+	type cell struct {
+		name string
+		n    int
+	}
+	base := make(map[cell]SteadyResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[cell{r.Name, r.N}] = r
+	}
+	for _, r := range rep.Results {
+		b, ok := base[cell{r.Name, r.N}]
+		if !ok || b.MRecsPerSec <= 0 {
+			continue
+		}
+		matched++
+		floor := b.MRecsPerSec * (1 - tolerancePercent/100)
+		if r.MRecsPerSec < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s (n=%d): %.1f Mrec/s vs baseline %.1f (floor %.1f at -%g%%)",
+				r.Name, r.N, r.MRecsPerSec, b.MRecsPerSec, floor, tolerancePercent))
+		}
+	}
+	return regressions, matched
 }
 
 // RunSteady is the `-exp steady` entry point.

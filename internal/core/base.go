@@ -17,8 +17,8 @@ import (
 // paper's chained hash table (one random cache-missing probe per record
 // into a table of 2n slots) it keeps splitting by fresh windows of the
 // cached hash — serial, stable, streaming counting sorts via
-// dist.SerialKeyedInto, whose byte-wide id cache covers the 256-way splits
-// — until groups are tiny, then groups each leaf with a linear
+// dist.SerialFilled8Into, whose byte-wide id plane covers the 256-way
+// splits — until groups are tiny, then groups each leaf with a linear
 // representative scan gated by full-hash equality. The user closures are
 // untouched on collision-free inputs: hashes come from the cache, and eq
 // (with its key extractions) runs only when two full 64-bit hashes agree.
@@ -100,8 +100,17 @@ func (s *sorter[R, K]) groupEq(a []R, ha []uint64, b []R, hb []uint64, bitpos ui
 	bits := eqSplitWidth(n)
 	nBk := 1 << bits
 	startsBuf := parallel.GetBuf[int](s.sc, nBk+1)
-	starts := dist.SerialKeyedInto(s.sc, a, b, ha, hb, nBk, nBk,
-		func(i int) int { return baseBits(ha[i], bitpos, bits) }, startsBuf.S)
+	// Byte-wide id-plane split: the fill loop classifies every record in
+	// one closure-free pass (baseBits inlines), the engine replays.
+	starts := dist.SerialFilled8Into(s.sc, a, b, ha, hb, nBk, nBk,
+		func(ids []uint8, counts []int32) {
+			ids = ids[:len(ha)]
+			for i := range ha {
+				id := uint8(baseBits(ha[i], bitpos, bits))
+				ids[i] = id
+				counts[id]++
+			}
+		}, startsBuf.S)
 
 	// Adversarial guard: if every record shares one window value (constant
 	// or degenerate user hash), splitting made no progress; group the leaf

@@ -8,6 +8,7 @@ package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 )
@@ -35,7 +36,7 @@ type Config struct {
 	// input itself is small).
 	MinSubarray int
 	// SampleFactor is c in |S| = c * log2(n'); the heavy threshold is
-	// log2(n') sample occurrences, so n_H <= c.
+	// log2(n')/2 sample occurrences (see sorter.sampleParams), so n_H <= 2c.
 	SampleFactor int
 	// MaxDepth is a recursion guard: beyond this depth the algorithm falls
 	// back to the base case on the whole bucket, making the algorithm total
@@ -52,6 +53,12 @@ type Config struct {
 	// after every distribution the temporary array is copied back (Alg. 1
 	// line 23). Used by the ablation benchmarks; leave false otherwise.
 	DisableInPlace bool
+
+	// probeCounter, when non-nil, accumulates every heavy-table probe the
+	// sort issues. It exists for the package's own contract tests (which
+	// pin "at most one probe per record per level"); the hot path pays
+	// nothing for it when nil.
+	probeCounter *atomic.Int64
 }
 
 // WithDefaults fills unset fields with the paper's parameters. LightBuckets

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sort"
+	"sync/atomic"
+
 	"repro/internal/dist"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
@@ -30,6 +33,14 @@ func SortLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, 
 	}
 }
 
+// collapsePercent is the skew-adaptive threshold: a level whose sample puts
+// at least this percent of its draws on heavy keys collapses every light
+// record into a single residue bucket (see sampling.Params.CollapsePercent
+// and the classify pass below). At this much skew the level is essentially
+// a heavy placement; spreading the thin light residue over n_L buckets buys
+// nothing and costs an n_L-wide counting matrix per subarray.
+const collapsePercent = 75
+
 // sorter carries the immutable per-call state of Algorithm 1. Instances are
 // recycled through the runtime's arena, so steady-state calls do not
 // allocate one.
@@ -43,12 +54,17 @@ type sorter[R, K any] struct {
 	bBits          uint // log2(nL)
 	alpha          int  // base-case threshold
 	l              int  // subarray length, fixed across recursion levels
-	sampleSize     int  // |S|
-	thresh         int  // heavy threshold: sample occurrences >= thresh
+	sampleFactor   int  // c in |S| = c * log2(n') per level
 	maxDepth       int
 	seed           uint64
 	disableHeavy   bool
 	disableInPlace bool
+
+	// probeCount, when non-nil, accumulates the number of heavy-table
+	// probes issued by the classify passes (a test hook: the contract tests
+	// pin "at most one probe per record per level"). Flushed once per
+	// classify chunk, so the hot loop never touches the atomic.
+	probeCount *atomic.Int64
 
 	// rt is the worker pool the call runs on; sc is its buffer arena, the
 	// source of every transient buffer (the O(n) auxiliary array, the
@@ -76,10 +92,12 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 		less:           less,
 		nL:             cfg.LightBuckets,
 		alpha:          cfg.BaseCase,
+		sampleFactor:   cfg.SampleFactor,
 		maxDepth:       cfg.MaxDepth,
 		seed:           cfg.Seed,
 		disableHeavy:   cfg.DisableHeavy,
 		disableInPlace: cfg.DisableInPlace,
+		probeCount:     cfg.probeCounter,
 		rt:             rt,
 		sc:             rt.Scratch(),
 	}
@@ -89,12 +107,6 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 	s.l = (n + cfg.MaxSubarrays - 1) / cfg.MaxSubarrays
 	if s.l < cfg.MinSubarray {
 		s.l = cfg.MinSubarray
-	}
-	logN := ceilLog2(n)
-	s.sampleSize = cfg.SampleFactor * logN
-	s.thresh = logN
-	if s.thresh < 2 {
-		s.thresh = 2
 	}
 	return s
 }
@@ -107,110 +119,238 @@ func (s *sorter[R, K]) release() {
 	parallel.PutObj(sc, s)
 }
 
-// hashAll is the hash-once pass: h[i] = hash(key(a[i])) for every record,
-// in parallel. It is the only place the user hash closure ever runs — the
-// sampling step, the heavy-table probes, the light bucket ids and the base
-// cases all consume (windows of) these cached 64-bit hashes, and the
-// distribution step permutes the array alongside the records so deeper
-// recursion levels inherit them (see dist.StableKeyedInto).
+// sampleParams sizes one sampling round for an n-record level: |S| =
+// c * log2(n) draws, heavy threshold log2(n)/2 occurrences (Section 3.1
+// sets theta = Theta(log n'); halving the paper's constant keeps the
+// whp guarantee while promoting moderately frequent keys too — every
+// promoted key's records skip light-id work, hash carriage and the base
+// case, which is where skewed inputs spend their time). Deeper, smaller
+// levels draw proportionally smaller samples.
+func (s *sorter[R, K]) sampleParams(n int) sampling.Params {
+	logN := ceilLog2(n)
+	thresh := logN / 2
+	if thresh < 2 {
+		thresh = 2
+	}
+	return sampling.Params{
+		SampleSize:      s.sampleFactor * logN,
+		Thresh:          thresh,
+		IDBase:          s.nL,
+		CollapsePercent: collapsePercent,
+		MaxHeavy:        dist.MaxBuckets - 1 - s.nL, // nLight + n_H must fit bucket ids
+		Scratch:         s.sc,
+	}
+}
+
+// hashAll fills h[i] = hash(key(a[i])) serially. The hot path never runs
+// it — every distribution level fuses hashing into its classify sweep —
+// but inputs that hit a base case before any distribution (n <= alpha)
+// still need the cached hashes the semisort= base case consumes.
 func (s *sorter[R, K]) hashAll(a []R, h []uint64) {
-	key, hash := s.key, s.hash
-	s.rt.ForRange(len(a), 1<<14, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			h[i] = hash(key(a[i]))
-		}
-	})
+	for i := range a {
+		h[i] = s.hash(s.key(a[i]))
+	}
 }
 
 // run semisorts a in place, taking the single O(n) auxiliary array T of
-// Section 3.4 plus the two hash-once arrays from the arena (input and
-// output share a; each record is copied about twice).
+// Section 3.4 plus the two hash-plane arrays from the arena (input and
+// output share a; each record is copied about twice). The hash plane is
+// filled lazily by the first level's fused classify sweep, not by a
+// dedicated pass.
 func (s *sorter[R, K]) run(a []R) {
 	tb := parallel.GetBuf[R](s.sc, len(a))
 	hb := parallel.GetBuf[uint64](s.sc, len(a))
 	htb := parallel.GetBuf[uint64](s.sc, len(a))
-	s.hashAll(a, hb.S)
 	rng := hashutil.NewRNG(s.seed)
-	s.rec(a, tb.S, hb.S, htb.S, true, 0, rng)
+	s.rec(a, tb.S, hb.S, htb.S, true, false, 0, 0, rng)
 	htb.Release()
 	hb.Release()
 	tb.Release()
 }
 
+// classify is the per-level bucket-id pass, the only place a level ever
+// classifies a record: for records [lo, hi) it resolves the cached user
+// hash (computing it on the fly when the plane is not filled yet — the
+// fused top level), probes the heavy table at most once, and writes the
+// 2-byte bucket id plus the bucket count. The distribution engine replays
+// the id plane in its scatter, so hashing, heavy probing and light-id
+// extraction are all exactly-once per record per level by construction.
+//
+// At the fused top level a freshly computed hash is cached into the plane
+// only when the record turns out light: heavy records are final after this
+// level and their hashes are never read again, so the plane write (pure
+// memory traffic on heavily skewed inputs) is skipped. The plane therefore
+// holds defined values exactly for records in light buckets — which are
+// the only slices any deeper consumer ever sees.
+//
+// sampled lists, in increasing order, record indices whose hash the
+// sampling round already computed into hcur (nil when hashed); collapsed
+// means every light record goes to residue bucket 0 and heavy ids start at
+// 1 (see collapsePercent).
+func (s *sorter[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []int32,
+	ht *sampling.HeavyTable[K], hashed, collapsed bool, sampled []int32, lo, hi, bitDepth int) {
+	nLmask := uint64(s.nL - 1)
+	probes := 0
+	// Position the sampled-index skip cursor at this chunk: records the
+	// sampling round already hashed are read back from the plane instead
+	// of re-running the user hash.
+	next, skipAt := sampled, -1
+	if !hashed && len(sampled) > 0 {
+		p := sort.Search(len(sampled), func(i int) bool { return int(sampled[i]) >= lo })
+		next = sampled[p:]
+		if len(next) > 0 {
+			skipAt = int(next[0])
+			next = next[1:]
+		}
+	}
+	// The loop runs over 0-based windows of equal length so every index is
+	// provably in bounds (no per-record bounds checks in the hot loop).
+	curW, hcurW := cur[lo:hi], hcur[lo:hi:hi]
+	ids = ids[:len(curW)]
+	skipAt -= lo
+	for j := range curW {
+		var h uint64
+		fresh := false
+		if hashed {
+			h = hcurW[j]
+		} else if j == skipAt {
+			h = hcurW[j]
+			skipAt = -1
+			if len(next) > 0 {
+				skipAt = int(next[0]) - lo
+				next = next[1:]
+			}
+		} else {
+			h = s.hash(s.key(curW[j]))
+			fresh = true
+		}
+		id := -1
+		if ht != nil {
+			probes++
+			if sl := ht.Probe(h); sl >= 0 {
+				if hid := ht.Resolve(sl, h, s.key(curW[j]), s.eq); hid >= 0 {
+					id = int(hid)
+				}
+			}
+		}
+		if id < 0 {
+			if collapsed {
+				id = 0
+			} else {
+				id = int(s.levelBits(h, bitDepth) & nLmask)
+			}
+			if fresh {
+				hcurW[j] = h
+			}
+		}
+		ids[j] = uint16(id)
+		counts[id]++
+	}
+	if s.probeCount != nil && probes > 0 {
+		s.probeCount.Add(int64(probes))
+	}
+}
+
 // rec is one level of Algorithm 1. Data currently lives in cur; other is
 // equally sized scratch; hcur/hother hold the records' cached user hashes
-// and shadow every permutation of cur/other. curIsA records which side is
-// the caller-visible array A: the in-place optimization of Section 3.4
-// swaps the roles of A and T down the recursion, and results must always
-// materialize on the A side of each disjoint bucket range.
-func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA bool, depth int, rng hashutil.RNG) {
+// and shadow every permutation of cur/other. hashed records whether hcur is
+// filled yet (false only at the top level, whose classify sweep computes
+// and caches the hashes as it counts). curIsA records which side is the
+// caller-visible array A: the in-place optimization of Section 3.4 swaps
+// the roles of A and T down the recursion, and results must always
+// materialize on the A side of each disjoint bucket range. depth bounds the
+// recursion; bitDepth counts the b-bit hash windows consumed so far — a
+// collapsed level (all light records into one residue bucket) burns no
+// window, so the two can differ.
+func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed bool, depth, bitDepth int, rng hashutil.RNG) {
 	n := len(cur)
 	if n == 0 {
 		return
 	}
 	if n <= s.alpha || depth >= s.maxDepth {
-		s.base(cur, other, hcur, hother, curIsA, depth)
+		if !hashed && s.less == nil {
+			s.hashAll(cur, hcur) // the semisort= base case consumes the plane
+		}
+		s.base(cur, other, hcur, hother, curIsA, bitDepth)
 		return
 	}
 
-	// Step 1: Sampling and Bucketing (on cached hashes).
+	// Step 1: Sampling and Bucketing (on cached hashes when the plane is
+	// filled; the top level hashes its sample through the memoizing fused
+	// build instead).
 	var ht *sampling.HeavyTable[K]
+	var sampledBuf *parallel.Buf[int32]
+	var stats sampling.Stats
 	if !s.disableHeavy {
-		ht = sampling.BuildHashed(cur, hcur, s.key, s.eq, sampling.Params{
-			SampleSize: s.sampleSize,
-			Thresh:     s.thresh,
-			IDBase:     s.nL,
-			Scratch:    s.sc,
-		}, &rng)
+		p := s.sampleParams(n)
+		if hashed {
+			ht, stats = sampling.BuildHashed(cur, hcur, s.key, s.eq, p, &rng)
+		} else {
+			ht, sampledBuf, stats = sampling.BuildFused(cur, hcur, s.key, s.hash, s.eq, p, &rng)
+		}
 	}
 	nH := 0
 	if ht != nil {
 		nH = ht.NH
 	}
-	nB := s.nL + nH
+	// Level shape: normally n_L light buckets from a fresh hash window;
+	// when the sample says the level is dominated by heavy keys, collapse
+	// every light record into residue bucket 0 (count-only heavy placement:
+	// no window is consumed, the counting matrix shrinks from n_L+n_H to
+	// 1+n_H columns, and the residue re-splits one level deeper).
+	collapsed := stats.Collapsed
+	nLight := s.nL
+	if collapsed {
+		nLight = 1
+	}
+	nB := nLight + nH
 
 	// frng is a copy of the (sampling-advanced) generator for the per-bucket
 	// forks below. The copy is deliberate: rng itself has its address taken
-	// for sampling.BuildHashed, and closures capturing an addressed variable
+	// for the sampling build, and closures capturing an addressed variable
 	// box it on the heap at every rec entry — one allocation per recursion
 	// node.
 	frng := rng
 
-	// Step 2: Blocked Distributing (cur -> other, hcur -> hother). Bucket
-	// ids come entirely from the cached hashes; the user key closure runs
-	// only inside heavy-table probes whose stored hash matches (true heavy
-	// records, plus astronomically rare full-hash collisions).
-	nLmask := uint64(s.nL - 1)
-	var bucketOf func(i int) int
-	if nH > 0 {
-		bucketOf = func(i int) int {
-			h := hcur[i]
-			// Probe walks on cached hashes alone; the user key closure
-			// runs only when a stored heavy hash equals h.
-			if sl := ht.Probe(h); sl >= 0 {
-				if id := ht.Resolve(sl, h, s.key(cur[i]), s.eq); id >= 0 {
-					return int(id)
-				}
-			}
-			return int(s.levelBits(h, depth) & nLmask)
-		}
-	} else {
-		bucketOf = func(i int) int {
-			return int(s.levelBits(hcur[i], depth) & nLmask)
-		}
+	var sampled []int32
+	if sampledBuf != nil {
+		sampled = sampledBuf.S
 	}
-	// Below serialCutoff the whole subtree runs on the calling goroutine:
-	// scheduling thousands of microsecond tasks costs more than the work
-	// (the subproblem is cache-resident anyway).
+
+	// Step 2: Blocked Distributing (cur -> other, hcur -> hother) through
+	// the level's id plane: classify fills ids and counts in one fused
+	// sweep, the engine prefixes and replays. Below serialCutoff the whole
+	// subtree runs on the calling goroutine: scheduling thousands of
+	// microsecond tasks costs more than the work (the subproblem is
+	// cache-resident anyway).
 	serial := n <= serialCutoff
 	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
 	var starts []int
 	if serial {
-		starts = dist.SerialKeyedInto(s.sc, cur, other, hcur, hother, nB, s.nL, bucketOf, startsBuf.S)
+		starts = dist.SerialFilledInto(s.sc, cur, other, hcur, hother, nB, nLight,
+			func(ids []uint16, counts []int32) {
+				s.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, 0, n, bitDepth)
+			}, startsBuf.S)
 	} else {
-		starts = dist.StableKeyedInto(s.rt, cur, other, hcur, hother, nB, s.l, s.nL, bucketOf, startsBuf.S)
+		starts = dist.StableFilledInto(s.rt, cur, other, hcur, hother, nB, s.l, nLight,
+			func(lo, hi int, ids []uint16, counts []int32) {
+				s.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, lo, hi, bitDepth)
+			}, startsBuf.S)
+	}
+	if sampledBuf != nil {
+		sampledBuf.Release()
+	}
+	if ht != nil {
+		// The id plane has absorbed every classification; the table's
+		// storage feeds the next level's build.
+		ht.Release(s.sc)
 	}
 	defer startsBuf.Release()
+
+	nextBit := bitDepth
+	if !collapsed {
+		nextBit++ // a real light split consumed one hash window
+	}
 
 	if s.disableInPlace {
 		// Ablation path: Alg. 1 line 23 verbatim — copy T back to A after
@@ -219,10 +359,10 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA bool, d
 		// see each record's hash.
 		parallel.CopyIn(s.rt, cur, other)
 		parallel.CopyIn(s.rt, hcur, hother)
-		s.forBuckets(serial, func(j int) {
+		s.forBuckets(serial, nLight, func(j int) {
 			lo, hi := starts[j], starts[j+1]
 			if lo < hi {
-				s.rec(cur[lo:hi], other[lo:hi], hcur[lo:hi], hother[lo:hi], curIsA, depth+1, frng.Fork(uint64(j)))
+				s.rec(cur[lo:hi], other[lo:hi], hcur[lo:hi], hother[lo:hi], curIsA, true, depth+1, nextBit, frng.Fork(uint64(j)))
 			}
 		})
 		return
@@ -230,9 +370,10 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA bool, d
 
 	// Heavy buckets are final after distribution; move them to the A side
 	// if they landed in T (the heavy region is contiguous at the end).
-	// Their hashes are never read again, so only records move.
+	// Their hashes are never read again — the scatter already skipped them
+	// (hLive = nLight) — so only records move.
 	if nH > 0 && curIsA {
-		lo, hi := starts[s.nL], starts[nB]
+		lo, hi := starts[nLight], starts[nB]
 		if serial {
 			copy(cur[lo:hi], other[lo:hi])
 		} else {
@@ -241,11 +382,12 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA bool, d
 	}
 
 	// Step 3: Local Refining — recurse on light buckets with roles swapped,
-	// consuming the next window of hash bits (see levelBits).
-	s.forBuckets(serial, func(j int) {
+	// consuming the next window of hash bits (see levelBits). A collapsed
+	// level recurses on its single residue bucket with the same window.
+	s.forBuckets(serial, nLight, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if lo < hi {
-			s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, depth+1, frng.Fork(uint64(j)))
+			s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, true, depth+1, nextBit, frng.Fork(uint64(j)))
 		}
 	})
 }
@@ -255,35 +397,36 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA bool, d
 // subtrees are also the cache-resident ones.
 const serialCutoff = 1 << 16
 
-// forBuckets iterates the light buckets either in parallel or on the
-// calling goroutine.
-func (s *sorter[R, K]) forBuckets(serial bool, body func(j int)) {
+// forBuckets iterates the level's light buckets either in parallel or on
+// the calling goroutine.
+func (s *sorter[R, K]) forBuckets(serial bool, nLight int, body func(j int)) {
 	if serial {
-		for j := 0; j < s.nL; j++ {
+		for j := 0; j < nLight; j++ {
 			body(j)
 		}
 		return
 	}
-	s.rt.For(s.nL, 1, body)
+	s.rt.For(nLight, 1, body)
 }
 
 // levelBits returns the window of hash bits that determines light bucket
-// ids at the given depth. Algorithm 1 states id = h(k) mod n_L; across
-// recursion levels the window must move (level d uses bits [d*b, (d+1)*b)),
-// otherwise a light bucket could never split. Once the 64 hash bits are
-// exhausted the hash is remixed with the depth as a salt.
-func (s *sorter[R, K]) levelBits(h uint64, depth int) uint64 {
-	shift := uint(depth) * s.bBits
+// ids after bitDepth windows have been consumed. Algorithm 1 states id =
+// h(k) mod n_L; across recursion levels the window must move (window d
+// uses bits [d*b, (d+1)*b)), otherwise a light bucket could never split.
+// Once the 64 hash bits are exhausted the hash is remixed with the window
+// index as a salt.
+func (s *sorter[R, K]) levelBits(h uint64, bitDepth int) uint64 {
+	shift := uint(bitDepth) * s.bBits
 	if shift+s.bBits <= 64 {
 		return h >> shift
 	}
-	return hashutil.Seeded(h, uint64(depth))
+	return hashutil.Seeded(h, uint64(bitDepth))
 }
 
 // base solves one bucket sequentially and leaves the result on the A side.
-// depth tells the semisort= splitter which cached-hash bits the recursion
-// above has already consumed.
-func (s *sorter[R, K]) base(cur, other []R, hcur, hother []uint64, curIsA bool, depth int) {
+// bitDepth tells the semisort= splitter which cached-hash windows the
+// recursion above has already consumed.
+func (s *sorter[R, K]) base(cur, other []R, hcur, hother []uint64, curIsA bool, bitDepth int) {
 	if len(cur) <= 1 {
 		if !curIsA {
 			copy(other, cur)
@@ -302,6 +445,6 @@ func (s *sorter[R, K]) base(cur, other []R, hcur, hother []uint64, curIsA bool, 
 	// grouped result on the A side (see groupEq). One leaf scratch serves
 	// every leaf under this bucket.
 	scr := parallel.GetObj[eqScratch[K]](s.sc)
-	s.groupEq(cur, hcur, other, hother, uint(depth)*s.bBits, !curIsA, scr)
+	s.groupEq(cur, hcur, other, hother, uint(bitDepth)*s.bBits, !curIsA, scr)
 	parallel.PutObj(s.sc, scr)
 }

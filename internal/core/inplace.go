@@ -20,6 +20,11 @@ import (
 // sublinear — at the cost the paper predicts: the permutation is unstable,
 // and the top-level pass is less parallel than the out-of-place
 // distribution.
+//
+// Like the out-of-place path, each level classifies every record exactly
+// once: the counting pass fills a 2-byte id plane (fused with user hashing
+// at the top level), and the cycle chase permutes the plane alongside the
+// records instead of re-probing the heavy table at every hop.
 
 // SortEqInPlace is semisort= with one 8-byte-per-record hash array of extra
 // space. Records with equal keys come out contiguous, but not in input
@@ -29,8 +34,7 @@ func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(
 	s := newSorter(a, key, hash, eq, nil, cfg)
 	if s != nil {
 		hb := parallel.GetBuf[uint64](s.sc, len(a))
-		s.hashAll(a, hb.S)
-		s.inPlaceRec(a, hb.S, 0, hashutil.NewRNG(s.seed))
+		s.inPlaceRec(a, hb.S, false, 0, 0, hashutil.NewRNG(s.seed))
 		hb.Release()
 		s.release()
 	}
@@ -43,8 +47,7 @@ func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less f
 	s := newSorter(a, key, hash, eq, less, cfg)
 	if s != nil {
 		hb := parallel.GetBuf[uint64](s.sc, len(a))
-		s.hashAll(a, hb.S)
-		s.inPlaceRec(a, hb.S, 0, hashutil.NewRNG(s.seed))
+		s.inPlaceRec(a, hb.S, false, 0, 0, hashutil.NewRNG(s.seed))
 		hb.Release()
 		s.release()
 	}
@@ -53,25 +56,36 @@ func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less f
 // inPlaceRec is one level of the in-place variant: hs shadows a and is
 // permuted through exactly the same swaps, so every level (and the base
 // case) reads cached hashes instead of re-running the user closures.
-func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, depth int, rng hashutil.RNG) {
+// hashed and bitDepth follow the same contract as rec: the top level fills
+// the hash plane inside its counting sweep, and bitDepth tracks consumed
+// hash windows.
+func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDepth int, rng hashutil.RNG) {
 	n := len(a)
 	if n <= 1 {
 		return
 	}
 	if n <= s.alpha || depth >= s.maxDepth {
-		s.baseInPlace(a, hs, depth)
+		if !hashed && s.less == nil {
+			s.hashAll(a, hs)
+		}
+		s.baseInPlace(a, hs, bitDepth)
 		return
 	}
 
-	// Step 1: Sampling and Bucketing, exactly as in Algorithm 1.
+	// Step 1: Sampling and Bucketing, exactly as in Algorithm 1 (the
+	// in-place variant keeps the full n_L-wide level shape: the collapse
+	// would not shrink its O(n_B) counters meaningfully, and the chase
+	// already skips no traffic for heavy records).
 	var ht *sampling.HeavyTable[K]
+	var sampledBuf *parallel.Buf[int32]
 	if !s.disableHeavy {
-		ht = sampling.BuildHashed(a, hs, s.key, s.eq, sampling.Params{
-			SampleSize: s.sampleSize,
-			Thresh:     s.thresh,
-			IDBase:     s.nL,
-			Scratch:    s.sc,
-		}, &rng)
+		p := s.sampleParams(n)
+		p.CollapsePercent = 0
+		if hashed {
+			ht, _ = sampling.BuildHashed(a, hs, s.key, s.eq, p, &rng)
+		} else {
+			ht, sampledBuf, _ = sampling.BuildFused(a, hs, s.key, s.hash, s.eq, p, &rng)
+		}
 	}
 	nH := 0
 	if ht != nil {
@@ -82,24 +96,25 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, depth int, rng hashutil.RN
 	// addressed rng captured by the bucket closure would be heap-boxed at
 	// every inPlaceRec entry).
 	frng := rng
-	nLmask := uint64(s.nL - 1)
-	bucketOf := func(r R, h uint64) int {
-		if nH > 0 {
-			if sl := ht.Probe(h); sl >= 0 {
-				if id := ht.Resolve(sl, h, s.key(r), s.eq); id >= 0 {
-					return int(id)
-				}
-			}
-		}
-		return int(s.levelBits(h, depth) & nLmask)
+	var sampled []int32
+	if sampledBuf != nil {
+		sampled = sampledBuf.S
 	}
 
-	// Step 2': exact counting (parallel over chunks), then an in-place
-	// cycle-chasing permutation that carries each record's hash with it.
-	// Extra space is the O(n_B) counters only.
+	// Step 2': one fused classify pass fills the id plane and the exact
+	// bucket histogram (parallel over chunks), then an in-place
+	// cycle-chasing permutation carries each record's hash and cached id
+	// with it. Extra space is the O(n_B) counters plus the 2-byte plane.
+	idsBuf := parallel.GetBuf[uint16](s.sc, n)
 	countsBuf := parallel.GetBuf[int32](s.sc, nB)
-	counts := countsBuf.S
-	s.countBuckets(a, hs, counts, bucketOf)
+	ids, counts := idsBuf.S, countsBuf.S
+	s.countBuckets(a, hs, ids, counts, ht, hashed, sampled, bitDepth)
+	if sampledBuf != nil {
+		sampledBuf.Release()
+	}
+	if ht != nil {
+		ht.Release(s.sc)
+	}
 	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
 	headsBuf := parallel.GetBuf[int](s.sc, nB)
 	starts, heads := startsBuf.S, headsBuf.S
@@ -115,56 +130,54 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, depth int, rng hashutil.RN
 		end := starts[b+1]
 		for heads[b] < end {
 			i := heads[b]
-			db := bucketOf(a[i], hs[i])
-			if db == b {
+			if int(ids[i]) == b {
 				heads[b]++
 				continue
 			}
-			v, hv := a[i], hs[i]
-			for db != b {
-				j := heads[db]
-				heads[db]++
+			v, hv, vid := a[i], hs[i], ids[i]
+			for int(vid) != b {
+				j := heads[vid]
+				heads[vid]++
 				a[j], v = v, a[j]
 				hs[j], hv = hv, hs[j]
-				db = bucketOf(v, hv)
+				ids[j], vid = vid, ids[j]
 			}
-			a[i], hs[i] = v, hv
+			a[i], hs[i], ids[i] = v, hv, vid
 			heads[b]++
 		}
 	}
 	headsBuf.Release()
+	idsBuf.Release()
 
 	// Step 3: heavy buckets are final; recurse on light buckets in place.
 	serial := n <= serialCutoff
-	s.forBuckets(serial, func(j int) {
+	s.forBuckets(serial, s.nL, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if hi-lo > 1 {
-			s.inPlaceRec(a[lo:hi], hs[lo:hi], depth+1, frng.Fork(uint64(j)))
+			s.inPlaceRec(a[lo:hi], hs[lo:hi], true, depth+1, bitDepth+1, frng.Fork(uint64(j)))
 		}
 	})
 	startsBuf.Release()
 }
 
-// countBuckets fills counts with the exact bucket histogram. Large inputs
-// count in parallel with per-participant counter rows (the ForRangeW slot
-// API), merged by commutative addition so the result is deterministic.
-func (s *sorter[R, K]) countBuckets(a []R, hs []uint64, counts []int32, bucketOf func(R, uint64) int) {
+// countBuckets runs the level's classify pass over the whole input: ids
+// receives the 2-byte bucket id plane, counts the exact histogram. Large
+// inputs classify in parallel with per-participant counter rows (the
+// ForRangeW slot API), merged by commutative addition so the result is
+// deterministic.
+func (s *sorter[R, K]) countBuckets(a []R, hs []uint64, ids []uint16, counts []int32,
+	ht *sampling.HeavyTable[K], hashed bool, sampled []int32, bitDepth int) {
 	n, nB := len(a), len(counts)
 	clear(counts)
 	if n <= serialCutoff {
-		for i := 0; i < n; i++ {
-			counts[bucketOf(a[i], hs[i])]++
-		}
+		s.classify(a, hs, ids, counts, ht, hashed, false, sampled, 0, n, bitDepth)
 		return
 	}
 	slots := s.rt.MaxSlots()
 	part := parallel.GetSlotted[int32](s.sc, slots, nB)
 	part.Zero()
 	s.rt.ForRangeW(n, 1<<14, func(w, lo, hi int) {
-		row := part.Lane(w)
-		for i := lo; i < hi; i++ {
-			row[bucketOf(a[i], hs[i])]++
-		}
+		s.classify(a, hs, ids[lo:hi], part.Lane(w), ht, hashed, false, sampled, lo, hi, bitDepth)
 	})
 	for w := 0; w < slots; w++ {
 		row := part.Lane(w)
@@ -178,7 +191,7 @@ func (s *sorter[R, K]) countBuckets(a []R, hs []uint64, counts []int32, bucketOf
 // baseInPlace finishes one bucket within the input array. semisort< sorts
 // in place; semisort= groups through pooled scratch buffers of at most
 // alpha records, landing the result back in a.
-func (s *sorter[R, K]) baseInPlace(a []R, hs []uint64, depth int) {
+func (s *sorter[R, K]) baseInPlace(a []R, hs []uint64, bitDepth int) {
 	if s.less != nil {
 		seqsort.Quick3(a, func(x, y R) bool { return s.less(s.key(x), s.key(y)) })
 		return
@@ -186,7 +199,7 @@ func (s *sorter[R, K]) baseInPlace(a []R, hs []uint64, depth int) {
 	buf := parallel.GetBuf[R](s.sc, len(a))
 	hbuf := parallel.GetBuf[uint64](s.sc, len(a))
 	scr := parallel.GetObj[eqScratch[K]](s.sc)
-	s.groupEq(a, hs, buf.S, hbuf.S, uint(depth)*s.bBits, false, scr)
+	s.groupEq(a, hs, buf.S, hbuf.S, uint(bitDepth)*s.bBits, false, scr)
 	parallel.PutObj(s.sc, scr)
 	hbuf.Release()
 	buf.Release()

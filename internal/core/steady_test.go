@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/dist"
 	"repro/internal/parallel"
 )
 
@@ -58,6 +59,33 @@ func TestSortEqSteadyStateAllocsHeavyKeys(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(20, run); allocs > 32 {
 		t.Fatalf("steady-state SortEq (heavy keys) allocates %.0f objects/call, want <= 32", allocs)
+	}
+}
+
+func TestSortEqSteadyStateAllocsZipf(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	// Zipfian inputs build a heavy table per recursion level (plus collapsed
+	// residue levels); with the tables and sample state pooled through the
+	// arena, the whole skew path must stay within a few dozen allocations
+	// per call (it was ~228/op before pooling).
+	n := 1 << 16
+	keys := dist.Keys64(n, dist.Spec{Kind: dist.Zipfian, Param: 1.2}, 7)
+	in := make([]rec, n)
+	for i := range in {
+		in[i] = rec{key: keys[i], seq: i}
+	}
+	work := make([]rec, n)
+	run := func() {
+		copy(work, in)
+		SortEq(work, keyOf, hashMix, eqU64, Config{})
+	}
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(20, run); allocs > 40 {
+		t.Fatalf("steady-state SortEq (zipfian) allocates %.0f objects/call, want <= 40", allocs)
 	}
 }
 

@@ -44,8 +44,8 @@ import (
 // the paper's largest experiments (10^9).
 const MaxLen = math.MaxInt32
 
-// maxBuckets bounds nB so bucket ids fit the 2-byte id cache.
-const maxBuckets = 1 << 16
+// MaxBuckets bounds nB so bucket ids fit the 2-byte id cache.
+const MaxBuckets = 1 << 16
 
 // Write-buffer geometry. A staging block holds scatterBlockBytes of records
 // (about two cache lines) per bucket; buffering engages only when a
@@ -117,7 +117,7 @@ func checkArgs(n, nDst, nB, nStarts int) {
 	if nDst != n {
 		panic("dist: src and dst length mismatch")
 	}
-	if nB > maxBuckets {
+	if nB > MaxBuckets {
 		panic("dist: more than 2^16 buckets")
 	}
 	if nStarts != nB+1 {
@@ -159,6 +159,26 @@ func StableInto[R any](rt *parallel.Runtime, src, dst []R, nB, l int, bucketOf f
 // final and never re-read their hashes) skip the side-array traffic
 // entirely. Pass nB to permute everything.
 func StableKeyedInto[R any](rt *parallel.Runtime, src, dst []R, hsrc, hdst []uint64, nB, l int, hLive int, bucketOf func(i int) int, starts []int) []int {
+	return StableFilledInto(rt, src, dst, hsrc, hdst, nB, l, hLive,
+		func(lo, hi int, ids []uint16, row []int32) {
+			for j := lo; j < hi; j++ {
+				b := bucketOf(j)
+				ids[j-lo] = uint16(b)
+				row[b]++
+			}
+		}, starts)
+}
+
+// StableFilledInto is the id-plane form of StableKeyedInto: instead of a
+// per-record bucketOf closure, the caller supplies the whole counting pass.
+// fill(lo, hi, ids, row) must classify records [lo, hi) of src, writing
+// ids[j-lo] in [0, nB) and incrementing row[id] once per record; it is
+// invoked once per subarray (concurrently across subarrays). This is how
+// the semisort core fuses user hashing, the single heavy-table probe and
+// light-id extraction into one sweep per level — the engine prefixes the
+// counts and replays the cached ids during the scatter, so the classifier
+// runs exactly once per record by construction.
+func StableFilledInto[R any](rt *parallel.Runtime, src, dst []R, hsrc, hdst []uint64, nB, l int, hLive int, fill func(lo, hi int, ids []uint16, row []int32), starts []int) []int {
 	n := len(src)
 	checkArgs(n, len(dst), nB, len(starts))
 	keyed := hsrc != nil
@@ -183,13 +203,8 @@ func StableKeyedInto[R any](rt *parallel.Runtime, src, dst []R, hsrc, hdst []uin
 	cBuf.Zero()
 	ids, c := idsBuf.S, cBuf.S
 	rt.For(nSub, 1, func(i int) {
-		row := c[i*nB : (i+1)*nB]
 		hi := min((i+1)*l, n)
-		for j := i * l; j < hi; j++ {
-			b := bucketOf(j)
-			ids[j] = uint16(b)
-			row[b]++
-		}
+		fill(i*l, hi, ids[i*l:hi], c[i*nB:(i+1)*nB])
 	})
 
 	prefixOffsets(rt, sc, nB, nSub, c, starts)
@@ -206,12 +221,15 @@ func StableKeyedInto[R any](rt *parallel.Runtime, src, dst []R, hsrc, hdst []uin
 		rt.For(nSub, 1, func(i int) {
 			row := c[i*nB : (i+1)*nB]
 			hi := min((i+1)*l, n)
-			for j := i * l; j < hi; j++ {
-				b := ids[j]
+			// Equal-length 0-based windows keep the per-record loop free of
+			// bounds checks.
+			srcW, hsrcW, idsW := src[i*l:hi], hsrc[i*l:hi:hi], ids[i*l:hi:hi]
+			for j := range srcW {
+				b := idsW[j]
 				p := row[b]
-				dst[p] = src[j]
+				dst[p] = srcW[j]
 				if int(b) < hLive {
-					hdst[p] = hsrc[j]
+					hdst[p] = hsrcW[j]
 				}
 				row[b] = p + 1
 			}
@@ -220,9 +238,10 @@ func StableKeyedInto[R any](rt *parallel.Runtime, src, dst []R, hsrc, hdst []uin
 		rt.For(nSub, 1, func(i int) {
 			row := c[i*nB : (i+1)*nB]
 			hi := min((i+1)*l, n)
-			for j := i * l; j < hi; j++ {
-				b := ids[j]
-				dst[row[b]] = src[j]
+			srcW, idsW := src[i*l:hi], ids[i*l:hi:hi]
+			for j := range srcW {
+				b := idsW[j]
+				dst[row[b]] = srcW[j]
 				row[b]++
 			}
 		})
@@ -400,6 +419,53 @@ func SerialKeyedInto[R any](sc *parallel.Scratch, src, dst []R, hsrc, hdst []uin
 	return starts
 }
 
+// SerialFilledInto is the id-plane form of SerialKeyedInto (see
+// StableFilledInto): fill(ids, counts) classifies every record of src in
+// one caller-owned pass, writing ids[i] in [0, nB) and incrementing
+// counts[id] once per record; the engine prefixes and replays. The id cache
+// is 2 bytes per record (callers with nB <= 256 and a cheap classifier
+// keep using the closure form, whose byte-wide cache halves id traffic).
+func SerialFilledInto[R any](sc *parallel.Scratch, src, dst []R, hsrc, hdst []uint64, nB int, hLive int, fill func(ids []uint16, counts []int32), starts []int) []int {
+	return serialFilled(sc, src, dst, hsrc, hdst, nB, hLive, fill, starts)
+}
+
+// SerialFilled8Into is SerialFilledInto with a byte-wide id plane for
+// classifiers with nB <= 256 (the semisort base-case splitter's 256-way
+// hash-window splits): the caller's fill pass writes 1-byte ids, halving
+// id-cache traffic exactly like the byte specialization of the closure
+// form.
+func SerialFilled8Into[R any](sc *parallel.Scratch, src, dst []R, hsrc, hdst []uint64, nB int, hLive int, fill func(ids []uint8, counts []int32), starts []int) []int {
+	if nB > 256 {
+		panic("dist: SerialFilled8Into needs nB <= 256")
+	}
+	return serialFilled(sc, src, dst, hsrc, hdst, nB, hLive, fill, starts)
+}
+
+// serialFilled is the shared body of the serial id-plane engines, generic
+// over the id-cache cell (mirroring serialScatter/serialFinish).
+func serialFilled[R any, I uint8 | uint16](sc *parallel.Scratch, src, dst []R, hsrc, hdst []uint64, nB int, hLive int, fill func(ids []I, counts []int32), starts []int) []int {
+	n := len(src)
+	checkArgs(n, len(dst), nB, len(starts))
+	if hsrc != nil && (len(hsrc) != n || len(hdst) != n) {
+		panic("dist: hash arrays must match src length")
+	}
+	if n == 0 {
+		clear(starts)
+		return starts
+	}
+	if sc == nil {
+		sc = parallel.Default().Scratch()
+	}
+	idsBuf := parallel.GetBuf[I](sc, n)
+	countsBuf := parallel.GetBuf[int32](sc, nB)
+	countsBuf.Zero()
+	fill(idsBuf.S, countsBuf.S)
+	serialFinish(src, dst, hsrc, hdst, idsBuf.S, countsBuf.S, nB, hLive, starts)
+	countsBuf.Release()
+	idsBuf.Release()
+	return starts
+}
+
 // serialScatter is the count-prefix-scatter body of SerialKeyedInto,
 // generic over the id-cache cell so byte-sized bucket counts pay byte-sized
 // id traffic.
@@ -414,6 +480,15 @@ func serialScatter[R any, I uint8 | uint16](sc *parallel.Scratch, src, dst []R, 
 		ids[i] = I(b)
 		counts[b]++
 	}
+	serialFinish(src, dst, hsrc, hdst, ids, counts, nB, hLive, starts)
+	countsBuf.Release()
+	idsBuf.Release()
+}
+
+// serialFinish is the shared prefix+scatter tail of the serial engines:
+// counts arrives as the bucket histogram and leaves as write cursors.
+func serialFinish[R any, I uint8 | uint16](src, dst []R, hsrc, hdst []uint64, ids []I, counts []int32, nB, hLive int, starts []int) {
+	n := len(src)
 	off := int32(0)
 	for b := 0; b < nB; b++ {
 		starts[b] = int(off)
@@ -422,8 +497,10 @@ func serialScatter[R any, I uint8 | uint16](sc *parallel.Scratch, src, dst []R, 
 		off += c
 	}
 	starts[nB] = int(off)
+	ids = ids[:n] // equal-length windows: no bounds checks per record
 	if hsrc != nil {
-		for i := 0; i < n; i++ {
+		hsrc = hsrc[:n:n]
+		for i := range ids {
 			b := ids[i]
 			p := counts[b]
 			dst[p] = src[i]
@@ -433,12 +510,10 @@ func serialScatter[R any, I uint8 | uint16](sc *parallel.Scratch, src, dst []R, 
 			counts[b] = p + 1
 		}
 	} else {
-		for i := 0; i < n; i++ {
+		for i := range ids {
 			b := ids[i]
 			dst[counts[b]] = src[i]
 			counts[b]++
 		}
 	}
-	countsBuf.Release()
-	idsBuf.Release()
 }

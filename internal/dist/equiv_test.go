@@ -90,6 +90,102 @@ func runAllVariants(t *testing.T, label string, src []erec, nB, l int) {
 	hdst4 := make([]uint64, n)
 	starts4 := SerialKeyedInto(nil, src, dst4, hsrc, hdst4, nB, nB, bucketOf, make([]int, nB+1))
 	checkAgainstRef(t, label+"/SerialKeyedInto", src, dst4, hdst4, starts4, wantStarts, want)
+
+	// The id-plane (Filled) forms must match too: the caller-supplied fill
+	// pass replaces bucketOf but the prefix+scatter machinery is shared.
+	dst5 := make([]erec, n)
+	hdst5 := make([]uint64, n)
+	starts5 := StableFilledInto(nil, src, dst5, hsrc, hdst5, nB, l, nB,
+		func(lo, hi int, ids []uint16, row []int32) {
+			for j := lo; j < hi; j++ {
+				ids[j-lo] = uint16(src[j].b)
+				row[src[j].b]++
+			}
+		}, make([]int, nB+1))
+	checkAgainstRef(t, label+"/StableFilledInto", src, dst5, hdst5, starts5, wantStarts, want)
+
+	dst6 := make([]erec, n)
+	hdst6 := make([]uint64, n)
+	starts6 := SerialFilledInto(nil, src, dst6, hsrc, hdst6, nB, nB,
+		func(ids []uint16, counts []int32) {
+			for i, r := range src {
+				ids[i] = uint16(r.b)
+				counts[r.b]++
+			}
+		}, make([]int, nB+1))
+	checkAgainstRef(t, label+"/SerialFilledInto", src, dst6, hdst6, starts6, wantStarts, want)
+
+	if nB <= 256 {
+		dst7 := make([]erec, n)
+		hdst7 := make([]uint64, n)
+		starts7 := SerialFilled8Into(nil, src, dst7, hsrc, hdst7, nB, nB,
+			func(ids []uint8, counts []int32) {
+				for i, r := range src {
+					ids[i] = uint8(r.b)
+					counts[r.b]++
+				}
+			}, make([]int, nB+1))
+		checkAgainstRef(t, label+"/SerialFilled8Into", src, dst7, hdst7, starts7, wantStarts, want)
+	}
+}
+
+// TestHLiveDeadSuffixUntouched pins the skew-adaptive scatter contract the
+// semisort core relies on: records landing in buckets >= hLive (final heavy
+// buckets) must not move their side-array values — the scatter may not even
+// write those hdst positions. A sentinel pattern in hdst must survive within
+// the dead region, in every engine and with buffering forced on.
+func TestHLiveDeadSuffixUntouched(t *testing.T) {
+	n, nB, hLive, l := 6000, 600, 400, 128
+	src := makeSrc(n, nB, 17)
+	hsrc := make([]uint64, n)
+	for i, r := range src {
+		hsrc[i] = hashOf(r)
+	}
+	bucketOf := func(i int) int { return src[i].b }
+	const sentinel = 0xdeadbeefcafef00d
+	check := func(label string, starts []int, hdst []uint64) {
+		t.Helper()
+		deadLo := starts[hLive]
+		for p := 0; p < deadLo; p++ {
+			if hdst[p] == sentinel {
+				t.Fatalf("%s: live hash at %d not written", label, p)
+			}
+		}
+		for p := deadLo; p < n; p++ {
+			if hdst[p] != sentinel {
+				t.Fatalf("%s: dead-suffix hash at %d was written", label, p)
+			}
+		}
+	}
+	newHdst := func() []uint64 {
+		hdst := make([]uint64, n)
+		for i := range hdst {
+			hdst[i] = sentinel
+		}
+		return hdst
+	}
+	for _, buffered := range []bool{false, true} {
+		prev := SetScatterBuffering(buffered)
+		dst := make([]erec, n)
+		hdst := newHdst()
+		starts := StableKeyedInto(nil, src, dst, hsrc, hdst, nB, l, hLive, bucketOf, make([]int, nB+1))
+		check("StableKeyedInto", starts, hdst)
+		SetScatterBuffering(prev)
+	}
+	dst := make([]erec, n)
+	hdst := newHdst()
+	starts := SerialKeyedInto(nil, src, dst, hsrc, hdst, nB, hLive, bucketOf, make([]int, nB+1))
+	check("SerialKeyedInto", starts, hdst)
+
+	hdst = newHdst()
+	starts = SerialFilledInto(nil, src, make([]erec, n), hsrc, hdst, nB, hLive,
+		func(ids []uint16, counts []int32) {
+			for i, r := range src {
+				ids[i] = uint16(r.b)
+				counts[r.b]++
+			}
+		}, make([]int, nB+1))
+	check("SerialFilledInto", starts, hdst)
 }
 
 func makeSrc(n, nB int, seed int64) []erec {
@@ -117,13 +213,13 @@ func TestDistributeVariantsMatchReferenceEdgeShapes(t *testing.T) {
 			}
 			return src
 		}(), 16, 128},
-		{"nB=maxBuckets-sparse", func() []erec {
+		{"nB=MaxBuckets-sparse", func() []erec {
 			src := makeSrc(2000, 4, 4)
 			for i := range src {
-				src[i].b = (src[i].seq * 31) % maxBuckets
+				src[i].b = (src[i].seq * 31) % MaxBuckets
 			}
 			return src
-		}(), maxBuckets, 256},
+		}(), MaxBuckets, 256},
 		{"empty-buckets", func() []erec {
 			src := makeSrc(2500, 3, 5)
 			picks := []int{0, 150, 299}

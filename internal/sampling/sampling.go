@@ -8,6 +8,7 @@ package sampling
 
 import (
 	"math/bits"
+	"slices"
 
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
@@ -18,20 +19,51 @@ type Params struct {
 	// SampleSize is |S|; it is clamped to the input length.
 	SampleSize int
 	// Thresh is the number of sample occurrences that makes a key heavy
-	// (the paper uses log2 n).
+	// (the paper uses log2 n').
 	Thresh int
 	// IDBase is the bucket id assigned to the first heavy key; subsequent
 	// heavy keys get consecutive ids (the paper uses IDBase = n_L).
 	IDBase int
-	// Scratch supplies the transient sample-counting tables; nil falls back
-	// to the shared default arena. The returned HeavyTable itself is
-	// allocated only when heavy keys exist (it escapes to the caller).
+	// CollapsePercent, when positive, turns on the skew-adaptive light
+	// collapse: if at least this percent of the sample draws landed on keys
+	// that were promoted to heavy, the round reports Stats.Collapsed and
+	// assigns heavy ids from 1 instead of IDBase — the caller is expected
+	// to place every light record into the single residue bucket 0 and
+	// skip light-id computation for the level entirely. Zero disables the
+	// collapse (heavy ids always start at IDBase).
+	CollapsePercent int
+	// MaxHeavy, when positive, bounds how many keys are promoted (callers
+	// with a bucket-id ceiling pass the ids they have left). Keys qualify
+	// in first-sampled order; the rest stay light.
+	MaxHeavy int
+	// Scratch supplies the transient sample-counting tables and the pooled
+	// heavy table itself; nil falls back to the shared default arena.
 	Scratch *parallel.Scratch
+}
+
+// Stats summarizes one sampling round for the caller's level-shape
+// decision. The values are pure functions of (input, Params, rng state),
+// never of scheduling.
+type Stats struct {
+	// Draws is the number of sample draws actually taken (|S| clamped).
+	Draws int
+	// HeavyDraws is how many of those draws landed on a key that ended up
+	// heavy; HeavyDraws/Draws estimates the heavy record mass of the level.
+	HeavyDraws int
+	// Collapsed reports that HeavyDraws crossed Params.CollapsePercent and
+	// heavy ids were assigned from 1 (see Params.CollapsePercent).
+	Collapsed bool
 }
 
 // HeavyTable is the paper's heavy table H. Keys are stored with their user
 // hash for fast probing; Order lists the heavy keys by bucket id (Order[i]
 // has id IDBase+i), which collect-reduce uses to emit heavy results.
+//
+// Tables built against a Scratch arena are pooled: Release returns the
+// storage for reuse by later levels, which is what keeps skewed inputs
+// (one table per recursion level) allocation-free in steady state. Callers
+// that outlive the level (collect-reduce holds Order) simply never call
+// Release and keep the table.
 type HeavyTable[K any] struct {
 	hashes []uint64
 	keys   []K
@@ -98,6 +130,39 @@ func (t *HeavyTable[K]) Resolve(slot int32, h uint64, k K, eq func(K, K) bool) i
 	}
 }
 
+// Release returns the table's storage to the arena it was built from. The
+// caller must be done probing; cached key values are cleared so the pooled
+// table does not pin caller records between levels.
+func (t *HeavyTable[K]) Release(sc *parallel.Scratch) {
+	clear(t.keys)
+	clear(t.Order)
+	t.Order = t.Order[:0]
+	t.NH = 0
+	parallel.PutObj(sc, t)
+}
+
+// grow (re)shapes a pooled table for nH heavy keys: power-of-two capacity
+// at 25% max load, used flags cleared, stale hashes/keys/ids left in place
+// (they are unreachable while their used flag is down).
+func (t *HeavyTable[K]) grow(nH int) {
+	hCap := CeilPow2(4 * nH)
+	if cap(t.hashes) < hCap {
+		t.hashes = make([]uint64, hCap)
+		t.keys = make([]K, hCap)
+		t.ids = make([]int32, hCap)
+		t.used = make([]bool, hCap)
+	} else {
+		t.hashes = t.hashes[:hCap]
+		t.keys = t.keys[:hCap]
+		t.ids = t.ids[:hCap]
+		t.used = t.used[:hCap]
+		clear(t.used)
+	}
+	t.mask = uint64(hCap - 1)
+	t.NH = nH
+	t.Order = t.Order[:0]
+}
+
 func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
 	i := h & t.mask
 	for t.used[i] {
@@ -113,27 +178,91 @@ func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
 // when no key is heavy. Heavy ids are assigned in first-sampled order, so
 // the result is a pure function of (a, p, rng state), never of scheduling.
 func Build[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
-	return build(a, key, func(idx int) uint64 { return hash(key(a[idx])) }, eq, p, rng)
+	t, _ := build(a, key, func(idx int) uint64 { return hash(key(a[idx])) }, eq, p, rng)
+	return t
 }
 
 // BuildHashed is Build consuming precomputed per-record user hashes (the
-// hash-once pipeline: core.run fills hs exactly once per sort). The user
-// hash closure is never called; the key closure runs only on hash-equal
-// sample collisions (duplicate keys) and when materializing heavy keys.
-func BuildHashed[R, K any](a []R, hs []uint64, key func(R) K, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
+// hash-once pipeline: deeper recursion levels inherit the permuted hash
+// plane). The user hash closure is never called; the key closure runs only
+// on hash-equal sample collisions (duplicate keys) and when materializing
+// heavy keys.
+func BuildHashed[R, K any](a []R, hs []uint64, key func(R) K, eq func(K, K) bool, p Params, rng *hashutil.RNG) (*HeavyTable[K], Stats) {
 	return build(a, key, func(idx int) uint64 { return hs[idx] }, eq, p, rng)
+}
+
+// BuildFused is the sampling round of the fused top level, where no cached
+// hashes exist yet: sampled records are hashed on the fly through the user
+// closures — memoized per record index, so with-replacement re-draws never
+// re-hash — and each computed hash is stored into hs at its index. The
+// returned buffer lists the distinct sampled indices in increasing order;
+// the caller's fused hash+count sweep skips the user hash for exactly
+// those records (reading hs instead), which is what keeps the whole-sort
+// contract at exactly one user hash call per record. The caller releases
+// the buffer once its sweep has consumed it (it may be nil when the round
+// was skipped).
+func BuildFused[R, K any](a []R, hs []uint64, key func(R) K, hash func(K) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) (*HeavyTable[K], *parallel.Buf[int32], Stats) {
+	m, ok := sampleDraws(len(a), p)
+	if !ok {
+		return nil, nil, Stats{}
+	}
+	sc := p.Scratch
+	if sc == nil {
+		sc = parallel.Default().Scratch()
+	}
+	// idx -> hash memo (open addressing keyed by record index).
+	memCap := CeilPow2(2 * m)
+	memMask := uint64(memCap - 1)
+	memIdxBuf := parallel.GetBuf[int32](sc, memCap)
+	memHashBuf := parallel.GetBuf[uint64](sc, memCap)
+	memUsedBuf := parallel.GetBuf[bool](sc, memCap)
+	memUsedBuf.Zero()
+	memIdx, memHash, memUsed := memIdxBuf.S, memHashBuf.S, memUsedBuf.S
+	sampledBuf := parallel.GetBuf[int32](sc, m)
+	sampled := sampledBuf.S[:0]
+	hashAt := func(idx int) uint64 {
+		i := hashutil.Mix64(uint64(idx)) & memMask
+		for memUsed[i] {
+			if memIdx[i] == int32(idx) {
+				return memHash[i]
+			}
+			i = (i + 1) & memMask
+		}
+		h := hash(key(a[idx]))
+		hs[idx] = h
+		memUsed[i] = true
+		memIdx[i] = int32(idx)
+		memHash[i] = h
+		sampled = append(sampled, int32(idx))
+		return h
+	}
+	t, stats := build(a, key, hashAt, eq, p, rng)
+	memUsedBuf.Release()
+	memHashBuf.Release()
+	memIdxBuf.Release()
+	slices.Sort(sampled)
+	sampledBuf.S = sampled
+	return t, sampledBuf, stats
+}
+
+// sampleDraws clamps the round's draw count to the input and reports
+// whether the round runs at all (shared by build and BuildFused so the
+// fused path can never desync from the plain one on the skip decision).
+func sampleDraws(n int, p Params) (m int, ok bool) {
+	m = p.SampleSize
+	if m > n {
+		m = n
+	}
+	return m, m >= p.Thresh && m > 0
 }
 
 // build is the shared sampling round; hashAt supplies the user hash of
 // record idx (computed or cached).
-func build[R, K any](a []R, key func(R) K, hashAt func(idx int) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
+func build[R, K any](a []R, key func(R) K, hashAt func(idx int) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) (*HeavyTable[K], Stats) {
 	n := len(a)
-	m := p.SampleSize
-	if m > n {
-		m = n
-	}
-	if m < p.Thresh || m <= 0 {
-		return nil
+	m, ok := sampleDraws(n, p)
+	if !ok {
+		return nil, Stats{}
 	}
 
 	// Count sampled keys in a small open-addressing multiset; order keeps
@@ -197,35 +326,40 @@ func build[R, K any](a []R, key func(R) K, hashAt func(idx int) uint64, eq func(
 		}
 	}
 
-	nH := 0
+	nH, heavyDraws := 0, 0
 	for _, i := range order {
 		if int(slotCnt[i]) >= p.Thresh {
+			if p.MaxHeavy > 0 && nH == p.MaxHeavy {
+				break // later qualifiers stay light (first-sampled order)
+			}
 			nH++
+			heavyDraws += int(slotCnt[i])
 		}
 	}
+	stats := Stats{Draws: m, HeavyDraws: heavyDraws}
 	if nH == 0 {
-		return nil
+		return nil, stats
 	}
-	hCap := CeilPow2(4 * nH)
-	t := &HeavyTable[K]{
-		hashes: make([]uint64, hCap),
-		keys:   make([]K, hCap),
-		ids:    make([]int32, hCap),
-		used:   make([]bool, hCap),
-		mask:   uint64(hCap - 1),
-		NH:     nH,
-		Order:  make([]K, 0, nH),
+	idBase := p.IDBase
+	if p.CollapsePercent > 0 && heavyDraws*100 >= p.CollapsePercent*m {
+		stats.Collapsed = true
+		idBase = 1
 	}
-	id := int32(p.IDBase)
+	t := parallel.GetObj[HeavyTable[K]](sc)
+	t.grow(nH)
+	id := int32(idBase)
 	for _, i := range order {
 		if int(slotCnt[i]) >= p.Thresh {
 			k := key(a[slotRec[i]])
 			t.insert(slotHash[i], k, id)
 			t.Order = append(t.Order, k)
 			id++
+			if int(id)-idBase == nH {
+				break
+			}
 		}
 	}
-	return t
+	return t, stats
 }
 
 // CeilPow2 returns the smallest power of two >= x (and 1 for x <= 1).
