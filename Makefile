@@ -23,9 +23,10 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detector pass on the runtime and the semisort core
+## race: race-detector pass on the runtime, the semisort core, and the
+## collect-reduce terminal op
 race:
-	$(GO) test -race ./internal/parallel ./internal/core
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect
 
 ## bench-steady: steady-state allocation benchmark (see EXPERIMENTS.md)
 bench-steady:

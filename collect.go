@@ -17,6 +17,11 @@ type KeyValue[K, E any] struct {
 // Histogram returns the number of occurrences of each distinct key of a
 // (Section 2.1's histogram problem). The input is not modified. Keys are
 // emitted in a deterministic order for a fixed seed.
+//
+// Histogram runs on the same distribution pipeline as SortEq (one fused
+// classify sweep per level, heavy keys detected by sampling), so hash is
+// called exactly once per record per call; frequent keys are counted where
+// they stand and never moved.
 func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []KeyCount[K] {
 	kv := collect.Histogram(a, key, hash, eq, buildConfig(opts))
 	out := make([]KeyCount[K], len(kv))
@@ -31,6 +36,9 @@ func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 // M(r1)), M(r2)) ...) in input order (Section 2.1's collect-reduce).
 // combine must be associative with identity id; because the algorithm is
 // stable, it does not need to be commutative. The input is not modified.
+// Like Histogram, it shares the semisort distribution pipeline: hash runs
+// exactly once per record per call, and records of frequent keys are
+// reduced in place instead of being moved.
 func CollectReduce[R, K, E any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool,
 	mapf func(R) E, combine func(E, E) E, id E, opts ...Option) []KeyValue[K, E] {
 	kv := collect.Reduce(a, collect.Reducer[R, K, E]{

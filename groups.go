@@ -1,6 +1,9 @@
 package semisort
 
-import "repro/internal/parallel"
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
 
 // Group is one contiguous run of equal-key records after a semisort:
 // a[Lo:Hi] all share the same key.
@@ -16,31 +19,32 @@ type Group struct {
 //	    neighbors := edges[g.Lo:g.Hi]
 //	}
 func GroupsEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []Group {
+	// The options are resolved once: the config built here drives both the
+	// sort and the boundary scan (core.SortEq applies the defaults).
 	cfg := buildConfig(opts)
-	SortEq(a, key, hash, eq, opts...)
+	core.SortEq(a, key, hash, eq, cfg)
 	return boundaries(parallel.Or(cfg.Runtime), a, key, eq)
 }
 
 // GroupsLess is GroupsEq using SortLess (semisort<).
 func GroupsLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) []Group {
 	cfg := buildConfig(opts)
-	SortLess(a, key, hash, less, opts...)
+	core.SortLess(a, key, hash, less, cfg)
 	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
 	return boundaries(parallel.Or(cfg.Runtime), a, key, eq)
 }
 
 // boundaries locates the group starts of an already-semisorted array in
-// parallel (a head is any position whose key differs from its predecessor).
-// It runs on the same runtime as the sort so a WithRuntime caller keeps its
-// pool isolation for the whole call.
+// parallel (a head is any position whose key differs from its predecessor),
+// packing the head indices directly — no O(n) index staging array. It runs
+// on the same runtime as the sort so a WithRuntime caller keeps its pool
+// isolation for the whole call.
 func boundaries[R, K any](rt *parallel.Runtime, a []R, key func(R) K, eq func(K, K) bool) []Group {
 	n := len(a)
 	if n == 0 {
 		return nil
 	}
-	idx := make([]int, n)
-	rt.For(n, 0, func(i int) { idx[i] = i })
-	heads := parallel.PackIn(rt, idx, func(i int) bool {
+	heads := parallel.PackIndexIn(rt, n, func(i int) bool {
 		return i == 0 || !eq(key(a[i-1]), key(a[i]))
 	})
 	groups := make([]Group, len(heads))

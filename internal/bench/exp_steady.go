@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/hashutil"
@@ -41,31 +42,58 @@ type SteadyReport struct {
 	Results    []SteadyResult `json:"results"`
 }
 
-// steadyCases is the suite: the acceptance-tracking uniform 64-bit
-// distinct-key workload at the full configured size, plus three skew
-// shapes — mild Zipfian (zipf-0.8), the heavy-key stress (zipf-1.2), and
-// an exponential tail (Table 3's middle lambda rescaled to n) — so both
-// ends of the skew-adaptive path show up in the perf trajectory.
-func steadyCases(o Options) []struct {
-	name string
-	spec dist.Spec
-	n    int
-} {
-	return []struct {
-		name string
-		spec dist.Spec
-		n    int
-	}{
-		{"SortEq/uniform-distinct", dist.Spec{Kind: dist.Uniform, Param: float64(o.N)}, o.N},
-		{"SortEq/zipf-0.8", dist.Spec{Kind: dist.Zipfian, Param: 0.8}, o.N},
-		{"SortEq/zipf-1.2", dist.Spec{Kind: dist.Zipfian, Param: 1.2}, o.N},
-		{"SortEq/exponential", dist.Spec{Kind: dist.Exponential, Param: 2e-5 * 1e9 / float64(o.N)}, o.N},
+// steadySpecs names the workload shapes of the suite: the
+// acceptance-tracking uniform 64-bit distinct-key workload at the full
+// configured size, plus skew shapes — mild Zipfian (zipf-0.8, SortEq only),
+// the heavy-key stress (zipf-1.2), and an exponential tail (Table 3's
+// middle lambda rescaled to n; SortEq only) — so both ends of the
+// skew-adaptive path show up in the perf trajectory.
+func steadySpecs(o Options) map[string]dist.Spec {
+	return map[string]dist.Spec{
+		"uniform-distinct": {Kind: dist.Uniform, Param: float64(o.N)},
+		"zipf-0.8":         {Kind: dist.Zipfian, Param: 0.8},
+		"zipf-1.2":         {Kind: dist.Zipfian, Param: 1.2},
+		"exponential":      {Kind: dist.Exponential, Param: 2e-5 * 1e9 / float64(o.N)},
 	}
 }
 
-// SteadyReportFor measures the steady-state suite: per case, warm the
-// arena, take the minimum-of-rounds timing (see measureMin for why not the
-// paper's median), and count allocations with testing.AllocsPerRun.
+// steadyCell measures one steady-state cell: warm the arena, take the
+// minimum-of-rounds timing, count allocations with testing.AllocsPerRun.
+// overhead, when non-nil, is per-round setup folded into run (the sort
+// cells' copy-in); it is measured separately the same way and subtracted.
+//
+// Timing note: unlike the paper experiments (median of rounds,
+// bench.Measure), the trajectory records the MINIMUM of the rounds: these
+// numbers are diffed PR against PR on shared virtualized runners, where a
+// noisy-neighbor round can double a median but the minimum tracks the
+// actual cost of the code.
+func steadyCell(o Options, name string, n int, spec dist.Spec, run, overhead func()) SteadyResult {
+	for i := 0; i < 3; i++ {
+		run() // warm the arena
+	}
+	sub := time.Duration(0)
+	if overhead != nil {
+		sub = measureMin(o.Rounds, overhead)
+	}
+	total := measureMin(o.Rounds, run)
+	t := total - sub
+	if t <= 0 {
+		t = total
+	}
+	return SteadyResult{
+		Name:        name,
+		N:           n,
+		Dist:        spec.String(),
+		NsPerOp:     float64(t.Nanoseconds()),
+		AllocsPerOp: testing.AllocsPerRun(2, run),
+		MRecsPerSec: float64(n) / t.Seconds() / 1e6,
+	}
+}
+
+// SteadyReportFor measures the steady-state suite: repeated SortEq,
+// Histogram, and CollectReduce calls on the shared runtime — the three
+// workloads of the unified distribution pipeline, so an engine change that
+// helps one and hurts another is visible in the same table.
 func SteadyReportFor(o Options) SteadyReport {
 	o = o.WithDefaults()
 	rep := SteadyReport{
@@ -76,37 +104,39 @@ func SteadyReportFor(o Options) SteadyReport {
 	}
 	key := func(p P64) uint64 { return p.K }
 	eq := func(x, y uint64) bool { return x == y }
-	for _, c := range steadyCases(o) {
-		data := Make64(c.n, c.spec, o.Seed)
-		work := make([]P64, c.n)
+	specs := steadySpecs(o)
+
+	// SortEq cells mutate their input, so the copy-in rides inside run and
+	// is measured separately and subtracted.
+	for _, shape := range []string{"uniform-distinct", "zipf-0.8", "zipf-1.2", "exponential"} {
+		spec := specs[shape]
+		data := Make64(o.N, spec, o.Seed)
+		work := make([]P64, o.N)
 		run := func() {
 			parallel.Copy(work, data)
 			core.SortEq(work, key, hashutil.Mix64, eq, core.Config{})
 		}
-		for i := 0; i < 3; i++ {
-			run() // warm the arena
-		}
-		// Timing: setup (the copy-in) is inside run, so subtract it by
-		// timing the copy alone. Unlike the paper experiments (median of
-		// rounds, bench.Measure), the trajectory records the MINIMUM of
-		// the rounds: these numbers are diffed PR against PR on shared
-		// virtualized runners, where a noisy-neighbor round can double a
-		// median but the minimum tracks the actual cost of the code.
-		copyTime := measureMin(o.Rounds, func() { parallel.Copy(work, data) })
-		total := measureMin(o.Rounds, run)
-		sort := total - copyTime
-		if sort <= 0 {
-			sort = total
-		}
-		allocs := testing.AllocsPerRun(2, run)
-		rep.Results = append(rep.Results, SteadyResult{
-			Name:        c.name,
-			N:           c.n,
-			Dist:        c.spec.String(),
-			NsPerOp:     float64(sort.Nanoseconds()),
-			AllocsPerOp: allocs,
-			MRecsPerSec: float64(c.n) / sort.Seconds() / 1e6,
-		})
+		rep.Results = append(rep.Results,
+			steadyCell(o, "SortEq/"+shape, o.N, spec, run, func() { parallel.Copy(work, data) }))
+	}
+
+	// Histogram and CollectReduce leave their input untouched: no copy-in,
+	// nothing to subtract. The result slice allocation is part of the op.
+	for _, shape := range []string{"uniform-distinct", "zipf-1.2"} {
+		spec := specs[shape]
+		data := Make64(o.N, spec, o.Seed)
+		rep.Results = append(rep.Results,
+			steadyCell(o, "Histogram/"+shape, o.N, spec, func() {
+				collect.Histogram(data, key, hashutil.Mix64, eq, core.Config{})
+			}, nil))
+		rep.Results = append(rep.Results,
+			steadyCell(o, "CollectReduce/"+shape, o.N, spec, func() {
+				collect.Reduce(data, collect.Reducer[P64, uint64, uint64]{
+					Key: key, Hash: hashutil.Mix64, Eq: eq,
+					Map:     func(p P64) uint64 { return p.V },
+					Combine: func(x, y uint64) uint64 { return x + y },
+				}, core.Config{})
+			}, nil))
 	}
 	return rep
 }

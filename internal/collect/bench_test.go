@@ -1,0 +1,44 @@
+package collect
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Focused steady-state benchmarks for the collect terminal op (the full
+// trajectory cells live in internal/bench; these exist for profiling the
+// collect path in isolation: go test -bench HistogramSteady -cpuprofile).
+
+func benchHistogram(b *testing.B, n int, spec dist.Spec) {
+	keys := dist.Keys64(n, spec, 42)
+	run := func() { Histogram(keys, ident, hashMix, eqU64, core.Config{}) }
+	for i := 0; i < 2; i++ {
+		run() // warm the arena
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkHistogramSteady(b *testing.B) {
+	n := 2_000_000
+	b.Run("zipf-1.2", func(b *testing.B) {
+		benchHistogram(b, n, dist.Spec{Kind: dist.Zipfian, Param: 1.2})
+	})
+	b.Run("uniform", func(b *testing.B) {
+		benchHistogram(b, n, dist.Spec{Kind: dist.Uniform, Param: float64(n)})
+	})
+}
+
+// BenchmarkHistogramBig is the trajectory cell's size (n=10^7), here for
+// profiling without the full suite.
+func BenchmarkHistogramBig(b *testing.B) {
+	n := 10_000_000
+	b.Run("zipf-1.2", func(b *testing.B) {
+		benchHistogram(b, n, dist.Spec{Kind: dist.Zipfian, Param: 1.2})
+	})
+}

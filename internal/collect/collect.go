@@ -1,15 +1,31 @@
 // Package collect implements the paper's histogram and collect-reduce
-// primitives (Section 3.5) on top of the semisort framework. The key
-// difference from plain semisort is that heavy records are never moved:
-// their mapped values are reduced per subarray during the Blocked
-// Distributing step and the per-subarray partials are combined afterwards in
-// subarray order. Because the algorithm is stable, any associative combine
-// function works — commutativity is not required.
+// primitives (Section 3.5) as a terminal op on the semisort distribution
+// driver (core.Driver): every level is planned and distributed by exactly
+// the machinery the sorter uses — the memoizing fused sampler, the single
+// fused classify sweep (hash-once, one heavy probe, light-id extraction),
+// the skew-adaptive collapse, the id-plane engines with the hash plane
+// carried, pooled heavy tables — so the user hash runs exactly once per
+// record per call and every engine improvement serves all three problems.
 //
-// All transient state (cached bucket ids, counting matrices, heavy partial
-// accumulators, the light-record scatter buffer, base-case tables) comes
-// from the configured runtime's Scratch arena, so repeated Reduce calls
-// only allocate their result slices in steady state.
+// What makes the op "collect" rather than "sort": heavy records are never
+// moved. The classify sweep hands them to an absorb sink that combines
+// their mapped values into a per-subarray accumulator in input order (the
+// generalization of the sorter's hLive dead suffix — absorbed records skip
+// the scatter entirely, see dist.StableAbsorbInto), and the per-subarray
+// partials are combined afterwards in subarray order. Because both steps
+// respect input order, any associative combine function works —
+// commutativity is not required. Light buckets recurse through
+// survivor-sized record/hash buffers (each level's scatter destination is
+// allocated at the exact survivor count, so footprint tracks the residue,
+// not n) and terminate in an open-addressing combine table.
+//
+// All transient state (the top-level hash plane, the survivor buffers, the
+// id planes and counting matrices, heavy accumulators, base-case tables,
+// and the output chunks themselves) comes from the configured runtime's
+// Scratch arena: results accumulate in pooled per-node chunks linked into a
+// bucket-ordered tree and are packed into the caller's result slice by one
+// final parallel pass, so repeated Reduce calls only allocate that result
+// slice in steady state.
 package collect
 
 import (
@@ -43,293 +59,391 @@ type Reducer[R, K, E any] struct {
 // keys in a deterministic order (heavy keys of each recursion level first,
 // then light buckets by bucket id). a is not modified.
 func Reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config) []KV[K, E] {
+	return reduce(a, rd, cfg, false)
+}
+
+// reduce is the shared body. countOnly is Histogram's fast path: rd's
+// monoid is known to be (+1, 0) over int64, so the hot loops count
+// directly and never call Map or Combine.
+func reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config, countOnly bool) []KV[K, E] {
 	n := len(a)
 	if n == 0 {
 		return nil
 	}
-	cfg = cfg.WithDefaults()
-	rt := parallel.Or(cfg.Runtime)
-	s := &reducer[R, K, E]{Reducer: rd, cfg: cfg, rt: rt, sc: rt.Scratch()}
-	s.nL = cfg.LightBuckets
-	if s.nL > 1<<15 {
-		// Light bucket ids must stay clear of the heavyMark sentinel in
-		// the cached-id array; 2^15 buckets is already far beyond useful.
-		s.nL = 1 << 15
-	}
-	s.bBits = uint(sampling.CeilLog2(s.nL))
-	s.l = (n + cfg.MaxSubarrays - 1) / cfg.MaxSubarrays
-	if s.l < cfg.MinSubarray {
-		s.l = cfg.MinSubarray
-	}
-	logN := sampling.CeilLog2(n)
-	s.sampleSize = cfg.SampleFactor * logN
-	s.thresh = max(2, logN)
-	rng := hashutil.NewRNG(cfg.Seed)
-	return s.rec(a, 0, rng)
+	d := core.NewDriver(n, rd.Key, rd.Hash, rd.Eq, cfg)
+	sc := d.Scratch()
+	s := parallel.GetObj[reducer[R, K, E]](sc)
+	s.Reducer = rd
+	s.d = d
+	s.countOnly = countOnly
+
+	// No working copy: the distribution never writes its source, so the
+	// top level reads a directly; only the hash plane mirrors the input.
+	// Each level's scatter buffer is sized to its *surviving* lights by the
+	// absorbing engines (heavy records are reduced where they stand), so
+	// under skew the call's footprint tracks the residue, not n.
+	hb := parallel.GetBuf[uint64](sc, n)
+	root := s.rec(a, hb.S, false, 0, 0, hashutil.NewRNG(d.Seed()))
+	out := s.pack(root)
+	hb.Release()
+
+	*s = reducer[R, K, E]{} // drop the user closures before pooling
+	parallel.PutObj(sc, s)
+	d.Release()
+	return out
 }
 
 // Histogram counts the occurrences of each key of a (collect-reduce with
-// the constant map 1 and the (+, 0) monoid; Section 2.1).
+// the constant map 1 and the (+, 0) monoid; Section 2.1). Because the
+// monoid is the package's own, the reducer runs in count-only mode: heavy
+// absorption and the leaf tables increment int64 counters directly instead
+// of paying two indirect calls (Map, Combine) per record.
 func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []KV[K, int64] {
-	return Reduce(a, Reducer[R, K, int64]{
+	return reduce(a, Reducer[R, K, int64]{
 		Key:     key,
 		Hash:    hash,
 		Eq:      eq,
 		Map:     func(R) int64 { return 1 },
 		Combine: func(x, y int64) int64 { return x + y },
-	}, cfg)
+	}, cfg, true)
 }
 
+// serialCutoff mirrors the driver's serial threshold (tests straddle it).
+const serialCutoff = core.SerialCutoff
+
+// reducer is the collect-reduce terminal op: the user monoid plus the
+// shared distribution driver. Pooled per call. countOnly marks Histogram's
+// counting monoid (E is int64 then, enforced by the only setter), letting
+// the per-record paths increment instead of calling Map/Combine.
 type reducer[R, K, E any] struct {
 	Reducer[R, K, E]
-	cfg        core.Config
-	nL         int
-	bBits      uint
-	l          int
-	sampleSize int
-	thresh     int
-
-	rt *parallel.Runtime
-	sc *parallel.Scratch
+	d         *core.Driver[R, K]
+	countOnly bool
 }
 
-// crScratch is the pooled base-case scratch: open-addressing slots plus the
-// list of dirtied slot indices.
-type crScratch struct {
-	slots []int32
-	order []uint64
+// node is one recursion node's output: the node's own KVs (an internal
+// node's heavy results; a leaf's combine-table contents) followed by its
+// light-bucket children in bucket-id order. Nodes and their chunks are
+// arena-pooled; the final pack walks the tree once to assign offsets and
+// copies every chunk into the result slice in parallel.
+type node[K, E any] struct {
+	own  *parallel.Buf[KV[K, E]]    // nil when the node emitted nothing itself
+	kids *parallel.Buf[*node[K, E]] // nil for leaves; nil entries for empty buckets
 }
 
-func (s *reducer[R, K, E]) levelBits(h uint64, depth int) uint64 {
-	shift := uint(depth) * s.bBits
-	if shift+s.bBits <= 64 {
-		return h >> shift
-	}
-	return hashutil.Seeded(h, uint64(depth))
+// packItem is one chunk placement of the final parallel pack.
+type packItem[K, E any] struct {
+	src []KV[K, E]
+	off int
 }
 
-// serialCutoff is the subproblem size below which the recursion spawns no
-// parallel tasks (scheduling would dominate cache-resident work).
-const serialCutoff = 1 << 16
-
-func (s *reducer[R, K, E]) rec(cur []R, depth int, rng hashutil.RNG) []KV[K, E] {
+// rec is one level: plan (sampling + collapse), distribute lights while
+// absorbing heavies into per-subarray accumulators, combine the partials in
+// subarray order, recurse on light buckets. cur/hcur are read-only here
+// (the top level passes the user's input directly); each level takes a
+// survivor-sized record+hash buffer from the arena for its scatter and
+// releases it once its subtree has reduced. hashed reports whether hcur
+// already holds every record's user hash (false only at the top level,
+// whose classify sweep computes and caches them).
+func (s *reducer[R, K, E]) rec(cur []R, hcur []uint64, hashed bool, depth, bitDepth int, rng hashutil.RNG) *node[K, E] {
 	n := len(cur)
 	if n == 0 {
 		return nil
 	}
-	if n <= s.cfg.BaseCase || depth >= s.cfg.MaxDepth {
-		return s.base(cur)
-	}
-	serial := n <= serialCutoff
-	forEach := func(m, grain int, body func(i int)) {
-		if serial {
-			for i := 0; i < m; i++ {
-				body(i)
-			}
-			return
+	sc := s.d.Scratch()
+	if n <= s.d.Alpha() || depth >= s.d.MaxDepth() {
+		if !hashed {
+			s.d.HashAll(cur, hcur) // the combine table consumes the plane
 		}
-		s.rt.For(m, grain, body)
-	}
-	nSubarrays := func() int {
-		if serial {
-			return 1
-		}
-		return (n + s.l - 1) / s.l
+		return s.base(cur, hcur)
 	}
 
-	// Sampling and Bucketing.
-	ht := sampling.Build(cur, s.Key, s.Hash, s.Eq, sampling.Params{
-		SampleSize: s.sampleSize,
-		Thresh:     s.thresh,
-		IDBase:     s.nL,
-		Scratch:    s.sc,
-	}, &rng)
-	nH := 0
-	if ht != nil {
-		nH = ht.NH
-	}
+	// Step 1: Sampling and Bucketing plus the level-shape decision, shared
+	// with the sorter (core.Driver.PlanLevel).
+	lv := s.d.PlanLevel(cur, hcur, hashed, true, bitDepth, &rng)
 	// Copy for the per-bucket forks: an addressed rng captured by the
 	// refining closure would be heap-boxed at every rec entry.
 	frng := rng
-	nSub := nSubarrays()
-	sl := s.l
-	if serial {
-		sl = n
-	}
-	nLmask := uint64(s.nL - 1)
+	nH, nSub := lv.NH, lv.NSub
 
-	// Counting pass, fused with per-subarray heavy reduction: light records
-	// are counted per (subarray, bucket); heavy records are mapped and
-	// combined into hAcc[i*nH+h] in input order, so they are never moved.
-	// Bucket ids are cached so the scatter pass needs no second hash or
-	// heavy-table probe (heavyMark flags records that must not move).
-	const heavyMark = ^uint16(0)
-	idsBuf := parallel.GetBuf[uint16](s.sc, n)
-	cBuf := parallel.GetBuf[int32](s.sc, nSub*s.nL)
-	cBuf.Zero()
-	ids, c := idsBuf.S, cBuf.S
+	// Per-(subarray, heavy key) accumulators, Identity-initialized. The
+	// absorb sink below fills them in input order within each subarray.
 	var hAccBuf *parallel.Buf[E]
 	var hAcc []E
 	if nH > 0 {
-		hAccBuf = parallel.GetBuf[E](s.sc, nSub*nH)
+		hAccBuf = parallel.GetBuf[E](sc, nSub*nH)
 		hAcc = hAccBuf.S
-		forEach(len(hAcc), 1<<12, func(i int) { hAcc[i] = s.Identity })
-	}
-	forEach(nSub, 1, func(i int) {
-		row := c[i*s.nL : (i+1)*s.nL]
-		var acc []E
-		if nH > 0 {
-			acc = hAcc[i*nH : (i+1)*nH]
-		}
-		hi := min((i+1)*sl, n)
-		for j := i * sl; j < hi; j++ {
-			k := s.Key(cur[j])
-			h := s.Hash(k)
-			if nH > 0 {
-				if id := ht.Lookup(h, k, s.Eq); id >= 0 {
-					hID := int(id) - s.nL
-					acc[hID] = s.Combine(acc[hID], s.Map(cur[j]))
-					ids[j] = heavyMark
-					continue
-				}
+		if lv.Serial {
+			for i := range hAcc {
+				hAcc[i] = s.Identity
 			}
-			b := uint16(s.levelBits(h, depth) & nLmask)
-			ids[j] = b
-			row[b]++
+		} else {
+			s.d.Runtime().For(len(hAcc), 1<<12, func(i int) { hAcc[i] = s.Identity })
 		}
-	})
-
-	// Column-major prefix sums over the light counting matrix.
-	startsBuf := parallel.GetBuf[int](s.sc, s.nL+1)
-	totalsBuf := parallel.GetBuf[int32](s.sc, s.nL)
-	starts, totals := startsBuf.S, totalsBuf.S
-	forEach(s.nL, 64, func(j int) {
-		var t int32
-		for i := 0; i < nSub; i++ {
-			t += c[i*s.nL+j]
-		}
-		totals[j] = t
-	})
-	sum := 0
-	for j := 0; j < s.nL; j++ {
-		starts[j] = sum
-		sum += int(totals[j])
 	}
-	starts[s.nL] = sum
-	forEach(s.nL, 64, func(j int) {
-		off := int32(starts[j])
-		for i := 0; i < nSub; i++ {
-			cnt := c[i*s.nL+j]
-			c[i*s.nL+j] = off
-			off += cnt
-		}
-	})
-	totalsBuf.Release()
 
-	// Scatter only the light records (stable within each bucket).
-	lightBuf := parallel.GetBuf[R](s.sc, sum)
-	light := lightBuf.S
-	forEach(nSub, 1, func(i int) {
-		row := c[i*s.nL : (i+1)*s.nL]
-		hi := min((i+1)*sl, n)
-		for j := i * sl; j < hi; j++ {
-			b := ids[j]
-			if b == heavyMark {
-				continue
-			}
-			light[row[b]] = cur[j]
-			row[b]++
-		}
-	})
-	cBuf.Release()
-	idsBuf.Release()
+	// Step 2: Blocked Distributing through the shared id-plane engines.
+	// Heavy records are handed to the absorb sink during the one fused
+	// classify sweep — mapped, combined into their subarray's accumulator,
+	// marked dist.Absorbed, and never counted or scattered. Surviving
+	// light records land in light[0:starts[NLight]] with their cached
+	// hashes carried in hlight; both buffers are taken from the arena at
+	// the exact survivor count (dest runs once counting is done).
+	absorb := func(sub, hid, j int) {
+		i := sub*nH + hid
+		hAcc[i] = s.Combine(hAcc[i], s.Map(cur[j]))
+	}
+	if s.countOnly && nH > 0 {
+		// Histogram: the accumulators are known int64 counters (the
+		// assertion shares the underlying array); absorbing is a bare
+		// increment, no Map/Combine indirection per heavy record.
+		cnt := any(hAcc).([]int64)
+		absorb = func(sub, hid, j int) { cnt[sub*nH+hid]++ }
+	}
+	var lightBuf *parallel.Buf[R]
+	var hlightBuf *parallel.Buf[uint64]
+	dest := func(kept int) ([]R, []uint64) {
+		lightBuf = parallel.GetBuf[R](sc, kept)
+		hlightBuf = parallel.GetBuf[uint64](sc, kept)
+		return lightBuf.S, hlightBuf.S
+	}
+	startsBuf := parallel.GetBuf[int](sc, lv.NLight+1)
+	starts := s.d.AbsorbLevel(&lv, cur, hcur, hashed, bitDepth, startsBuf.S, absorb, dest)
+	lv.ReleaseSample()
+
+	nd := parallel.GetObj[node[K, E]](sc)
+	nd.own, nd.kids = nil, nil // pooled nodes come back dirty
 
 	// Combine heavy partials across subarrays in subarray order (this is
-	// where associativity without commutativity suffices).
-	heavyKV := make([]KV[K, E], nH)
+	// where associativity without commutativity suffices), materializing
+	// the level's heavy keys before the table is pooled for the next level.
+	// The fold walks the accumulator matrix row-wise — subarrays outer,
+	// keys inner — so the pass streams over contiguous memory (a
+	// column-major per-key fold would take one cache miss per partial)
+	// while each key still combines its partials in subarray order.
 	if nH > 0 {
-		forEach(nH, 8, func(h int) {
-			acc := s.Identity
+		own := parallel.GetBuf[KV[K, E]](sc, nH)
+		kvs := own.S
+		for h := 0; h < nH; h++ {
+			kvs[h] = KV[K, E]{Key: lv.HeavyKey(h), Value: s.Identity}
+		}
+		switch {
+		case s.countOnly:
+			// Counting is memory-bound int64 adds; one streaming sweep.
+			ckvs, cnt := any(kvs).([]KV[K, int64]), any(hAcc).([]int64)
 			for i := 0; i < nSub; i++ {
-				acc = s.Combine(acc, hAcc[i*nH+h])
+				row := cnt[i*nH : (i+1)*nH]
+				for h := range row {
+					ckvs[h].Value += row[h]
+				}
 			}
-			heavyKV[h] = KV[K, E]{Key: ht.Order[h], Value: acc}
-		})
+		case lv.Serial:
+			for i := 0; i < nSub; i++ {
+				row := hAcc[i*nH : (i+1)*nH]
+				for h := range row {
+					kvs[h].Value = s.Combine(kvs[h].Value, row[h])
+				}
+			}
+		default:
+			// Parallel levels fold blocks of contiguous subarrays
+			// concurrently (each block streams its rows in order into a
+			// private partial row), then combine the O(blocks) partials in
+			// block order. The Blocks partition is a pure function of
+			// (nSub, nBlocks), so the association tree — and with it the
+			// result for any associative, even non-commutative, Combine —
+			// is deterministic at every worker count.
+			rt := s.d.Runtime()
+			nBlocks := min(4*parallel.Workers(), nSub)
+			partBuf := parallel.GetBuf[E](sc, nBlocks*nH)
+			part := partBuf.S
+			rt.For(len(part), 1<<12, func(i int) { part[i] = s.Identity })
+			rt.Blocks(nSub, nBlocks, func(b, lo, hi int) {
+				prow := part[b*nH : (b+1)*nH]
+				for i := lo; i < hi; i++ {
+					row := hAcc[i*nH : (i+1)*nH]
+					for h := range row {
+						prow[h] = s.Combine(prow[h], row[h])
+					}
+				}
+			})
+			for b := 0; b < nBlocks; b++ {
+				row := part[b*nH : (b+1)*nH]
+				for h := range row {
+					kvs[h].Value = s.Combine(kvs[h].Value, row[h])
+				}
+			}
+			partBuf.Release()
+		}
+		nd.own = own
 		hAccBuf.Release()
 	}
+	lv.ReleaseTable(sc)
 
-	// Local Refining: recurse on light buckets in parallel.
-	subBuf := parallel.GetBuf[[]KV[K, E]](s.sc, s.nL)
-	subBuf.Zero()
-	sub := subBuf.S
-	forEach(s.nL, 1, func(j int) {
+	// Step 3: Local Refining — recurse on the surviving light buckets;
+	// children record their subtree output into the node tree. The
+	// survivor buffers stay alive until the whole subtree has reduced
+	// (children read them as their cur), then go back to the arena.
+	nd.kids = parallel.GetBuf[*node[K, E]](sc, lv.NLight)
+	nd.kids.Zero()
+	kids := nd.kids.S
+	light, hlight := lightBuf.S, hlightBuf.S
+	s.d.ForBuckets(lv.Serial, lv.NLight, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if lo < hi {
-			sub[j] = s.rec(light[lo:hi], depth+1, frng.Fork(uint64(j)))
+			kids[j] = s.rec(light[lo:hi], hlight[lo:hi], true, depth+1, lv.NextBit, frng.Fork(uint64(j)))
 		}
 	})
+	hlightBuf.Release()
 	lightBuf.Release()
 	startsBuf.Release()
+	return nd
+}
 
-	// Pack: heavy results first, then light buckets in bucket order.
-	total := nH
-	offsBuf := parallel.GetBuf[int](s.sc, s.nL)
-	offs := offsBuf.S
-	for j := 0; j < s.nL; j++ {
-		offs[j] = total
-		total += len(sub[j])
-	}
-	out := make([]KV[K, E], total)
-	copy(out, heavyKV)
-	forEach(s.nL, 16, func(j int) {
-		copy(out[offs[j]:], sub[j])
-	})
-	offsBuf.Release()
-	subBuf.Zero() // drop sub-slice references before pooling
-	subBuf.Release()
-	return out
+// crScratch is the pooled base-case scratch: open-addressing slots (index
+// into the emitted chunk), the slot's full cached hash (so eq and its key
+// extraction run only when two 64-bit hashes agree), and the list of
+// dirtied slot indices for O(used) reset.
+type crScratch struct {
+	slots  []int32
+	hashes []uint64
+	order  []uint64
 }
 
 // base reduces one cache-resident bucket sequentially with a hash table
-// that combines values in place. Keys are emitted in first-appearance
-// order, values combined in record order.
-func (s *reducer[R, K, E]) base(cur []R) []KV[K, E] {
+// that combines values in place, consuming the cached hash plane (the user
+// hash is never re-run here). Keys are emitted into a pooled chunk in
+// first-appearance order, values combined in record order.
+func (s *reducer[R, K, E]) base(cur []R, hcur []uint64) *node[K, E] {
 	n := len(cur)
+	sc := s.d.Scratch()
 	m := sampling.CeilPow2(2 * n)
-	scr := parallel.GetObj[crScratch](s.sc)
+	scr := parallel.GetObj[crScratch](sc)
 	if len(scr.slots) < m {
 		scr.slots = make([]int32, m)
 		for i := range scr.slots {
 			scr.slots[i] = -1
 		}
+		scr.hashes = make([]uint64, m)
 	}
 	mask := uint64(m - 1)
-	slots := scr.slots
-	out := make([]KV[K, E], 0, min(n, 64))
-	for idx := 0; idx < n; idx++ {
-		r := cur[idx]
-		k := s.Key(r)
-		h := s.Hash(k)
-		i := h & mask
-		for {
-			si := slots[i]
-			if si < 0 {
-				slots[i] = int32(len(out))
-				scr.order = append(scr.order, i)
-				out = append(out, KV[K, E]{Key: k, Value: s.Combine(s.Identity, s.Map(r))})
-				break
+	slots, hashes := scr.slots, scr.hashes
+	own := parallel.GetBuf[KV[K, E]](sc, n)
+	out := own.S[:0]
+	if s.countOnly {
+		// Histogram: the emitted values are int64 counts over the same
+		// underlying chunk (the assertion shares the array; appends stay
+		// within its n-record capacity) — insert 1, increment on a match,
+		// no monoid calls per record.
+		cout := any(out).([]KV[K, int64])
+		for idx := 0; idx < n; idx++ {
+			h := hcur[idx]
+			i := h & mask
+			for {
+				si := slots[i]
+				if si < 0 {
+					slots[i] = int32(len(cout))
+					hashes[i] = h
+					scr.order = append(scr.order, i)
+					cout = append(cout, KV[K, int64]{Key: s.Key(cur[idx]), Value: 1})
+					break
+				}
+				if hashes[i] == h && s.Eq(cout[si].Key, s.Key(cur[idx])) {
+					cout[si].Value++
+					break
+				}
+				i = (i + 1) & mask
 			}
-			if s.Eq(out[si].Key, k) {
-				out[si].Value = s.Combine(out[si].Value, s.Map(r))
-				break
+		}
+		out = any(cout).([]KV[K, E])
+	} else {
+		for idx := 0; idx < n; idx++ {
+			h := hcur[idx]
+			i := h & mask
+			for {
+				si := slots[i]
+				if si < 0 {
+					slots[i] = int32(len(out))
+					hashes[i] = h
+					scr.order = append(scr.order, i)
+					out = append(out, KV[K, E]{Key: s.Key(cur[idx]), Value: s.Combine(s.Identity, s.Map(cur[idx]))})
+					break
+				}
+				if hashes[i] == h && s.Eq(out[si].Key, s.Key(cur[idx])) {
+					out[si].Value = s.Combine(out[si].Value, s.Map(cur[idx]))
+					break
+				}
+				i = (i + 1) & mask
 			}
-			i = (i + 1) & mask
 		}
 	}
 	for _, i := range scr.order {
 		slots[i] = -1
 	}
 	scr.order = scr.order[:0]
-	parallel.PutObj(s.sc, scr)
+	parallel.PutObj(sc, scr)
+	own.S = out
+	nd := parallel.GetObj[node[K, E]](sc)
+	nd.own, nd.kids = own, nil
+	return nd
+}
+
+// pack flattens the node tree into the result slice: one deterministic
+// pre-order walk assigns chunk offsets (a node's own KVs, then its light
+// buckets in bucket-id order), one parallel pass copies the chunks, and the
+// tree goes back to the arena.
+func (s *reducer[R, K, E]) pack(root *node[K, E]) []KV[K, E] {
+	if root == nil {
+		return nil
+	}
+	sc := s.d.Scratch()
+	itemsBuf := parallel.GetBuf[packItem[K, E]](sc, 0)
+	items := itemsBuf.S[:0]
+	total := 0
+	var walk func(nd *node[K, E])
+	walk = func(nd *node[K, E]) {
+		if nd == nil {
+			return
+		}
+		if nd.own != nil && len(nd.own.S) > 0 {
+			items = append(items, packItem[K, E]{src: nd.own.S, off: total})
+			total += len(nd.own.S)
+		}
+		if nd.kids != nil {
+			for _, kid := range nd.kids.S {
+				walk(kid)
+			}
+		}
+	}
+	walk(root)
+	out := make([]KV[K, E], total)
+	s.d.Runtime().For(len(items), 1, func(i int) {
+		copy(out[items[i].off:], items[i].src)
+	})
+	s.freeTree(root)
+	itemsBuf.S = items[:0]
+	itemsBuf.Release()
 	return out
+}
+
+// freeTree returns a packed subtree to the arena, clearing chunk contents
+// so pooled buffers do not pin caller keys and values between calls.
+func (s *reducer[R, K, E]) freeTree(nd *node[K, E]) {
+	if nd == nil {
+		return
+	}
+	sc := s.d.Scratch()
+	if nd.own != nil {
+		clear(nd.own.S)
+		nd.own.Release()
+		nd.own = nil
+	}
+	if nd.kids != nil {
+		for _, kid := range nd.kids.S {
+			s.freeTree(kid)
+		}
+		nd.kids.Zero()
+		nd.kids.Release()
+		nd.kids = nil
+	}
+	parallel.PutObj(sc, nd)
 }

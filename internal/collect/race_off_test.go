@@ -1,0 +1,5 @@
+//go:build !race
+
+package collect
+
+const raceEnabled = false

@@ -61,6 +61,15 @@ type Config struct {
 	probeCounter *atomic.Int64
 }
 
+// WithProbeCounter returns a copy of c whose heavy-table probes are counted
+// into pc. It is a test hook for the probe-at-most-once-per-record-per-level
+// contract tests (here and in internal/collect); the hot path pays nothing
+// for it when unset.
+func (c Config) WithProbeCounter(pc *atomic.Int64) Config {
+	c.probeCounter = pc
+	return c
+}
+
 // WithDefaults fills unset fields with the paper's parameters. LightBuckets
 // comes out a power of two (so light bucket ids are exact hash-bit windows;
 // newSorter relies on this without re-checking) and at most 2^15, leaving

@@ -1,14 +1,15 @@
 package core
 
 import (
-	"sort"
-	"sync/atomic"
-
-	"repro/internal/dist"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
-	"repro/internal/sampling"
 )
+
+// This file is the semisort terminal op on the distribution driver
+// (driver.go): the driver plans and distributes each level; the sorter
+// decides what a level means for sorting — heavy buckets are final (moved
+// to the caller-visible side), light buckets recurse with the A/T role swap
+// of Section 3.4 until a base case groups them.
 
 // SortEq is semisort=: it reorders a (in place) so that records with equal
 // keys are contiguous, using only a user hash function and an equality test.
@@ -33,45 +34,13 @@ func SortLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, 
 	}
 }
 
-// collapsePercent is the skew-adaptive threshold: a level whose sample puts
-// at least this percent of its draws on heavy keys collapses every light
-// record into a single residue bucket (see sampling.Params.CollapsePercent
-// and the classify pass below). At this much skew the level is essentially
-// a heavy placement; spreading the thin light residue over n_L buckets buys
-// nothing and costs an n_L-wide counting matrix per subarray.
-const collapsePercent = 75
-
-// sorter carries the immutable per-call state of Algorithm 1. Instances are
-// recycled through the runtime's arena, so steady-state calls do not
-// allocate one.
+// sorter is the semisort terminal op: the shared distribution driver plus
+// the sort-only state. Instances are recycled through the runtime's arena,
+// so steady-state calls do not allocate one.
 type sorter[R, K any] struct {
-	key  func(R) K
-	hash func(K) uint64
-	eq   func(K, K) bool
-	less func(K, K) bool // nil for semisort=
-
-	nL             int  // number of light buckets (power of two)
-	bBits          uint // log2(nL)
-	alpha          int  // base-case threshold
-	l              int  // subarray length, fixed across recursion levels
-	sampleFactor   int  // c in |S| = c * log2(n') per level
-	maxDepth       int
-	seed           uint64
-	disableHeavy   bool
+	Driver[R, K]
+	less           func(K, K) bool // nil for semisort=
 	disableInPlace bool
-
-	// probeCount, when non-nil, accumulates the number of heavy-table
-	// probes issued by the classify passes (a test hook: the contract tests
-	// pin "at most one probe per record per level"). Flushed once per
-	// classify chunk, so the hot loop never touches the atomic.
-	probeCount *atomic.Int64
-
-	// rt is the worker pool the call runs on; sc is its buffer arena, the
-	// source of every transient buffer (the O(n) auxiliary array, the
-	// hash-once arrays, counting matrices, cached ids, base-case tables,
-	// sample tables).
-	rt *parallel.Runtime
-	sc *parallel.Scratch
 }
 
 func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, less func(K, K) bool, cfg Config) *sorter[R, K] {
@@ -79,35 +48,12 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 	if n <= 1 {
 		return nil
 	}
-	if n > dist.MaxLen {
-		panic("semisort: input longer than 2^31-1 records")
-	}
 	cfg = cfg.WithDefaults()
 	rt := parallel.Or(cfg.Runtime)
 	s := parallel.GetObj[sorter[R, K]](rt.Scratch())
-	*s = sorter[R, K]{
-		key:            key,
-		hash:           hash,
-		eq:             eq,
-		less:           less,
-		nL:             cfg.LightBuckets,
-		alpha:          cfg.BaseCase,
-		sampleFactor:   cfg.SampleFactor,
-		maxDepth:       cfg.MaxDepth,
-		seed:           cfg.Seed,
-		disableHeavy:   cfg.DisableHeavy,
-		disableInPlace: cfg.DisableInPlace,
-		probeCount:     cfg.probeCounter,
-		rt:             rt,
-		sc:             rt.Scratch(),
-	}
-	// nL is a power of two (enforced by Config.WithDefaults), so light
-	// bucket ids are exact hash-bit windows.
-	s.bBits = uint(ceilLog2(s.nL))
-	s.l = (n + cfg.MaxSubarrays - 1) / cfg.MaxSubarrays
-	if s.l < cfg.MinSubarray {
-		s.l = cfg.MinSubarray
-	}
+	s.Driver.init(n, key, hash, eq, cfg, rt)
+	s.less = less
+	s.disableInPlace = cfg.DisableInPlace
 	return s
 }
 
@@ -117,39 +63,6 @@ func (s *sorter[R, K]) release() {
 	sc := s.sc
 	*s = sorter[R, K]{}
 	parallel.PutObj(sc, s)
-}
-
-// sampleParams sizes one sampling round for an n-record level: |S| =
-// c * log2(n) draws, heavy threshold log2(n)/2 occurrences (Section 3.1
-// sets theta = Theta(log n'); halving the paper's constant keeps the
-// whp guarantee while promoting moderately frequent keys too — every
-// promoted key's records skip light-id work, hash carriage and the base
-// case, which is where skewed inputs spend their time). Deeper, smaller
-// levels draw proportionally smaller samples.
-func (s *sorter[R, K]) sampleParams(n int) sampling.Params {
-	logN := ceilLog2(n)
-	thresh := logN / 2
-	if thresh < 2 {
-		thresh = 2
-	}
-	return sampling.Params{
-		SampleSize:      s.sampleFactor * logN,
-		Thresh:          thresh,
-		IDBase:          s.nL,
-		CollapsePercent: collapsePercent,
-		MaxHeavy:        dist.MaxBuckets - 1 - s.nL, // nLight + n_H must fit bucket ids
-		Scratch:         s.sc,
-	}
-}
-
-// hashAll fills h[i] = hash(key(a[i])) serially. The hot path never runs
-// it — every distribution level fuses hashing into its classify sweep —
-// but inputs that hit a base case before any distribution (n <= alpha)
-// still need the cached hashes the semisort= base case consumes.
-func (s *sorter[R, K]) hashAll(a []R, h []uint64) {
-	for i := range a {
-		h[i] = s.hash(s.key(a[i]))
-	}
 }
 
 // run semisorts a in place, taking the single O(n) auxiliary array T of
@@ -166,89 +79,6 @@ func (s *sorter[R, K]) run(a []R) {
 	htb.Release()
 	hb.Release()
 	tb.Release()
-}
-
-// classify is the per-level bucket-id pass, the only place a level ever
-// classifies a record: for records [lo, hi) it resolves the cached user
-// hash (computing it on the fly when the plane is not filled yet — the
-// fused top level), probes the heavy table at most once, and writes the
-// 2-byte bucket id plus the bucket count. The distribution engine replays
-// the id plane in its scatter, so hashing, heavy probing and light-id
-// extraction are all exactly-once per record per level by construction.
-//
-// At the fused top level a freshly computed hash is cached into the plane
-// only when the record turns out light: heavy records are final after this
-// level and their hashes are never read again, so the plane write (pure
-// memory traffic on heavily skewed inputs) is skipped. The plane therefore
-// holds defined values exactly for records in light buckets — which are
-// the only slices any deeper consumer ever sees.
-//
-// sampled lists, in increasing order, record indices whose hash the
-// sampling round already computed into hcur (nil when hashed); collapsed
-// means every light record goes to residue bucket 0 and heavy ids start at
-// 1 (see collapsePercent).
-func (s *sorter[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []int32,
-	ht *sampling.HeavyTable[K], hashed, collapsed bool, sampled []int32, lo, hi, bitDepth int) {
-	nLmask := uint64(s.nL - 1)
-	probes := 0
-	// Position the sampled-index skip cursor at this chunk: records the
-	// sampling round already hashed are read back from the plane instead
-	// of re-running the user hash.
-	next, skipAt := sampled, -1
-	if !hashed && len(sampled) > 0 {
-		p := sort.Search(len(sampled), func(i int) bool { return int(sampled[i]) >= lo })
-		next = sampled[p:]
-		if len(next) > 0 {
-			skipAt = int(next[0])
-			next = next[1:]
-		}
-	}
-	// The loop runs over 0-based windows of equal length so every index is
-	// provably in bounds (no per-record bounds checks in the hot loop).
-	curW, hcurW := cur[lo:hi], hcur[lo:hi:hi]
-	ids = ids[:len(curW)]
-	skipAt -= lo
-	for j := range curW {
-		var h uint64
-		fresh := false
-		if hashed {
-			h = hcurW[j]
-		} else if j == skipAt {
-			h = hcurW[j]
-			skipAt = -1
-			if len(next) > 0 {
-				skipAt = int(next[0]) - lo
-				next = next[1:]
-			}
-		} else {
-			h = s.hash(s.key(curW[j]))
-			fresh = true
-		}
-		id := -1
-		if ht != nil {
-			probes++
-			if sl := ht.Probe(h); sl >= 0 {
-				if hid := ht.Resolve(sl, h, s.key(curW[j]), s.eq); hid >= 0 {
-					id = int(hid)
-				}
-			}
-		}
-		if id < 0 {
-			if collapsed {
-				id = 0
-			} else {
-				id = int(s.levelBits(h, bitDepth) & nLmask)
-			}
-			if fresh {
-				hcurW[j] = h
-			}
-		}
-		ids[j] = uint16(id)
-		counts[id]++
-	}
-	if s.probeCount != nil && probes > 0 {
-		s.probeCount.Add(int64(probes))
-	}
 }
 
 // rec is one level of Algorithm 1. Data currently lives in cur; other is
@@ -269,7 +99,7 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	}
 	if n <= s.alpha || depth >= s.maxDepth {
 		if !hashed && s.less == nil {
-			s.hashAll(cur, hcur) // the semisort= base case consumes the plane
+			s.HashAll(cur, hcur) // the semisort= base case consumes the plane
 		}
 		s.base(cur, other, hcur, hother, curIsA, bitDepth)
 		return
@@ -277,33 +107,8 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 
 	// Step 1: Sampling and Bucketing (on cached hashes when the plane is
 	// filled; the top level hashes its sample through the memoizing fused
-	// build instead).
-	var ht *sampling.HeavyTable[K]
-	var sampledBuf *parallel.Buf[int32]
-	var stats sampling.Stats
-	if !s.disableHeavy {
-		p := s.sampleParams(n)
-		if hashed {
-			ht, stats = sampling.BuildHashed(cur, hcur, s.key, s.eq, p, &rng)
-		} else {
-			ht, sampledBuf, stats = sampling.BuildFused(cur, hcur, s.key, s.hash, s.eq, p, &rng)
-		}
-	}
-	nH := 0
-	if ht != nil {
-		nH = ht.NH
-	}
-	// Level shape: normally n_L light buckets from a fresh hash window;
-	// when the sample says the level is dominated by heavy keys, collapse
-	// every light record into residue bucket 0 (count-only heavy placement:
-	// no window is consumed, the counting matrix shrinks from n_L+n_H to
-	// 1+n_H columns, and the residue re-splits one level deeper).
-	collapsed := stats.Collapsed
-	nLight := s.nL
-	if collapsed {
-		nLight = 1
-	}
-	nB := nLight + nH
+	// build instead) plus the level-shape decision — see Driver.PlanLevel.
+	lv := s.PlanLevel(cur, hcur, hashed, true, bitDepth, &rng)
 
 	// frng is a copy of the (sampling-advanced) generator for the per-bucket
 	// forks below. The copy is deliberate: rng itself has its address taken
@@ -312,45 +117,18 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	// node.
 	frng := rng
 
-	var sampled []int32
-	if sampledBuf != nil {
-		sampled = sampledBuf.S
-	}
+	nLight, nB := lv.NLight, lv.NLight+lv.NH
 
 	// Step 2: Blocked Distributing (cur -> other, hcur -> hother) through
 	// the level's id plane: classify fills ids and counts in one fused
-	// sweep, the engine prefixes and replays. Below serialCutoff the whole
-	// subtree runs on the calling goroutine: scheduling thousands of
-	// microsecond tasks costs more than the work (the subproblem is
-	// cache-resident anyway).
-	serial := n <= serialCutoff
+	// sweep, the engine prefixes and replays.
 	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
-	var starts []int
-	if serial {
-		starts = dist.SerialFilledInto(s.sc, cur, other, hcur, hother, nB, nLight,
-			func(ids []uint16, counts []int32) {
-				s.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, 0, n, bitDepth)
-			}, startsBuf.S)
-	} else {
-		starts = dist.StableFilledInto(s.rt, cur, other, hcur, hother, nB, s.l, nLight,
-			func(lo, hi int, ids []uint16, counts []int32) {
-				s.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, lo, hi, bitDepth)
-			}, startsBuf.S)
-	}
-	if sampledBuf != nil {
-		sampledBuf.Release()
-	}
-	if ht != nil {
-		// The id plane has absorbed every classification; the table's
-		// storage feeds the next level's build.
-		ht.Release(s.sc)
-	}
+	starts := s.DistributeLevel(&lv, cur, other, hcur, hother, hashed, bitDepth, startsBuf.S)
+	lv.ReleaseSample()
+	// The id plane has absorbed every classification; the table's storage
+	// feeds the next level's build.
+	lv.ReleaseTable(s.sc)
 	defer startsBuf.Release()
-
-	nextBit := bitDepth
-	if !collapsed {
-		nextBit++ // a real light split consumed one hash window
-	}
 
 	if s.disableInPlace {
 		// Ablation path: Alg. 1 line 23 verbatim — copy T back to A after
@@ -359,10 +137,10 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 		// see each record's hash.
 		parallel.CopyIn(s.rt, cur, other)
 		parallel.CopyIn(s.rt, hcur, hother)
-		s.forBuckets(serial, nLight, func(j int) {
+		s.ForBuckets(lv.Serial, nLight, func(j int) {
 			lo, hi := starts[j], starts[j+1]
 			if lo < hi {
-				s.rec(cur[lo:hi], other[lo:hi], hcur[lo:hi], hother[lo:hi], curIsA, true, depth+1, nextBit, frng.Fork(uint64(j)))
+				s.rec(cur[lo:hi], other[lo:hi], hcur[lo:hi], hother[lo:hi], curIsA, true, depth+1, lv.NextBit, frng.Fork(uint64(j)))
 			}
 		})
 		return
@@ -372,9 +150,9 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	// if they landed in T (the heavy region is contiguous at the end).
 	// Their hashes are never read again — the scatter already skipped them
 	// (hLive = nLight) — so only records move.
-	if nH > 0 && curIsA {
+	if lv.NH > 0 && curIsA {
 		lo, hi := starts[nLight], starts[nB]
-		if serial {
+		if lv.Serial {
 			copy(cur[lo:hi], other[lo:hi])
 		} else {
 			parallel.CopyIn(s.rt, cur[lo:hi], other[lo:hi])
@@ -384,43 +162,12 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	// Step 3: Local Refining — recurse on light buckets with roles swapped,
 	// consuming the next window of hash bits (see levelBits). A collapsed
 	// level recurses on its single residue bucket with the same window.
-	s.forBuckets(serial, nLight, func(j int) {
+	s.ForBuckets(lv.Serial, nLight, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if lo < hi {
-			s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, true, depth+1, nextBit, frng.Fork(uint64(j)))
+			s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, true, depth+1, lv.NextBit, frng.Fork(uint64(j)))
 		}
 	})
-}
-
-// serialCutoff is the subproblem size below which recursion stops spawning
-// parallel tasks. It roughly matches the L2 cache in records, so serial
-// subtrees are also the cache-resident ones.
-const serialCutoff = 1 << 16
-
-// forBuckets iterates the level's light buckets either in parallel or on
-// the calling goroutine.
-func (s *sorter[R, K]) forBuckets(serial bool, nLight int, body func(j int)) {
-	if serial {
-		for j := 0; j < nLight; j++ {
-			body(j)
-		}
-		return
-	}
-	s.rt.For(nLight, 1, body)
-}
-
-// levelBits returns the window of hash bits that determines light bucket
-// ids after bitDepth windows have been consumed. Algorithm 1 states id =
-// h(k) mod n_L; across recursion levels the window must move (window d
-// uses bits [d*b, (d+1)*b)), otherwise a light bucket could never split.
-// Once the 64 hash bits are exhausted the hash is remixed with the window
-// index as a salt.
-func (s *sorter[R, K]) levelBits(h uint64, bitDepth int) uint64 {
-	shift := uint(bitDepth) * s.bBits
-	if shift+s.bBits <= 64 {
-		return h >> shift
-	}
-	return hashutil.Seeded(h, uint64(bitDepth))
 }
 
 // base solves one bucket sequentially and leaves the result on the A side.

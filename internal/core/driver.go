@@ -1,0 +1,452 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+)
+
+// This file is the generic distribution driver: the per-level machinery of
+// Algorithm 1 that is identical across the framework's three problems
+// (semisort, histogram, collect-reduce; Section 3.5 presents them as one
+// framework). A Driver owns the user closures, the level-shape parameters
+// and the runtime handles, and exposes the per-level pipeline —
+//
+//	PlanLevel       sampling + the skew-collapse decision + level shape
+//	DistributeLevel the fused classify sweep (hash-once, single heavy
+//	                probe, light-id extraction) feeding the id-plane
+//	                distribution engines, with the hash plane carried
+//
+// — to a terminal op that decides what a level *means*: the sorter's
+// terminal op scatters heavy records to final buckets and groups light
+// buckets in base cases; collect-reduce's terminal op absorbs heavy records
+// during the sweep (reducing their mapped values per subarray, never moving
+// them) and combines light buckets in hash tables. Every engine improvement
+// to the driver — sample memoization, collapse, bounds-check-free windows,
+// pooled heavy tables — serves all three problems at once.
+
+// collapsePercent is the skew-adaptive threshold: a level whose sample puts
+// at least this percent of its draws on heavy keys collapses every light
+// record into a single residue bucket (see sampling.Params.CollapsePercent
+// and the classify pass below). At this much skew the level is essentially
+// a heavy placement; spreading the thin light residue over n_L buckets buys
+// nothing and costs an n_L-wide counting matrix per subarray.
+const collapsePercent = 75
+
+// SerialCutoff is the subproblem size below which recursion stops spawning
+// parallel tasks. It roughly matches the L2 cache in records, so serial
+// subtrees are also the cache-resident ones.
+const SerialCutoff = 1 << 16
+
+// serialCutoff is the historical package-local name.
+const serialCutoff = SerialCutoff
+
+// Driver carries the immutable per-call state shared by every problem built
+// on the distribution framework. Instances are recycled through the
+// runtime's arena (NewDriver/Release), so steady-state calls do not
+// allocate one.
+type Driver[R, K any] struct {
+	key  func(R) K
+	hash func(K) uint64
+	eq   func(K, K) bool
+
+	nL           int  // number of light buckets (power of two)
+	bBits        uint // log2(nL)
+	alpha        int  // base-case threshold
+	l            int  // subarray length, fixed across recursion levels
+	sampleFactor int  // c in |S| = c * log2(n') per level
+	maxDepth     int
+	seed         uint64
+	disableHeavy bool
+
+	// probeCount, when non-nil, accumulates the number of heavy-table
+	// probes issued by the classify passes (a test hook: the contract tests
+	// pin "at most one probe per record per level"). Flushed once per
+	// classify chunk, so the hot loop never touches the atomic.
+	probeCount *atomic.Int64
+
+	// rt is the worker pool the call runs on; sc is its buffer arena, the
+	// source of every transient buffer (the O(n) auxiliary arrays, the
+	// hash planes, counting matrices, cached ids, base-case tables,
+	// sample tables, output chunks).
+	rt *parallel.Runtime
+	sc *parallel.Scratch
+}
+
+// NewDriver takes a pooled driver for an n-record call from the configured
+// runtime's arena. cfg defaults are applied here.
+func NewDriver[R, K any](n int, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) *Driver[R, K] {
+	cfg = cfg.WithDefaults()
+	rt := parallel.Or(cfg.Runtime)
+	d := parallel.GetObj[Driver[R, K]](rt.Scratch())
+	d.init(n, key, hash, eq, cfg, rt)
+	return d
+}
+
+// init fills a (pooled) driver. cfg must already have its defaults applied
+// and rt must be cfg's resolved runtime.
+func (d *Driver[R, K]) init(n int, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config, rt *parallel.Runtime) {
+	if n > dist.MaxLen {
+		panic("semisort: input longer than 2^31-1 records")
+	}
+	*d = Driver[R, K]{
+		key:          key,
+		hash:         hash,
+		eq:           eq,
+		nL:           cfg.LightBuckets,
+		alpha:        cfg.BaseCase,
+		sampleFactor: cfg.SampleFactor,
+		maxDepth:     cfg.MaxDepth,
+		seed:         cfg.Seed,
+		disableHeavy: cfg.DisableHeavy,
+		probeCount:   cfg.probeCounter,
+		rt:           rt,
+		sc:           rt.Scratch(),
+	}
+	// nL is a power of two (enforced by Config.WithDefaults), so light
+	// bucket ids are exact hash-bit windows.
+	d.bBits = uint(ceilLog2(d.nL))
+	d.l = (n + cfg.MaxSubarrays - 1) / cfg.MaxSubarrays
+	if d.l < cfg.MinSubarray {
+		d.l = cfg.MinSubarray
+	}
+}
+
+// Release returns the driver to the arena. The closures it captured are
+// dropped so pooled drivers do not pin caller state between calls.
+func (d *Driver[R, K]) Release() {
+	sc := d.sc
+	*d = Driver[R, K]{}
+	parallel.PutObj(sc, d)
+}
+
+// Alpha is the base-case threshold (records per sequentially solved bucket).
+func (d *Driver[R, K]) Alpha() int { return d.alpha }
+
+// MaxDepth is the recursion guard depth.
+func (d *Driver[R, K]) MaxDepth() int { return d.maxDepth }
+
+// Seed is the sampling seed of the call.
+func (d *Driver[R, K]) Seed() uint64 { return d.seed }
+
+// Runtime is the worker pool the call runs on.
+func (d *Driver[R, K]) Runtime() *parallel.Runtime { return d.rt }
+
+// Scratch is the runtime's buffer arena.
+func (d *Driver[R, K]) Scratch() *parallel.Scratch { return d.sc }
+
+// sampleParams sizes one sampling round for an n-record level: |S| =
+// c * log2(n) draws, heavy threshold log2(n)/2 occurrences (Section 3.1
+// sets theta = Theta(log n'); halving the paper's constant keeps the
+// whp guarantee while promoting moderately frequent keys too — every
+// promoted key's records skip light-id work, hash carriage and the base
+// case, which is where skewed inputs spend their time). Deeper, smaller
+// levels draw proportionally smaller samples.
+func (d *Driver[R, K]) sampleParams(n int) sampling.Params {
+	logN := ceilLog2(n)
+	thresh := logN / 2
+	if thresh < 2 {
+		thresh = 2
+	}
+	return sampling.Params{
+		SampleSize:      d.sampleFactor * logN,
+		Thresh:          thresh,
+		IDBase:          d.nL,
+		CollapsePercent: collapsePercent,
+		MaxHeavy:        dist.MaxBuckets - 1 - d.nL, // nLight + n_H must fit bucket ids
+		Scratch:         d.sc,
+	}
+}
+
+// HashAll fills h[i] = hash(key(a[i])) serially. The hot path never runs
+// it — every distribution level fuses hashing into its classify sweep —
+// but inputs that hit a base case before any distribution (n <= alpha)
+// still need the cached hashes the hash-consuming base cases read.
+func (d *Driver[R, K]) HashAll(a []R, h []uint64) {
+	for i := range a {
+		h[i] = d.hash(d.key(a[i]))
+	}
+}
+
+// levelBits returns the window of hash bits that determines light bucket
+// ids after bitDepth windows have been consumed. Algorithm 1 states id =
+// h(k) mod n_L; across recursion levels the window must move (window d
+// uses bits [d*b, (d+1)*b)), otherwise a light bucket could never split.
+// Once the 64 hash bits are exhausted the hash is remixed with the window
+// index as a salt.
+func (d *Driver[R, K]) levelBits(h uint64, bitDepth int) uint64 {
+	shift := uint(bitDepth) * d.bBits
+	if shift+d.bBits <= 64 {
+		return h >> shift
+	}
+	return hashutil.Seeded(h, uint64(bitDepth))
+}
+
+// ForBuckets iterates a level's light buckets either in parallel or on the
+// calling goroutine.
+func (d *Driver[R, K]) ForBuckets(serial bool, nLight int, body func(j int)) {
+	if serial {
+		for j := 0; j < nLight; j++ {
+			body(j)
+		}
+		return
+	}
+	d.rt.For(nLight, 1, body)
+}
+
+// Level is the shape of one distribution level, decided by PlanLevel's
+// sampling round: the heavy table (nil when no key qualified), the fused
+// sampler's skip list (top level only), and the bucket geometry the
+// terminal op distributes and recurses over.
+type Level[K any] struct {
+	ht         *sampling.HeavyTable[K]
+	sampledBuf *parallel.Buf[int32]
+	sampled    []int32
+
+	// Collapsed reports the skew-adaptive light collapse: every light
+	// record goes to the single residue bucket 0, heavy ids start at 1,
+	// and no hash window is consumed (see collapsePercent).
+	Collapsed bool
+	// NLight is the number of light buckets (n_L, or 1 when collapsed).
+	NLight int
+	// NH is the number of heavy keys promoted by the sample.
+	NH int
+	// Serial reports that the whole subtree runs on the calling goroutine:
+	// below SerialCutoff, scheduling thousands of microsecond tasks costs
+	// more than the work (the subproblem is cache-resident anyway).
+	Serial bool
+	// NSub is the number of counting subarrays the level distributes over
+	// (1 when Serial).
+	NSub int
+	// NextBit is the hash-window depth for the level's children (a
+	// collapsed level burns no window, so it can differ from depth).
+	NextBit int
+}
+
+// PlanLevel runs one sampling round over cur and decides the level shape.
+// hashed reports whether hcur already holds every record's user hash (false
+// only at the top level, which samples through the memoizing fused build so
+// the whole call stays at exactly one user hash per record); allowCollapse
+// gates the skew collapse (the in-place sorter declines it). rng is
+// advanced by the sampling draws.
+func (d *Driver[R, K]) PlanLevel(cur []R, hcur []uint64, hashed, allowCollapse bool, bitDepth int, rng *hashutil.RNG) Level[K] {
+	var lv Level[K]
+	if !d.disableHeavy {
+		p := d.sampleParams(len(cur))
+		if !allowCollapse {
+			p.CollapsePercent = 0
+		}
+		var stats sampling.Stats
+		if hashed {
+			lv.ht, stats = sampling.BuildHashed(cur, hcur, d.key, d.eq, p, rng)
+		} else {
+			lv.ht, lv.sampledBuf, stats = sampling.BuildFused(cur, hcur, d.key, d.hash, d.eq, p, rng)
+			if lv.sampledBuf != nil {
+				lv.sampled = lv.sampledBuf.S
+			}
+		}
+		lv.Collapsed = stats.Collapsed
+	}
+	lv.NLight = d.nL
+	if lv.Collapsed {
+		lv.NLight = 1
+	}
+	if lv.ht != nil {
+		lv.NH = lv.ht.NH
+	}
+	lv.Serial = len(cur) <= SerialCutoff
+	lv.NSub = 1
+	if !lv.Serial {
+		lv.NSub = dist.NumSubarrays(len(cur), d.l)
+	}
+	lv.NextBit = bitDepth
+	if !lv.Collapsed {
+		lv.NextBit++ // a real light split consumes one hash window
+	}
+	return lv
+}
+
+// HeavyKey returns heavy key h (0 <= h < NH) in bucket-id order. Only valid
+// before ReleaseTable.
+func (lv *Level[K]) HeavyKey(h int) K { return lv.ht.Order[h] }
+
+// ReleaseSample returns the fused sampler's skip list to the arena; the
+// terminal op calls it once its distribution has consumed the list.
+func (lv *Level[K]) ReleaseSample() {
+	if lv.sampledBuf != nil {
+		lv.sampledBuf.Release()
+		lv.sampledBuf = nil
+		lv.sampled = nil
+	}
+}
+
+// ReleaseTable pools the level's heavy table; its storage feeds the next
+// level's build. Call after the id plane (and, for collect-reduce, the
+// heavy result keys) have absorbed every classification.
+func (lv *Level[K]) ReleaseTable(sc *parallel.Scratch) {
+	if lv.ht != nil {
+		lv.ht.Release(sc)
+		lv.ht = nil
+	}
+}
+
+// classify is the per-level bucket-id pass, the only place a level ever
+// classifies a record: for records [lo, hi) it resolves the cached user
+// hash (computing it on the fly when the plane is not filled yet — the
+// fused top level), probes the heavy table at most once, and writes the
+// 2-byte bucket id plus the bucket count. The distribution engine replays
+// the id plane in its scatter, so hashing, heavy probing and light-id
+// extraction are all exactly-once per record per level by construction.
+//
+// At the fused top level a freshly computed hash is cached into the plane
+// only when the record turns out light: heavy records are final after this
+// level (moved to a final bucket, or absorbed on the spot) and their hashes
+// are never read again, so the plane write (pure memory traffic on heavily
+// skewed inputs) is skipped. The plane therefore holds defined values
+// exactly for records in light buckets — which are the only slices any
+// deeper consumer ever sees.
+//
+// sampled lists, in increasing order, record indices whose hash the
+// sampling round already computed into hcur (nil when hashed); collapsed
+// means every light record goes to residue bucket 0 and heavy ids start at
+// 1 (see collapsePercent).
+//
+// absorb is the terminal op's heavy sink: when non-nil, a heavy record is
+// handed to absorb(sub, hid, j) — subarray index, heavy index in [0, NH),
+// global record index — in input order within its subarray, marked
+// dist.Absorbed in the id plane, and neither counted nor scattered
+// (collect-reduce reduces it into a per-subarray accumulator right here).
+// When nil (the sorter), heavy records take their heavy bucket id and are
+// scattered to final buckets like any other.
+func (d *Driver[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []int32,
+	ht *sampling.HeavyTable[K], hashed, collapsed bool, sampled []int32, lo, hi, bitDepth int,
+	absorb func(sub, hid, j int)) {
+	nLmask := uint64(d.nL - 1)
+	// Heavy ids start right after the light buckets (IDBase, or 1 when
+	// collapsed); the absorb sink gets them rebased to [0, NH).
+	idBase := d.nL
+	if collapsed {
+		idBase = 1
+	}
+	sub := 0
+	if absorb != nil {
+		sub = lo / d.l
+	}
+	probes := 0
+	// Position the sampled-index skip cursor at this chunk: records the
+	// sampling round already hashed are read back from the plane instead
+	// of re-running the user hash.
+	next, skipAt := sampled, -1
+	if !hashed && len(sampled) > 0 {
+		p := sort.Search(len(sampled), func(i int) bool { return int(sampled[i]) >= lo })
+		next = sampled[p:]
+		if len(next) > 0 {
+			skipAt = int(next[0])
+			next = next[1:]
+		}
+	}
+	// The loop runs over 0-based windows of equal length so every index is
+	// provably in bounds (no per-record bounds checks in the hot loop).
+	curW, hcurW := cur[lo:hi], hcur[lo:hi:hi]
+	ids = ids[:len(curW)]
+	skipAt -= lo
+	for j := range curW {
+		var h uint64
+		fresh := false
+		if hashed {
+			h = hcurW[j]
+		} else if j == skipAt {
+			h = hcurW[j]
+			skipAt = -1
+			if len(next) > 0 {
+				skipAt = int(next[0]) - lo
+				next = next[1:]
+			}
+		} else {
+			h = d.hash(d.key(curW[j]))
+			fresh = true
+		}
+		id := -1
+		if ht != nil {
+			probes++
+			if sl := ht.Probe(h); sl >= 0 {
+				if hid := ht.Resolve(sl, h, d.key(curW[j]), d.eq); hid >= 0 {
+					id = int(hid)
+				}
+			}
+		}
+		if id < 0 {
+			if collapsed {
+				id = 0
+			} else {
+				id = int(d.levelBits(h, bitDepth) & nLmask)
+			}
+			if fresh {
+				hcurW[j] = h
+			}
+		} else if absorb != nil {
+			absorb(sub, id-idBase, lo+j)
+			ids[j] = dist.Absorbed
+			continue
+		}
+		ids[j] = uint16(id)
+		counts[id]++
+	}
+	if d.probeCount != nil && probes > 0 {
+		d.probeCount.Add(int64(probes))
+	}
+}
+
+// DistributeLevel runs the sorter's Blocked Distributing step (cur ->
+// other, hcur -> hother) through the id plane: the fused classify sweep
+// fills ids and counts, the dist engine prefixes and replays. All
+// NLight+NH buckets are scattered — starts must have NLight+NH+1 entries;
+// bucket j occupies other[starts[j]:starts[j+1]] afterwards — and the hash
+// plane is carried for light buckets only (heavy buckets are final and
+// never re-read their hashes: the hLive dead suffix).
+func (d *Driver[R, K]) DistributeLevel(lv *Level[K], cur, other []R, hcur, hother []uint64,
+	hashed bool, bitDepth int, starts []int) []int {
+	n := len(cur)
+	ht, sampled, collapsed := lv.ht, lv.sampled, lv.Collapsed
+	nB := lv.NLight + lv.NH
+	if lv.Serial {
+		return dist.SerialFilledInto(d.sc, cur, other, hcur, hother, nB, lv.NLight,
+			func(ids []uint16, counts []int32) {
+				d.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, 0, n, bitDepth, nil)
+			}, starts)
+	}
+	return dist.StableFilledInto(d.rt, cur, other, hcur, hother, nB, d.l, lv.NLight,
+		func(lo, hi int, ids []uint16, counts []int32) {
+			d.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, lo, hi, bitDepth, nil)
+		}, starts)
+}
+
+// AbsorbLevel is the collect family's distribution step: heavy records are
+// consumed by the absorb sink during the one fused classify sweep (see
+// classify) and never moved; only the NLight light buckets are scattered —
+// starts must have NLight+1 entries — every survivor carrying its cached
+// hash. cur and hcur are read, never written (beyond the top level's lazy
+// hash-plane fill), so the top-level caller may pass its immutable input
+// directly. dest(kept) supplies the right-sized destination once the
+// survivor count is exact (see dist.StableAbsorbInto): under heavy skew the
+// level's scatter buffer is O(survivors), not O(n).
+func (d *Driver[R, K]) AbsorbLevel(lv *Level[K], cur []R, hcur []uint64,
+	hashed bool, bitDepth int, starts []int,
+	absorb func(sub, hid, j int), dest func(kept int) ([]R, []uint64)) []int {
+	n := len(cur)
+	ht, sampled, collapsed := lv.ht, lv.sampled, lv.Collapsed
+	if lv.Serial {
+		return dist.SerialAbsorbInto(d.sc, cur, hcur, lv.NLight,
+			func(ids []uint16, counts []int32) {
+				d.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, 0, n, bitDepth, absorb)
+			}, starts, dest)
+	}
+	return dist.StableAbsorbInto(d.rt, cur, hcur, lv.NLight, d.l,
+		func(lo, hi int, ids []uint16, counts []int32) {
+			d.classify(cur, hcur, ids, counts, ht, hashed, collapsed, sampled, lo, hi, bitDepth, absorb)
+		}, starts, dest)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
-	"repro/internal/sampling"
 	"repro/internal/seqsort"
 )
 
@@ -66,40 +65,22 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 	}
 	if n <= s.alpha || depth >= s.maxDepth {
 		if !hashed && s.less == nil {
-			s.hashAll(a, hs)
+			s.HashAll(a, hs)
 		}
 		s.baseInPlace(a, hs, bitDepth)
 		return
 	}
 
 	// Step 1: Sampling and Bucketing, exactly as in Algorithm 1 (the
-	// in-place variant keeps the full n_L-wide level shape: the collapse
-	// would not shrink its O(n_B) counters meaningfully, and the chase
-	// already skips no traffic for heavy records).
-	var ht *sampling.HeavyTable[K]
-	var sampledBuf *parallel.Buf[int32]
-	if !s.disableHeavy {
-		p := s.sampleParams(n)
-		p.CollapsePercent = 0
-		if hashed {
-			ht, _ = sampling.BuildHashed(a, hs, s.key, s.eq, p, &rng)
-		} else {
-			ht, sampledBuf, _ = sampling.BuildFused(a, hs, s.key, s.hash, s.eq, p, &rng)
-		}
-	}
-	nH := 0
-	if ht != nil {
-		nH = ht.NH
-	}
-	nB := s.nL + nH
+	// in-place variant declines the skew collapse: it would not shrink the
+	// O(n_B) counters meaningfully, and the chase already skips no traffic
+	// for heavy records).
+	lv := s.PlanLevel(a, hs, hashed, false, bitDepth, &rng)
+	nB := s.nL + lv.NH
 	// Copy for the per-bucket forks: see the matching comment in rec (an
 	// addressed rng captured by the bucket closure would be heap-boxed at
 	// every inPlaceRec entry).
 	frng := rng
-	var sampled []int32
-	if sampledBuf != nil {
-		sampled = sampledBuf.S
-	}
 
 	// Step 2': one fused classify pass fills the id plane and the exact
 	// bucket histogram (parallel over chunks), then an in-place
@@ -108,13 +89,9 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 	idsBuf := parallel.GetBuf[uint16](s.sc, n)
 	countsBuf := parallel.GetBuf[int32](s.sc, nB)
 	ids, counts := idsBuf.S, countsBuf.S
-	s.countBuckets(a, hs, ids, counts, ht, hashed, sampled, bitDepth)
-	if sampledBuf != nil {
-		sampledBuf.Release()
-	}
-	if ht != nil {
-		ht.Release(s.sc)
-	}
+	s.countBuckets(a, hs, ids, counts, &lv, hashed, bitDepth)
+	lv.ReleaseSample()
+	lv.ReleaseTable(s.sc)
 	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
 	headsBuf := parallel.GetBuf[int](s.sc, nB)
 	starts, heads := startsBuf.S, headsBuf.S
@@ -150,8 +127,7 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 	idsBuf.Release()
 
 	// Step 3: heavy buckets are final; recurse on light buckets in place.
-	serial := n <= serialCutoff
-	s.forBuckets(serial, s.nL, func(j int) {
+	s.ForBuckets(lv.Serial, s.nL, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if hi-lo > 1 {
 			s.inPlaceRec(a[lo:hi], hs[lo:hi], true, depth+1, bitDepth+1, frng.Fork(uint64(j)))
@@ -166,18 +142,19 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 // ForRangeW slot API), merged by commutative addition so the result is
 // deterministic.
 func (s *sorter[R, K]) countBuckets(a []R, hs []uint64, ids []uint16, counts []int32,
-	ht *sampling.HeavyTable[K], hashed bool, sampled []int32, bitDepth int) {
+	lv *Level[K], hashed bool, bitDepth int) {
 	n, nB := len(a), len(counts)
+	ht, sampled := lv.ht, lv.sampled
 	clear(counts)
 	if n <= serialCutoff {
-		s.classify(a, hs, ids, counts, ht, hashed, false, sampled, 0, n, bitDepth)
+		s.classify(a, hs, ids, counts, ht, hashed, false, sampled, 0, n, bitDepth, nil)
 		return
 	}
 	slots := s.rt.MaxSlots()
 	part := parallel.GetSlotted[int32](s.sc, slots, nB)
 	part.Zero()
 	s.rt.ForRangeW(n, 1<<14, func(w, lo, hi int) {
-		s.classify(a, hs, ids[lo:hi], part.Lane(w), ht, hashed, false, sampled, lo, hi, bitDepth)
+		s.classify(a, hs, ids[lo:hi], part.Lane(w), ht, hashed, false, sampled, lo, hi, bitDepth, nil)
 	})
 	for w := 0; w < slots; w++ {
 		row := part.Lane(w)

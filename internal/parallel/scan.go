@@ -81,8 +81,28 @@ func Pack[T any](src []T, keep func(i int) bool) []T {
 // PackIn is Pack on an explicit runtime; the per-block counters come from
 // the runtime's arena.
 func PackIn[T any](rt *Runtime, src []T, keep func(i int) bool) []T {
+	return packTo(rt, len(src), keep, func(out []T, w, i int) { out[w] = src[i] })
+}
+
+// PackIndex returns the indices i in [0, n) for which keep(i) is true, in
+// increasing order (the filter primitive when the payload *is* the index).
+func PackIndex(n int, keep func(i int) bool) []int {
+	return PackIndexIn(Default(), n, keep)
+}
+
+// PackIndexIn is PackIndex on an explicit runtime. Unlike PackIn over a
+// staged identity array, it materializes nothing but the result: indices
+// are written directly to their final positions.
+func PackIndexIn(rt *Runtime, n int, keep func(i int) bool) []int {
+	return packTo(rt, n, keep, func(out []int, w, i int) { out[w] = i })
+}
+
+// packTo is the shared count/scan/write skeleton of the pack primitives:
+// count kept indices per block, exclusive-scan the block counts, then write
+// each kept index i through write(out, w, i) at its exact position. The
+// per-block counters come from the runtime's arena.
+func packTo[T any](rt *Runtime, n int, keep func(i int) bool, write func(out []T, w, i int)) []T {
 	rt = resolve(rt)
-	n := len(src)
 	if n == 0 {
 		return nil
 	}
@@ -106,7 +126,7 @@ func PackIn[T any](rt *Runtime, src []T, keep func(i int) bool) []T {
 		w := counts.S[b]
 		for i := lo; i < hi; i++ {
 			if keep(i) {
-				out[w] = src[i]
+				write(out, w, i)
 				w++
 			}
 		}

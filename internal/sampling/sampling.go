@@ -77,25 +77,10 @@ type HeavyTable[K any] struct {
 	Order []K
 }
 
-// Lookup returns the heavy bucket id of key k (whose user hash is h), or -1
-// if k is light.
-func (t *HeavyTable[K]) Lookup(h uint64, k K, eq func(K, K) bool) int32 {
-	i := h & t.mask
-	for {
-		if !t.used[i] {
-			return -1
-		}
-		if t.hashes[i] == h && eq(t.keys[i], k) {
-			return t.ids[i]
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// Probe and Resolve split Lookup so the hash-once pipeline can defer key
-// extraction without paying a per-record closure: Probe walks the cluster
-// on cached hashes alone and reports the first hash-equal slot (or -1 —
-// light records, the overwhelming majority, stop here without ever
+// Probe and Resolve split the heavy lookup so the hash-once pipeline can
+// defer key extraction without paying a per-record closure: Probe walks the
+// cluster on cached hashes alone and reports the first hash-equal slot (or
+// -1 — light records, the overwhelming majority, stop here without ever
 // touching the user key closure); the caller then extracts the key once
 // and calls Resolve to finish with real equality tests.
 
@@ -174,18 +159,13 @@ func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
 	t.ids[i] = id
 }
 
-// Build runs one sampling round over a and returns the heavy table, or nil
+// BuildHashed runs one sampling round over a, consuming precomputed
+// per-record user hashes (the hash-once pipeline: deeper recursion levels
+// inherit the permuted hash plane), and returns the heavy table, or nil
 // when no key is heavy. Heavy ids are assigned in first-sampled order, so
 // the result is a pure function of (a, p, rng state), never of scheduling.
-func Build[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, p Params, rng *hashutil.RNG) *HeavyTable[K] {
-	t, _ := build(a, key, func(idx int) uint64 { return hash(key(a[idx])) }, eq, p, rng)
-	return t
-}
-
-// BuildHashed is Build consuming precomputed per-record user hashes (the
-// hash-once pipeline: deeper recursion levels inherit the permuted hash
-// plane). The user hash closure is never called; the key closure runs only
-// on hash-equal sample collisions (duplicate keys) and when materializing
+// The user hash closure is never called; the key closure runs only on
+// hash-equal sample collisions (duplicate keys) and when materializing
 // heavy keys.
 func BuildHashed[R, K any](a []R, hs []uint64, key func(R) K, eq func(K, K) bool, p Params, rng *hashutil.RNG) (*HeavyTable[K], Stats) {
 	return build(a, key, func(idx int) uint64 { return hs[idx] }, eq, p, rng)

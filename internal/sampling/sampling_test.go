@@ -10,6 +10,27 @@ func ident(k uint64) uint64  { return k }
 func mix(k uint64) uint64    { return hashutil.Mix64(k) }
 func eqU64(a, b uint64) bool { return a == b }
 
+// build runs the live fused build the way the driver's top level does: an
+// unfilled hash plane, sampled hashes memoized into it.
+func fusedBuild(a []uint64, hash func(uint64) uint64, p Params, rng *hashutil.RNG) *HeavyTable[uint64] {
+	hs := make([]uint64, len(a))
+	ht, sampled, _ := BuildFused(a, hs, ident, hash, eqU64, p, rng)
+	if sampled != nil {
+		sampled.Release()
+	}
+	return ht
+}
+
+// lookup mirrors the driver's classify probe: Probe on the cached hash,
+// Resolve with real equality once a stored hash matches.
+func lookup(ht *HeavyTable[uint64], h, k uint64) int32 {
+	sl := ht.Probe(h)
+	if sl < 0 {
+		return -1
+	}
+	return ht.Resolve(sl, h, k, eqU64)
+}
+
 func TestBuildFindsHeavyKeys(t *testing.T) {
 	// 60% of records are key 7; sampling must promote it.
 	n := 100000
@@ -22,15 +43,15 @@ func TestBuildFindsHeavyKeys(t *testing.T) {
 		}
 	}
 	rng := hashutil.NewRNG(1)
-	ht := Build(a, ident, mix, eqU64, Params{SampleSize: 2000, Thresh: 17, IDBase: 1024}, &rng)
+	ht := fusedBuild(a, mix, Params{SampleSize: 2000, Thresh: 17, IDBase: 1024}, &rng)
 	if ht == nil {
 		t.Fatal("no heavy table built despite a 60% key")
 	}
-	id := ht.Lookup(mix(7), 7, eqU64)
+	id := lookup(ht, mix(7), 7)
 	if id < 1024 {
 		t.Fatalf("key 7 not heavy (id %d)", id)
 	}
-	if got := ht.Lookup(mix(1234567), 1234567, eqU64); got != -1 {
+	if got := lookup(ht, mix(1234567), 1234567); got != -1 {
 		t.Fatalf("light key reported heavy with id %d", got)
 	}
 	if len(ht.Order) != ht.NH {
@@ -49,7 +70,7 @@ func TestBuildNilWhenNoHeavy(t *testing.T) {
 		a[i] = uint64(i)
 	}
 	rng := hashutil.NewRNG(2)
-	if ht := Build(a, ident, mix, eqU64, Params{SampleSize: 1000, Thresh: 16, IDBase: 8}, &rng); ht != nil {
+	if ht := fusedBuild(a, mix, Params{SampleSize: 1000, Thresh: 16, IDBase: 8}, &rng); ht != nil {
 		t.Fatalf("heavy table with %d keys on all-distinct input", ht.NH)
 	}
 }
@@ -62,8 +83,8 @@ func TestBuildDeterministicGivenRNG(t *testing.T) {
 	r1 := hashutil.NewRNG(3)
 	r2 := hashutil.NewRNG(3)
 	p := Params{SampleSize: 500, Thresh: 10, IDBase: 16}
-	h1 := Build(a, ident, mix, eqU64, p, &r1)
-	h2 := Build(a, ident, mix, eqU64, p, &r2)
+	h1 := fusedBuild(a, mix, p, &r1)
+	h2 := fusedBuild(a, mix, p, &r2)
 	if h1 == nil || h2 == nil {
 		t.Fatal("expected heavy tables on 5-key input")
 	}
@@ -83,13 +104,13 @@ func TestBuildIDsConsecutive(t *testing.T) {
 		a[i] = uint64(i % 3) // three heavy keys
 	}
 	rng := hashutil.NewRNG(4)
-	ht := Build(a, ident, mix, eqU64, Params{SampleSize: 600, Thresh: 20, IDBase: 100}, &rng)
+	ht := fusedBuild(a, mix, Params{SampleSize: 600, Thresh: 20, IDBase: 100}, &rng)
 	if ht == nil || ht.NH != 3 {
 		t.Fatalf("expected 3 heavy keys, got %+v", ht)
 	}
 	seen := map[int32]bool{}
 	for _, k := range ht.Order {
-		id := ht.Lookup(mix(k), k, eqU64)
+		id := lookup(ht, mix(k), k)
 		if id < 100 || id >= 103 {
 			t.Fatalf("id %d outside [100,103)", id)
 		}
@@ -102,11 +123,11 @@ func TestBuildIDsConsecutive(t *testing.T) {
 
 func TestBuildEmptyAndTiny(t *testing.T) {
 	rng := hashutil.NewRNG(5)
-	if ht := Build(nil, ident, mix, eqU64, Params{SampleSize: 100, Thresh: 5, IDBase: 4}, &rng); ht != nil {
+	if ht := fusedBuild(nil, mix, Params{SampleSize: 100, Thresh: 5, IDBase: 4}, &rng); ht != nil {
 		t.Fatal("heavy table on empty input")
 	}
 	one := []uint64{9}
-	if ht := Build(one, ident, mix, eqU64, Params{SampleSize: 100, Thresh: 5, IDBase: 4}, &rng); ht != nil {
+	if ht := fusedBuild(one, mix, Params{SampleSize: 100, Thresh: 5, IDBase: 4}, &rng); ht != nil {
 		t.Fatal("heavy table on single record with thresh 5")
 	}
 }
@@ -120,12 +141,12 @@ func TestHashCollisionResolvedByEq(t *testing.T) {
 	}
 	rng := hashutil.NewRNG(6)
 	constHash := func(uint64) uint64 { return 99 }
-	ht := Build(a, ident, constHash, eqU64, Params{SampleSize: 400, Thresh: 20, IDBase: 10}, &rng)
+	ht := fusedBuild(a, constHash, Params{SampleSize: 400, Thresh: 20, IDBase: 10}, &rng)
 	if ht == nil || ht.NH != 2 {
 		t.Fatalf("want 2 heavy keys under constant hash, got %+v", ht)
 	}
-	id0 := ht.Lookup(99, 0, eqU64)
-	id1 := ht.Lookup(99, 1, eqU64)
+	id0 := lookup(ht, 99, 0)
+	id1 := lookup(ht, 99, 1)
 	if id0 == id1 || id0 < 0 || id1 < 0 {
 		t.Fatalf("collision not resolved: ids %d %d", id0, id1)
 	}
