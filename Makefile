@@ -24,9 +24,9 @@ test:
 	$(GO) test ./...
 
 ## race: race-detector pass on the runtime, the semisort core, and the
-## collect-reduce terminal op
+## collect-reduce + relational terminal ops
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect ./internal/rel
 
 ## bench-steady: steady-state allocation benchmark (see EXPERIMENTS.md)
 bench-steady:

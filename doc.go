@@ -1,7 +1,8 @@
 // Package semisort provides high-performance, flexible parallel semisort,
-// histogram, and collect-reduce, reproducing "High-Performance and Flexible
-// Parallel Algorithms for Semisort and Related Problems" (Dong, Wu, Wang,
-// Dhulipala, Gu, Sun; SPAA 2023).
+// histogram, collect-reduce, and database-style relational bulk operators
+// (deduplication, equi-joins, distinct counting, top-k), reproducing
+// "High-Performance and Flexible Parallel Algorithms for Semisort and
+// Related Problems" (Dong, Wu, Wang, Dhulipala, Gu, Sun; SPAA 2023).
 //
 // Semisort reorders an array of records so that records with equal keys are
 // contiguous — without requiring the keys to come out in sorted order. Many
@@ -37,6 +38,23 @@
 // Histogram and CollectReduce share the interface and add a map function
 // and a reduce monoid; because the algorithms are stable, the monoid needs
 // to be associative but not commutative.
+//
+// # Relational operators
+//
+// The same (key, hash, eq) interface drives the relational family — the
+// bulk database operations the paper motivates — all running on the one
+// distribution pipeline (hash called exactly once per record, frequent
+// keys handled where they stand, deterministic for a fixed seed):
+//
+//	unique := semisort.Dedup(events, eventID, semisort.Hash64, eqU64)  // first occurrence wins
+//	rows   := semisort.JoinEq(unique, users, eventUser, userID, semisort.Hash64, eqU64,
+//	    func(e event, u user) row { return row{e, u} })
+//	inBoth := semisort.SemiJoinEq(unique, users, eventUser, userID, semisort.Hash64, eqU64)
+//	orphan := semisort.AntiJoinEq(unique, users, eventUser, userID, semisort.Hash64, eqU64)
+//	nUsers := semisort.CountDistinct(rows, rowUser, semisort.Hash64, eqU64)
+//	top    := semisort.TopK(rows, 10, rowUser, semisort.Hash64, eqU64)
+//
+// See examples/dedupjoin for a full pipeline against map-based baselines.
 //
 // # Runtime
 //

@@ -1,0 +1,113 @@
+// Relational bulk operators at scale: the database workloads the paper's
+// introduction motivates (deduplication, joins, distinct counting). This
+// example runs an event-log pipeline over synthetic click events with two
+// strategies — idiomatic single-threaded Go maps and the semisort-driver
+// relational ops — and compares wall-clock time and results:
+//
+//  1. deduplicate the event stream by event id (retries produce duplicates;
+//     the FIRST occurrence must win so the original timestamp survives),
+//  2. join the deduplicated events against a user table (equi-join on the
+//     user id) to enrich each event,
+//  3. count distinct users seen and list the top-5 busiest users.
+//
+// The relational ops run on the same distribution pipeline as the sorter:
+// duplicates and frequent keys are consumed where they stand (never
+// scattered), both join sides are partitioned against one shared sample, and
+// every call is deterministic for a fixed seed at any parallelism.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	semisort "repro"
+	"repro/internal/dist"
+)
+
+type event struct {
+	ID   uint64 // event id: duplicated by retries
+	User uint64 // user id: zipfian (a few power users)
+	TS   uint64 // ingest timestamp: first occurrence carries the true one
+}
+
+type user struct {
+	ID   uint64
+	Name uint64 // stand-in for profile payload
+}
+
+type enriched struct {
+	Event event
+	Name  uint64
+}
+
+func main() {
+	const n = 4_000_000
+	const nUsers = 200_000
+
+	// Build a click stream where ~1/4 of the events are retry duplicates
+	// (same event id, later timestamp) and user activity is zipfian.
+	ids := dist.Keys64(n, dist.Spec{Kind: dist.Uniform, Param: float64(3 * n / 4)}, 7)
+	users := dist.Keys64(n, dist.Spec{Kind: dist.Zipfian, Param: 1.1}, 8)
+	events := make([]event, n)
+	for i := range events {
+		events[i] = event{ID: ids[i], User: users[i] % nUsers, TS: uint64(i)}
+	}
+	profiles := make([]user, nUsers)
+	for i := range profiles {
+		profiles[i] = user{ID: uint64(i), Name: uint64(i) * 31}
+	}
+	eventID := func(e event) uint64 { return e.ID }
+	eventUser := func(e event) uint64 { return e.User }
+	userID := func(u user) uint64 { return u.ID }
+	eqU64 := func(a, b uint64) bool { return a == b }
+
+	// Map pipeline: dedup keep-first, build user index, probe, count, rank.
+	start := time.Now()
+	firstSeen := make(map[uint64]int, 1024)
+	mapDeduped := make([]event, 0, 1024)
+	for _, e := range events {
+		if _, ok := firstSeen[e.ID]; !ok {
+			firstSeen[e.ID] = len(mapDeduped)
+			mapDeduped = append(mapDeduped, e)
+		}
+	}
+	userIdx := make(map[uint64]user, nUsers)
+	for _, u := range profiles {
+		userIdx[u.ID] = u
+	}
+	mapEnriched := make([]enriched, 0, len(mapDeduped))
+	mapActivity := make(map[uint64]int64, 1024)
+	for _, e := range mapDeduped {
+		if u, ok := userIdx[e.User]; ok {
+			mapEnriched = append(mapEnriched, enriched{Event: e, Name: u.Name})
+			mapActivity[e.User]++
+		}
+	}
+	tMap := time.Since(start)
+
+	// Relational pipeline on the shared semisort runtime.
+	start = time.Now()
+	deduped := semisort.Dedup(events, eventID, semisort.Hash64, eqU64)
+	rows := semisort.JoinEq(deduped, profiles, eventUser, userID, semisort.Hash64, eqU64,
+		func(e event, u user) enriched { return enriched{Event: e, Name: u.Name} })
+	distinctUsers := semisort.CountDistinct(rows,
+		func(r enriched) uint64 { return r.Event.User }, semisort.Hash64, eqU64)
+	top := semisort.TopK(rows, 5,
+		func(r enriched) uint64 { return r.Event.User }, semisort.Hash64, eqU64)
+	tRel := time.Since(start)
+
+	fmt.Printf("events %d -> deduped %d -> enriched rows %d, %d distinct users\n",
+		n, len(deduped), len(rows), distinctUsers)
+	if len(deduped) != len(mapDeduped) || len(rows) != len(mapEnriched) ||
+		int(distinctUsers) != len(mapActivity) {
+		panic("relational pipeline disagrees with the map pipeline")
+	}
+	for _, kc := range top {
+		if mapActivity[kc.Key] != kc.Count {
+			panic("top-k count disagrees with the map pipeline")
+		}
+		fmt.Printf("  user %6d: %d enriched events\n", kc.Key, kc.Count)
+	}
+	fmt.Printf("map pipeline:        %8.1f ms\n", tMap.Seconds()*1e3)
+	fmt.Printf("relational pipeline: %8.1f ms\n", tRel.Seconds()*1e3)
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+	"repro/internal/rel"
+)
+
+// RunRel compares the relational terminal ops against the idiomatic Go
+// baselines a service would otherwise hand-roll — single-threaded map
+// loops — on the steady-suite shapes. This is the acceptance experiment of
+// the relational subsystem: the pipeline ops must win on the uniform
+// distinct-key workload (where the map pays hashing, growth and cache
+// misses per record) and win big under skew (where absorption touches each
+// hot record exactly once). JoinEq probes each shape against a
+// near-distinct dimension side of n/8 records from the same key domain.
+func RunRel(w io.Writer, o Options) {
+	o = o.WithDefaults()
+	key := func(p P64) uint64 { return p.K }
+	eq := func(x, y uint64) bool { return x == y }
+	joinF := func(a, b P64) P64 { return P64{K: a.K, V: a.V + b.V} }
+
+	fmt.Fprintf(w, "Relational ops vs naive Go map baselines, n=%d (seconds)\n", o.N)
+	fmt.Fprintf(w, "(ours = internal/rel on the distribution driver; map = single-threaded Go map)\n\n")
+	tbl := NewTable("op", "input", "ours", "map", "speedup")
+	for _, spec := range []dist.Spec{
+		{Kind: dist.Uniform, Param: float64(o.N)},
+		{Kind: dist.Zipfian, Param: 1.2},
+	} {
+		data := Make64(o.N, spec, o.Seed)
+		dim := Make64(o.N/8, dist.Spec{Kind: dist.Uniform, Param: float64(o.N)}, o.Seed+1)
+
+		row := func(op string, ours, naive func()) {
+			tOurs := Measure(o.Rounds, nil, ours)
+			tMap := Measure(o.Rounds, nil, naive)
+			tbl.Add(op, spec.String(), Secs(tOurs), Secs(tMap),
+				fmt.Sprintf("%.2fx", tMap.Seconds()/tOurs.Seconds()))
+		}
+		row("Dedup",
+			func() { rel.Dedup(data, key, hashutil.Mix64, eq, core.Config{}) },
+			func() { naiveDedup(data) })
+		row("JoinEq",
+			func() { rel.Join(data, dim, key, key, hashutil.Mix64, eq, joinF, core.Config{}) },
+			func() { naiveJoin(data, dim, joinF) })
+		row("CountDistinct",
+			func() { rel.CountDistinct(data, key, hashutil.Mix64, eq, core.Config{}) },
+			func() { naiveCountDistinct(data) })
+		row("TopK",
+			func() { rel.TopK(data, 10, key, hashutil.Mix64, eq, core.Config{}) },
+			func() { naiveTopK(data, 10) })
+	}
+	tbl.Print(w)
+}
+
+// naiveDedup is the map baseline: keep the first record per key.
+func naiveDedup(data []P64) []P64 {
+	seen := make(map[uint64]struct{})
+	out := make([]P64, 0, 1024)
+	for _, p := range data {
+		if _, ok := seen[p.K]; !ok {
+			seen[p.K] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// naiveJoin is the map baseline: build a multimap over the smaller side,
+// probe with the larger.
+func naiveJoin(a, b []P64, joinF func(P64, P64) P64) []P64 {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	tab := make(map[uint64][]P64)
+	for _, p := range b {
+		tab[p.K] = append(tab[p.K], p)
+	}
+	out := make([]P64, 0, 1024)
+	for _, p := range a {
+		for _, q := range tab[p.K] {
+			out = append(out, joinF(p, q))
+		}
+	}
+	return out
+}
+
+// naiveCountDistinct is the map baseline: set insertion.
+func naiveCountDistinct(data []P64) int64 {
+	seen := make(map[uint64]struct{})
+	for _, p := range data {
+		seen[p.K] = struct{}{}
+	}
+	return int64(len(seen))
+}
+
+// naiveTopK is the map baseline: count into a map, collect, sort, cut.
+func naiveTopK(data []P64, k int) []P64 {
+	counts := make(map[uint64]int64)
+	for _, p := range data {
+		counts[p.K]++
+	}
+	kvs := make([]P64, 0, len(counts))
+	for key, c := range counts {
+		kvs = append(kvs, P64{K: key, V: uint64(c)})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		return kvs[i].V > kvs[j].V || (kvs[i].V == kvs[j].V && kvs[i].K < kvs[j].K)
+	})
+	if k < len(kvs) {
+		kvs = kvs[:k]
+	}
+	return kvs
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
+	"repro/internal/rel"
 )
 
 // The steady-state suite is the perf trajectory of the repository: repeated
@@ -136,6 +137,35 @@ func SteadyReportFor(o Options) SteadyReport {
 					Map:     func(p P64) uint64 { return p.V },
 					Combine: func(x, y uint64) uint64 { return x + y },
 				}, core.Config{})
+			}, nil))
+	}
+
+	// The relational ops (also input-untouched). JoinEq joins each shape
+	// against a near-distinct build side of n/8 records drawn from the same
+	// key domain — the fact-table x dimension-table shape; a distinct-keyed
+	// build side keeps the output O(matches) even under zipf skew on the
+	// probe side (a skewed x skewed self-join would be a quadratic-output
+	// benchmark of the materialization, not of the pipeline).
+	for _, shape := range []string{"uniform-distinct", "zipf-1.2"} {
+		spec := specs[shape]
+		data := Make64(o.N, spec, o.Seed)
+		dim := Make64(o.N/8, dist.Spec{Kind: dist.Uniform, Param: float64(o.N)}, o.Seed+1)
+		rep.Results = append(rep.Results,
+			steadyCell(o, "Dedup/"+shape, o.N, spec, func() {
+				rel.Dedup(data, key, hashutil.Mix64, eq, core.Config{})
+			}, nil))
+		rep.Results = append(rep.Results,
+			steadyCell(o, "JoinEq/"+shape, o.N, spec, func() {
+				rel.Join(data, dim, key, key, hashutil.Mix64, eq,
+					func(a, b P64) P64 { return P64{K: a.K, V: a.V + b.V} }, core.Config{})
+			}, nil))
+		rep.Results = append(rep.Results,
+			steadyCell(o, "CountDistinct/"+shape, o.N, spec, func() {
+				rel.CountDistinct(data, key, hashutil.Mix64, eq, core.Config{})
+			}, nil))
+		rep.Results = append(rep.Results,
+			steadyCell(o, "TopK/"+shape, o.N, spec, func() {
+				rel.TopK(data, 10, key, hashutil.Mix64, eq, core.Config{})
 			}, nil))
 	}
 	return rep

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{ID: "table4", Paper: "Table 4 (graph transposing)", Run: RunTable4},
 		{ID: "table5", Paper: "Table 5 (n-gram grouping)", Run: RunTable5},
 		{ID: "ablation", Paper: "Section 3.6/4.1 design-choice ablations", Run: RunAblation},
+		{ID: "rel", Paper: "relational ops (dedup/join/count-distinct/top-k) vs naive Go maps", Run: RunRel},
 		{ID: "steady", Paper: "steady-state service suite (perf trajectory; see -json)", Run: RunSteady},
 	}
 	return exps

@@ -325,7 +325,10 @@ func (s *reducer[R, K, E]) base(cur []R, hcur []uint64) *node[K, E] {
 		}
 		scr.hashes = make([]uint64, m)
 	}
-	mask := uint64(m - 1)
+	// Slot indices come from hashutil.Slot: the recursion consumed low hash
+	// windows as bucket ids, so a leaf's records share their low bits and a
+	// low-bits index would collapse the table into a few linear clusters.
+	mask, shift := uint64(m-1), hashutil.SlotShift(m)
 	slots, hashes := scr.slots, scr.hashes
 	own := parallel.GetBuf[KV[K, E]](sc, n)
 	out := own.S[:0]
@@ -337,7 +340,7 @@ func (s *reducer[R, K, E]) base(cur []R, hcur []uint64) *node[K, E] {
 		cout := any(out).([]KV[K, int64])
 		for idx := 0; idx < n; idx++ {
 			h := hcur[idx]
-			i := h & mask
+			i := hashutil.Slot(h, shift)
 			for {
 				si := slots[i]
 				if si < 0 {
@@ -358,7 +361,7 @@ func (s *reducer[R, K, E]) base(cur []R, hcur []uint64) *node[K, E] {
 	} else {
 		for idx := 0; idx < n; idx++ {
 			h := hcur[idx]
-			i := h & mask
+			i := hashutil.Slot(h, shift)
 			for {
 				si := slots[i]
 				if si < 0 {

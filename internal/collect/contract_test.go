@@ -289,6 +289,7 @@ func TestHistogramDeterministicAcrossWorkerCounts(t *testing.T) {
 	var want []KV[uint64, int64]
 	for _, p := range []int{1, 3, 7} {
 		rt := parallel.NewRuntime(p)
+		defer rt.Close()
 		got := Histogram(keys, ident, hashMix, eqU64, core.Config{Runtime: rt, Seed: 9})
 		if want == nil {
 			want = got

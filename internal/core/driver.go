@@ -294,6 +294,47 @@ func (lv *Level[K]) ReleaseTable(sc *parallel.Scratch) {
 	}
 }
 
+// ForeignLevel adapts a level planned over another relation to this driver:
+// the sampled relation's heavy table, collapse decision and bucket geometry
+// are shared — so both relations of a two-input op (an equi-join) classify
+// against one sample per level and co-partition bucket for bucket — while
+// the serial/subarray shape is recomputed for this driver's n-record input.
+// The fused sampler's skip list is NOT carried (its indices refer to the
+// sampled relation), so this driver's classify hashes every unsampled
+// record itself, keeping both relations at exactly one user hash per record.
+// Both drivers must be built from the same Config (same light-bucket count,
+// so hash-bit windows agree level for level); lv's table must stay alive —
+// ReleaseTable on the original — until this level's distribution is done.
+func (d *Driver[R, K]) ForeignLevel(lv *Level[K], n int) Level[K] {
+	if !lv.Collapsed && lv.NLight != d.nL {
+		panic("core: ForeignLevel needs both drivers configured with the same LightBuckets")
+	}
+	flv := Level[K]{
+		ht:        lv.ht,
+		Collapsed: lv.Collapsed,
+		NLight:    lv.NLight,
+		NH:        lv.NH,
+		NextBit:   lv.NextBit,
+	}
+	flv.Serial = n <= SerialCutoff
+	flv.NSub = 1
+	if !flv.Serial {
+		flv.NSub = dist.NumSubarrays(n, d.l)
+	}
+	return flv
+}
+
+// AbsorbLevelFirst is AbsorbLevel with the dedup absorb sink: every record
+// that resolves heavy is consumed where it stands, and fk keeps only the
+// first occurrence per (subarray, heavy key) — so duplicates beyond the
+// first are dropped during the one classify sweep, never counted and never
+// scattered. fk must have been sized for lv.NSub subarrays and lv.NH keys.
+func (d *Driver[R, K]) AbsorbLevelFirst(lv *Level[K], cur []R, hcur []uint64,
+	hashed bool, bitDepth int, starts []int,
+	fk dist.FirstKeep, dest func(kept int) ([]R, []uint64)) []int {
+	return d.AbsorbLevel(lv, cur, hcur, hashed, bitDepth, starts, fk.Keep, dest)
+}
+
 // classify is the per-level bucket-id pass, the only place a level ever
 // classifies a record: for records [lo, hi) it resolves the cached user
 // hash (computing it on the fly when the plane is not filled yet — the

@@ -1,0 +1,59 @@
+package dist
+
+import "repro/internal/parallel"
+
+// FirstKeep is the first-occurrence-keep variant of the absorbing engines'
+// sink state: where collect-reduce's absorb sink folds every absorbed record
+// into an accumulator, a dedup-style terminal op wants exactly one record
+// per heavy key — the globally first one — and wants every later duplicate
+// dropped on the spot (marked Absorbed, never counted, never scattered).
+//
+// The matrix records, per (subarray, heavy key), the index of the first
+// record the fill pass absorbed there. Fill passes sweep their subarray in
+// index order (the absorbing engines' contract), so each cell is the
+// subarray-local first occurrence; First resolves the global first by
+// scanning a key's column in subarray order, which is input order. The
+// matrix is arena-pooled and O(nSub * nH) int32s — records themselves are
+// never copied or moved.
+type FirstKeep struct {
+	nH  int
+	buf *parallel.Buf[int32]
+	m   []int32
+}
+
+// GetFirstKeep takes a first-occurrence matrix for nSub subarrays and nH
+// heavy keys from the arena, every cell empty. rt sizes the parallel init
+// (nil selects the shared default runtime).
+func GetFirstKeep(rt *parallel.Runtime, nSub, nH int) FirstKeep {
+	rt = parallel.Or(rt)
+	f := FirstKeep{nH: nH, buf: parallel.GetBuf[int32](rt.Scratch(), nSub*nH)}
+	f.m = f.buf.S
+	rt.For(len(f.m), 1<<14, func(i int) { f.m[i] = -1 })
+	return f
+}
+
+// Keep records global index j as an occurrence of heavy key hid seen by
+// subarray sub; only the first call per (sub, hid) sticks. It is the absorb
+// sink body: concurrent across subarrays, sequential and in input order
+// within one.
+func (f FirstKeep) Keep(sub, hid, j int) {
+	if c := sub*f.nH + hid; f.m[c] < 0 {
+		f.m[c] = int32(j)
+	}
+}
+
+// First returns the global index of the first absorbed occurrence of heavy
+// key hid, or -1 when no subarray absorbed one (impossible for keys promoted
+// by a sample drawn from the same records). Subarrays are scanned in order,
+// so the result is the input-order first occurrence.
+func (f FirstKeep) First(hid int) int {
+	for c := hid; c < len(f.m); c += f.nH {
+		if f.m[c] >= 0 {
+			return int(f.m[c])
+		}
+	}
+	return -1
+}
+
+// Release returns the matrix to its arena.
+func (f FirstKeep) Release() { f.buf.Release() }

@@ -28,6 +28,27 @@ func Seeded(x, seed uint64) uint64 {
 	return Mix64(x ^ (seed * 0xff51afd7ed558ccd))
 }
 
+// Slot maps a cached 64-bit user hash onto the slots of a power-of-two
+// open-addressing table of 2^(64-shift) entries, by Fibonacci hashing: one
+// odd-multiply diffuses entropy from EVERY bit position into the top bits,
+// then the shift keeps those. The tables fed by cached hashes cannot index
+// by raw bit windows of h: the recursion consumes the low bits as bucket
+// ids (records reaching one leaf share them), while identity-hashed small
+// integer keys — the paper's "Ours-i" variants — carry no entropy in the
+// high bits. The multiply costs ~1 cycle against the cache miss every probe
+// already pays.
+func Slot(h uint64, shift uint) uint64 {
+	return (h * 0x9e3779b97f4a7c15) >> shift
+}
+
+// SlotShift returns the shift to hand Slot for an m-entry power-of-two
+// table: 64 - log2(m). Derive it from the table's LIVE capacity m, never
+// from a pooled backing array's length — arena arrays only grow, and a
+// stale larger length would make insert and probe disagree on slots.
+func SlotShift(m int) uint {
+	return uint(64 - bits.Len(uint(m-1)))
+}
+
 // String hashes a string with a 64-bit FNV-1a core followed by a splitmix64
 // finalization (plain FNV-1a has weak high bits, which matters because the
 // semisort light buckets consume specific bit windows of the hash).

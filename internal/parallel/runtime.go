@@ -26,9 +26,15 @@ import (
 // depends on other workers being idle (no deadlock; worst case a nested job
 // runs sequentially on its caller).
 type Runtime struct {
-	pool    int // number of pool worker goroutines (parallelism is pool+1)
-	queue   chan *job
-	scratch Scratch
+	pool  int // number of pool worker goroutines (parallelism is pool+1)
+	queue chan *job
+	// closed flags a Close in progress or done; announcing counts in-flight
+	// announce calls so Close can wait them out before draining the queue
+	// (otherwise a racing announce could strand its job in the buffer
+	// forever, pinning the job's closure and captured slices).
+	closed     atomic.Bool
+	announcing atomic.Int64
+	scratch    Scratch
 }
 
 // job is one parallel loop in flight.
@@ -59,6 +65,45 @@ func NewRuntime(workers int) *Runtime {
 		go rt.worker()
 	}
 	return rt
+}
+
+// Close shuts the runtime's pool workers down. It is the teardown half of
+// NewRuntime for callers whose runtimes do NOT live for the life of the
+// process — a service creating per-tenant pools must Close a tenant's
+// runtime when the tenant goes away, or its pool goroutines (parked but
+// alive) leak. Workers exit as soon as they finish the chunk they are
+// running; Close waits only for racing announcements (microseconds), never
+// for in-flight work. Calling Close twice is a no-op, and a closed runtime remains
+// usable: later calls simply run all their chunks on the calling goroutine
+// (full parallelism is gone, correctness is not), so a call racing a Close
+// degrades instead of crashing. The shutdown is a nil-job sentinel per
+// worker rather than a channel close, so a concurrent announce can never
+// hit a closed channel. The shared Default runtime is process-wide by
+// design and must not be closed.
+func (rt *Runtime) Close() {
+	if !rt.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Wait out announces that passed their closed check before the CAS
+	// (they finish in microseconds), so after this point no job can enter
+	// the queue — then drop stale announcements. Announcements are pure
+	// wake-up hints (the calling goroutine always claims every unclaimed
+	// chunk itself), so dropping one affects nothing but the memory the
+	// stranded *job would otherwise pin in the buffer.
+	for rt.announcing.Load() != 0 {
+		runtime.Gosched()
+	}
+	for {
+		select {
+		case <-rt.queue:
+			continue
+		default:
+		}
+		break
+	}
+	for i := 0; i < rt.pool; i++ {
+		rt.queue <- nil
+	}
 }
 
 var (
@@ -102,9 +147,13 @@ func (rt *Runtime) MaxSlots() int { return rt.pool + 1 }
 
 // worker is the long-lived pool goroutine loop: receive a job announcement,
 // steal chunks until the job is drained, repeat. Announcements may be stale
-// (the job already finished); help then claims nothing and returns.
+// (the job already finished); help then claims nothing and returns. A nil
+// job is Close's shutdown sentinel.
 func (rt *Runtime) worker() {
 	for j := range rt.queue {
+		if j == nil {
+			return
+		}
 		j.help()
 	}
 }
@@ -134,8 +183,15 @@ func (j *job) help() {
 
 // announce wakes up to want idle pool workers for j. Sends are non-blocking:
 // if the queue is full, every worker is already busy and the caller (which
-// always participates) will run the unclaimed chunks itself.
+// always participates) will run the unclaimed chunks itself. After Close no
+// workers are listening (and the channel send would panic), so the caller
+// keeps every chunk.
 func (rt *Runtime) announce(j *job, want int) {
+	rt.announcing.Add(1)
+	defer rt.announcing.Add(-1)
+	if rt.closed.Load() {
+		return
+	}
 	for i := 0; i < want; i++ {
 		select {
 		case rt.queue <- j:

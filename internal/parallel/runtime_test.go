@@ -172,3 +172,64 @@ func TestOrResolvesNil(t *testing.T) {
 		t.Fatal("Or must pass through a non-nil runtime")
 	}
 }
+
+// goroutines returns the current goroutine count after giving exiting
+// goroutines a moment to unwind.
+func goroutines() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+func TestRuntimeCloseStopsPoolWorkers(t *testing.T) {
+	before := goroutines()
+	rt := NewRuntime(9)
+	// Run real work so workers have been woken at least once.
+	var total atomic.Int64
+	rt.For(100000, 100, func(i int) { total.Add(int64(i)) })
+	if got := goroutines(); got < before+8 {
+		t.Fatalf("expected 8 pool goroutines to be alive, have %d vs %d before", got, before)
+	}
+	rt.Close()
+	rt.Close() // idempotent
+	// Workers park between jobs and exit on the shutdown sentinel; poll
+	// instead of assuming a scheduling order.
+	deadline := time.Now().Add(5 * time.Second)
+	for goroutines() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool goroutines leaked after Close: %d alive, want back to %d", goroutines(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A closed runtime still computes — every chunk on the caller.
+	total.Store(0)
+	rt.For(1000, 10, func(i int) { total.Add(1) })
+	if total.Load() != 1000 {
+		t.Fatalf("closed runtime ran %d of 1000 iterations", total.Load())
+	}
+	if got := goroutines(); got > before {
+		t.Fatalf("running on a closed runtime revived %d goroutines", got-before)
+	}
+}
+
+func TestRuntimeCloseRacingCalls(t *testing.T) {
+	// Close while parallel calls are in flight: the calls must complete
+	// correctly (possibly serially) and nothing may panic.
+	rt := NewRuntime(4)
+	done := make(chan int64)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var sum atomic.Int64
+			for r := 0; r < 50; r++ {
+				rt.For(10000, 64, func(i int) { sum.Add(1) })
+			}
+			done <- sum.Load()
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	rt.Close()
+	for g := 0; g < 4; g++ {
+		if got := <-done; got != 50*10000 {
+			t.Fatalf("a call racing Close lost iterations: %d of %d", got, 50*10000)
+		}
+	}
+}

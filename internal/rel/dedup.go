@@ -1,0 +1,200 @@
+package rel
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+)
+
+// Dedup returns one record per distinct key of a: the key's first record in
+// input order (first-occurrence stability — the kept record's payload is the
+// earliest one, which is what makes dedup meaningful for records wider than
+// their key). The output order is deterministic for a fixed seed but
+// unspecified (each recursion level's heavy keys first, then light buckets
+// by bucket id). a is not modified.
+//
+// Dedup is a terminal op on the semisort distribution driver: the user hash
+// runs exactly once per record per call, and every record of a heavy key is
+// consumed during the fused classify sweep — dist.FirstKeep keeps the first
+// occurrence, duplicates beyond it are marked Absorbed and never counted or
+// scattered — so under skew the work tracks the distinct-key count, not the
+// duplicate mass, with no post-pass over the input.
+func Dedup[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []R {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	d := core.NewDriver(n, key, hash, eq, cfg)
+	sc := d.Scratch()
+	s := parallel.GetObj[deduper[R, K]](sc)
+	s.key, s.eq, s.d = key, eq, d
+
+	// No working copy: the absorbing distribution never writes its source,
+	// so the top level reads a directly; only the hash plane mirrors it.
+	hb := parallel.GetBuf[uint64](sc, n)
+	root := s.rec(a, hb.S, false, 0, 0, hashutil.NewRNG(d.Seed()))
+	out := pack(d.Runtime(), sc, root)
+	hb.Release()
+
+	*s = deduper[R, K]{} // drop the user closures before pooling
+	parallel.PutObj(sc, s)
+	d.Release()
+	return out
+}
+
+// deduper is the dedup terminal op: the user closures plus the shared
+// distribution driver. Pooled per call.
+type deduper[R, K any] struct {
+	key func(R) K
+	eq  func(K, K) bool
+	d   *core.Driver[R, K]
+}
+
+// rec is one level: plan (sampling + collapse), distribute the lights while
+// keeping only each heavy key's first occurrence, recurse on light buckets.
+// cur/hcur are read-only here; hashed reports whether hcur already holds
+// every record's user hash (false only at the top level).
+func (s *deduper[R, K]) rec(cur []R, hcur []uint64, hashed bool, depth, bitDepth int, rng hashutil.RNG) *node[R] {
+	n := len(cur)
+	if n == 0 {
+		return nil
+	}
+	sc := s.d.Scratch()
+	if n <= s.d.Alpha() || depth >= s.d.MaxDepth() {
+		if !hashed {
+			s.d.HashAll(cur, hcur) // the keep-first table consumes the plane
+		}
+		return s.base(cur, hcur)
+	}
+
+	lv := s.d.PlanLevel(cur, hcur, hashed, true, bitDepth, &rng)
+	// Copy for the per-bucket forks: an addressed rng captured by the
+	// refining closure would be heap-boxed at every rec entry.
+	frng := rng
+	nH := lv.NH
+
+	// Blocked Distributing through the absorbing id-plane engines: every
+	// heavy record is consumed by the first-occurrence sink during the one
+	// fused classify sweep; surviving lights land in light[0:starts[NLight]]
+	// with their cached hashes carried, in buffers taken from the arena at
+	// the exact survivor count.
+	var lightBuf *parallel.Buf[R]
+	var hlightBuf *parallel.Buf[uint64]
+	dest := func(kept int) ([]R, []uint64) {
+		lightBuf = parallel.GetBuf[R](sc, kept)
+		hlightBuf = parallel.GetBuf[uint64](sc, kept)
+		return lightBuf.S, hlightBuf.S
+	}
+	startsBuf := parallel.GetBuf[int](sc, lv.NLight+1)
+	var fk dist.FirstKeep
+	var starts []int
+	if nH > 0 {
+		fk = dist.GetFirstKeep(s.d.Runtime(), lv.NSub, nH)
+		starts = s.d.AbsorbLevelFirst(&lv, cur, hcur, hashed, bitDepth, startsBuf.S, fk, dest)
+	} else {
+		starts = s.d.AbsorbLevel(&lv, cur, hcur, hashed, bitDepth, startsBuf.S, nil, dest)
+	}
+	lv.ReleaseSample()
+
+	nd := newNode[R](sc)
+	// Each heavy key contributes exactly its first occurrence, read in place
+	// from cur (heavy records were never moved). Stable distribution keeps
+	// cur in relative input order at every level, so the subarray-order
+	// first is the global first occurrence of the key.
+	if nH > 0 {
+		own := parallel.GetBuf[R](sc, nH)
+		for h := 0; h < nH; h++ {
+			own.S[h] = cur[fk.First(h)]
+		}
+		nd.own = own
+		fk.Release()
+	}
+	lv.ReleaseTable(sc)
+
+	// Local Refining on the surviving light buckets. The survivor buffers
+	// stay alive until the whole subtree is deduplicated, then pool back.
+	nd.kids = parallel.GetBuf[*node[R]](sc, lv.NLight)
+	nd.kids.Zero()
+	kids := nd.kids.S
+	light, hlight := lightBuf.S, hlightBuf.S
+	s.d.ForBuckets(lv.Serial, lv.NLight, func(j int) {
+		lo, hi := starts[j], starts[j+1]
+		if lo < hi {
+			kids[j] = s.rec(light[lo:hi], hlight[lo:hi], true, depth+1, lv.NextBit, frng.Fork(uint64(j)))
+		}
+	})
+	hlightBuf.Release()
+	lightBuf.Release()
+	startsBuf.Release()
+	return nd
+}
+
+// tblScratch is the pooled base-case scratch shared by dedup and distinct
+// counting: open-addressing slots, the slot's full cached hash (so eq and
+// key extraction run only when two 64-bit hashes agree), and the dirtied
+// slot list for O(used) reset. Slot payloads are op-defined indices.
+type tblScratch struct {
+	slots  []int32
+	hashes []uint64
+	order  []uint64
+}
+
+// get (re)shapes a pooled table for at least m power-of-two slots.
+func (t *tblScratch) get(m int) {
+	if len(t.slots) < m {
+		t.slots = make([]int32, m)
+		for i := range t.slots {
+			t.slots[i] = -1
+		}
+		t.hashes = make([]uint64, m)
+	}
+}
+
+// reset clears the dirtied slots.
+func (t *tblScratch) reset() {
+	for _, i := range t.order {
+		t.slots[i] = -1
+	}
+	t.order = t.order[:0]
+}
+
+// base deduplicates one cache-resident bucket sequentially with a keep-first
+// hash table consuming the cached hash plane; kept records are emitted into
+// a pooled chunk in first-appearance (= input) order.
+func (s *deduper[R, K]) base(cur []R, hcur []uint64) *node[R] {
+	n := len(cur)
+	sc := s.d.Scratch()
+	scr := parallel.GetObj[tblScratch](sc)
+	m := sampling.CeilPow2(2 * n)
+	scr.get(m)
+	mask, shift := uint64(m-1), hashutil.SlotShift(m)
+	slots, hashes := scr.slots, scr.hashes
+	own := parallel.GetBuf[R](sc, n)
+	out := own.S[:0]
+	for idx := 0; idx < n; idx++ {
+		h := hcur[idx]
+		i := hashutil.Slot(h, shift)
+		for {
+			si := slots[i]
+			if si < 0 {
+				slots[i] = int32(len(out))
+				hashes[i] = h
+				scr.order = append(scr.order, i)
+				out = append(out, cur[idx])
+				break
+			}
+			if hashes[i] == h && s.eq(s.key(out[si]), s.key(cur[idx])) {
+				break // duplicate: the first occurrence is already kept
+			}
+			i = (i + 1) & mask
+		}
+	}
+	scr.reset()
+	parallel.PutObj(sc, scr)
+	own.S = out
+	nd := newNode[R](sc)
+	nd.own = own
+	return nd
+}

@@ -1,0 +1,700 @@
+package rel
+
+import (
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+)
+
+// joinKind selects which rows an equi-join emits.
+type joinKind uint8
+
+const (
+	joinInner joinKind = iota // every matching (a, b) pair, via the join function
+	joinSemi                  // a-records with at least one match in b
+	joinAnti                  // a-records with no match in b
+)
+
+// Join computes the hash-partitioned inner equi-join of a and b: one
+// joinF(r, s) row for every pair with eq(keyA(r), keyB(s)). Both relations
+// are classified against ONE sample and heavy table per recursion level
+// (the level is planned over the larger side and adapted to the other via
+// core.Driver.ForeignLevel), so bucket j of a and bucket j of b hold
+// exactly the same key population and co-partitioned bucket pairs join in
+// cache. Heavy keys join by broadcast: both sides' heavy records are
+// absorbed during the classify sweep — their indices logged per subarray in
+// input order, the records themselves never moved — and the cross product
+// reads them in place. Leaves run a classic build-on-the-smaller-side hash
+// join consuming the cached hash planes.
+//
+// The user hash runs exactly once per record of either relation per call;
+// neither input is modified. Row order is deterministic for a fixed seed
+// but unspecified (each level's heavy keys first — a-order crossed with
+// b-order per key — then bucket pairs by bucket id).
+func Join[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
+	hash func(K) uint64, eq func(K, K) bool, joinF func(R, S) T, cfg core.Config) []T {
+	return runJoin[R, S, K, T](a, b, keyA, keyB, hash, eq, joinF, nil, joinInner, cfg)
+}
+
+// SemiJoin returns the records of a whose key appears in b — each a-record
+// at most once, regardless of how many b-records match it. Order is
+// deterministic for a fixed seed but unspecified. See Join for the
+// partitioning scheme.
+func SemiJoin[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
+	hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []R {
+	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinSemi, cfg)
+}
+
+// AntiJoin returns the records of a whose key does NOT appear in b. Order is
+// deterministic for a fixed seed but unspecified. See Join for the
+// partitioning scheme.
+func AntiJoin[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
+	hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []R {
+	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinAnti, cfg)
+}
+
+func identity[R any](r R) R { return r }
+
+// runJoin is the shared body. fromA converts an a-record into an output row
+// for the kinds that emit a-records (semi, anti: T is R and fromA is the
+// identity); joinF is the inner join's row constructor.
+func runJoin[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
+	hash func(K) uint64, eq func(K, K) bool,
+	joinF func(R, S) T, fromA func(R) T, kind joinKind, cfg core.Config) []T {
+	na, nb := len(a), len(b)
+	if na == 0 || (nb == 0 && kind != joinAnti) {
+		if kind == joinAnti && na > 0 { // empty b: nothing can match
+			out := make([]T, na)
+			for i, r := range a {
+				out[i] = fromA(r)
+			}
+			return out
+		}
+		return nil
+	}
+	// Two drivers over one Config: same light-bucket geometry (so hash-bit
+	// windows agree level for level, the ForeignLevel contract) and the same
+	// runtime, hence one shared arena.
+	dA := core.NewDriver(na, keyA, hash, eq, cfg)
+	dB := core.NewDriver(nb, keyB, hash, eq, cfg)
+	sc := dA.Scratch()
+	j := parallel.GetObj[joiner[R, S, K, T]](sc)
+	j.keyA, j.keyB, j.eq = keyA, keyB, eq
+	j.joinF, j.fromA, j.kind = joinF, fromA, kind
+	j.dA, j.dB = dA, dB
+
+	hbA := parallel.GetBuf[uint64](sc, na)
+	hbB := parallel.GetBuf[uint64](sc, nb)
+	root := j.rec(a, hbA.S, b, hbB.S, false, false, 0, 0, hashutil.NewRNG(dA.Seed()))
+	out := pack(dA.Runtime(), sc, root)
+	hbB.Release()
+	hbA.Release()
+
+	*j = joiner[R, S, K, T]{}
+	parallel.PutObj(sc, j)
+	dB.Release()
+	dA.Release()
+	return out
+}
+
+// joiner is the equi-join terminal op: the user closures plus one
+// distribution driver per relation. Pooled per call.
+type joiner[R, S, K, T any] struct {
+	keyA  func(R) K
+	keyB  func(S) K
+	eq    func(K, K) bool
+	joinF func(R, S) T
+	fromA func(R) T
+	kind  joinKind
+	dA    *core.Driver[R, K]
+	dB    *core.Driver[S, K]
+}
+
+// rec joins one co-partitioned pair of buckets: plan the level over the
+// larger side, classify both sides against the shared heavy table and hash
+// window, join the heavy keys by broadcast, recurse on bucket pairs.
+func (j *joiner[R, S, K, T]) rec(curA []R, hA []uint64, curB []S, hB []uint64,
+	hashedA, hashedB bool, depth, bitDepth int, rng hashutil.RNG) *node[T] {
+	na, nb := len(curA), len(curB)
+	if na == 0 || (nb == 0 && j.kind != joinAnti) {
+		return nil
+	}
+	sc := j.dA.Scratch()
+	if nb == 0 { // anti join: an empty b side matches nothing
+		return j.emitAll(curA)
+	}
+	// Base once the pair is cache-resident — or once EITHER side is small
+	// enough that a build-on-it hash join is cheaper than distributing the
+	// big side (this also bounds adversarial shapes: a key that is huge on
+	// one side only would otherwise ride every level to MaxDepth).
+	alpha := j.dA.Alpha()
+	if na+nb <= alpha || min(na, nb) <= alpha>>4 || depth >= j.dA.MaxDepth() {
+		if !hashedA {
+			j.dA.HashAll(curA, hA)
+		}
+		if !hashedB {
+			j.dB.HashAll(curB, hB)
+		}
+		return j.base(curA, hA, curB, hB)
+	}
+
+	// One sampling round for both relations, over the larger side (a pure
+	// function of the two lengths, so the plan is deterministic). The other
+	// side classifies against the foreign view: same table, same collapse,
+	// same window — no skip list, since its records were never sampled.
+	var lvA, lvB core.Level[K]
+	var planned *core.Level[K]
+	if na >= nb {
+		lvA = j.dA.PlanLevel(curA, hA, hashedA, true, bitDepth, &rng)
+		lvB = j.dB.ForeignLevel(&lvA, nb)
+		planned = &lvA
+	} else {
+		lvB = j.dB.PlanLevel(curB, hB, hashedB, true, bitDepth, &rng)
+		lvA = j.dA.ForeignLevel(&lvB, na)
+		planned = &lvB
+	}
+	frng := rng
+	nH, nLight := lvA.NH, lvA.NLight
+
+	// Heavy absorption state: the a side always logs record indices (all
+	// three kinds emit from a's heavy records); the b side logs only for the
+	// inner join — semi and anti need just a per-key existence count.
+	var aLog, bLog *sideLog
+	var aSink, bSink func(sub, hid, idx int)
+	if nH > 0 {
+		aLog = getSideLog(sc, lvA.NSub, nH, true)
+		aSink = aLog.sink
+		bLog = getSideLog(sc, lvB.NSub, nH, j.kind == joinInner)
+		if j.kind == joinInner {
+			bSink = bLog.sink
+		} else {
+			bSink = bLog.countSink
+		}
+	}
+
+	// Blocked Distributing, both sides through the absorbing engines:
+	// survivors land in per-side survivor-sized buffers with their hash
+	// planes carried; heavy records stay where they are.
+	var lightABuf *parallel.Buf[R]
+	var hlABuf *parallel.Buf[uint64]
+	destA := func(kept int) ([]R, []uint64) {
+		lightABuf = parallel.GetBuf[R](sc, kept)
+		hlABuf = parallel.GetBuf[uint64](sc, kept)
+		return lightABuf.S, hlABuf.S
+	}
+	var lightBBuf *parallel.Buf[S]
+	var hlBBuf *parallel.Buf[uint64]
+	destB := func(kept int) ([]S, []uint64) {
+		lightBBuf = parallel.GetBuf[S](sc, kept)
+		hlBBuf = parallel.GetBuf[uint64](sc, kept)
+		return lightBBuf.S, hlBBuf.S
+	}
+	startsABuf := parallel.GetBuf[int](sc, nLight+1)
+	startsBBuf := parallel.GetBuf[int](sc, nLight+1)
+	startsA := j.dA.AbsorbLevel(&lvA, curA, hA, hashedA, bitDepth, startsABuf.S, aSink, destA)
+	startsB := j.dB.AbsorbLevel(&lvB, curB, hB, hashedB, bitDepth, startsBBuf.S, bSink, destB)
+	planned.ReleaseSample()
+
+	// Broadcast join of the heavy keys, reading both sides in place.
+	nd := newNode[T](sc)
+	if nH > 0 {
+		nd.own = j.emitHeavy(planned.Serial, aLog, bLog, curA, curB)
+		bLog.release(sc)
+		aLog.release(sc)
+	}
+	planned.ReleaseTable(sc)
+
+	// Local Refining on co-partitioned bucket pairs. Window bits were
+	// consumed identically on both sides, so bucket q of a can only match
+	// bucket q of b.
+	nd.kids = parallel.GetBuf[*node[T]](sc, nLight)
+	nd.kids.Zero()
+	kids := nd.kids.S
+	lightA, hlA := lightABuf.S, hlABuf.S
+	lightB, hlB := lightBBuf.S, hlBBuf.S
+	j.dA.ForBuckets(planned.Serial, nLight, func(q int) {
+		loA, hiA := startsA[q], startsA[q+1]
+		loB, hiB := startsB[q], startsB[q+1]
+		if loA < hiA && (loB < hiB || j.kind == joinAnti) {
+			kids[q] = j.rec(lightA[loA:hiA], hlA[loA:hiA], lightB[loB:hiB], hlB[loB:hiB],
+				true, true, depth+1, lvA.NextBit, frng.Fork(uint64(q)))
+		}
+	})
+	hlBBuf.Release()
+	lightBBuf.Release()
+	hlABuf.Release()
+	lightABuf.Release()
+	startsBBuf.Release()
+	startsABuf.Release()
+	return nd
+}
+
+// emitHeavy joins the level's heavy keys by broadcast: per key, a's
+// absorbed records in input order against b's, both read in place through
+// the resolved index lists. The output chunk is sized exactly and filled at
+// precomputed per-key offsets, so the fill parallelizes over keys without
+// affecting the row order.
+func (j *joiner[R, S, K, T]) emitHeavy(serial bool, aLog, bLog *sideLog, curA []R, curB []S) *parallel.Buf[T] {
+	sc := j.dA.Scratch()
+	rt := j.dA.Runtime()
+	nH := aLog.nH
+	idxA, stA := aLog.resolve(rt, sc)
+	ia, sa := idxA.S, stA.S
+	offsBuf := parallel.GetBuf[int](sc, nH+1)
+	offs := offsBuf.S
+	var own *parallel.Buf[T]
+	if j.kind == joinInner {
+		idxB, stB := bLog.resolve(rt, sc)
+		ib, sb := idxB.S, stB.S
+		total := 0
+		for h := 0; h < nH; h++ {
+			offs[h] = total
+			total += int(sa[h+1]-sa[h]) * int(sb[h+1]-sb[h])
+		}
+		offs[nH] = total
+		own = parallel.GetBuf[T](sc, total)
+		out := own.S
+		emit := func(h int) {
+			o := offs[h]
+			bs := ib[sb[h]:sb[h+1]]
+			for _, ra := range ia[sa[h]:sa[h+1]] {
+				rec := curA[ra]
+				for _, rb := range bs {
+					out[o] = j.joinF(rec, curB[rb])
+					o++
+				}
+			}
+		}
+		if serial {
+			for h := 0; h < nH; h++ {
+				emit(h)
+			}
+		} else {
+			rt.For(nH, 1, emit)
+		}
+		stB.Release()
+		idxB.Release()
+	} else {
+		// Semi/anti: a heavy key's a-records are emitted wholesale or not
+		// at all, decided by b's existence count.
+		tot := bLog.totals(sc)
+		total := 0
+		for h := 0; h < nH; h++ {
+			offs[h] = total
+			if (tot.S[h] > 0) == (j.kind == joinSemi) {
+				total += int(sa[h+1] - sa[h])
+			}
+		}
+		offs[nH] = total
+		own = parallel.GetBuf[T](sc, total)
+		out := own.S
+		emit := func(h int) {
+			if (tot.S[h] > 0) != (j.kind == joinSemi) {
+				return
+			}
+			o := offs[h]
+			for _, ra := range ia[sa[h]:sa[h+1]] {
+				out[o] = j.fromA(curA[ra])
+				o++
+			}
+		}
+		if serial {
+			for h := 0; h < nH; h++ {
+				emit(h)
+			}
+		} else {
+			rt.For(nH, 1, emit)
+		}
+		tot.Release()
+	}
+	offsBuf.Release()
+	stA.Release()
+	idxA.Release()
+	return own
+}
+
+// sideLog is one relation's heavy absorption state for a level: a
+// per-(subarray, key) count matrix, plus — when the op needs the records
+// themselves — per-subarray append-only logs of (key id, record index)
+// written in input order by the absorb sink. resolve turns the logs into
+// per-key contiguous index lists (input order across subarrays) without
+// ever moving a record.
+type sideLog struct {
+	sc   *parallel.Scratch
+	nH   int
+	cnt  *parallel.Buf[int32]
+	logs *parallel.Buf[*parallel.Buf[uint64]] // nil for count-only sides
+}
+
+// getSideLog takes a level's absorption state from the arena. indices
+// selects whether record indices are logged (false: counts only).
+func getSideLog(sc *parallel.Scratch, nSub, nH int, indices bool) *sideLog {
+	l := parallel.GetObj[sideLog](sc)
+	l.sc = sc
+	l.nH = nH
+	l.cnt = parallel.GetBuf[int32](sc, nSub*nH)
+	l.cnt.Zero()
+	l.logs = nil
+	if indices {
+		l.logs = parallel.GetBuf[*parallel.Buf[uint64]](sc, nSub)
+		l.logs.Zero()
+	}
+	return l
+}
+
+// sink is the index-logging absorb sink: one subarray's entries are
+// appended by exactly one fill pass, in input order, so the log needs no
+// synchronization. Logs are taken lazily so subarrays without heavy records
+// cost nothing.
+func (l *sideLog) sink(sub, hid, idx int) {
+	b := l.logs.S[sub]
+	if b == nil {
+		b = parallel.GetBuf[uint64](l.sc, 0)
+		l.logs.S[sub] = b
+	}
+	b.S = append(b.S, uint64(hid)<<32|uint64(idx))
+	l.cnt.S[sub*l.nH+hid]++
+}
+
+// countSink is the existence-only absorb sink (semi and anti joins' b side).
+func (l *sideLog) countSink(sub, hid, idx int) {
+	l.cnt.S[sub*l.nH+hid]++
+}
+
+// resolve scatters the logs into per-key contiguous index lists: key h's
+// record indices are idx[starts[h]:starts[h+1]], in input order (subarrays
+// outer, log order inner). The caller releases both buffers. The count
+// matrix is consumed (rewritten into scatter offsets).
+func (l *sideLog) resolve(rt *parallel.Runtime, sc *parallel.Scratch) (idx *parallel.Buf[int32], starts *parallel.Buf[int32]) {
+	nSub := len(l.cnt.S) / l.nH
+	cnt := l.cnt.S
+	starts = parallel.GetBuf[int32](sc, l.nH+1)
+	run := int32(0)
+	for h := 0; h < l.nH; h++ {
+		starts.S[h] = run
+		for sub := 0; sub < nSub; sub++ {
+			c := cnt[sub*l.nH+h]
+			cnt[sub*l.nH+h] = run
+			run += c
+		}
+	}
+	starts.S[l.nH] = run
+	idx = parallel.GetBuf[int32](sc, int(run))
+	out := idx.S
+	rt.For(nSub, 1, func(sub int) {
+		b := l.logs.S[sub]
+		if b == nil {
+			return
+		}
+		row := cnt[sub*l.nH : (sub+1)*l.nH]
+		for _, e := range b.S {
+			h := e >> 32
+			out[row[h]] = int32(uint32(e))
+			row[h]++
+		}
+	})
+	return idx, starts
+}
+
+// totals folds the count matrix into per-key totals (the count-only side's
+// terminal form). The caller releases the buffer.
+func (l *sideLog) totals(sc *parallel.Scratch) *parallel.Buf[int32] {
+	nSub := len(l.cnt.S) / l.nH
+	tot := parallel.GetBuf[int32](sc, l.nH)
+	tot.Zero()
+	for sub := 0; sub < nSub; sub++ {
+		row := l.cnt.S[sub*l.nH : (sub+1)*l.nH]
+		for h, c := range row {
+			tot.S[h] += c
+		}
+	}
+	return tot
+}
+
+// release returns the level's absorption state to the arena.
+func (l *sideLog) release(sc *parallel.Scratch) {
+	if l.logs != nil {
+		for i, b := range l.logs.S {
+			if b != nil {
+				b.S = b.S[:0]
+				b.Release()
+				l.logs.S[i] = nil
+			}
+		}
+		l.logs.Release()
+	}
+	l.cnt.Release()
+	*l = sideLog{}
+	parallel.PutObj(sc, l)
+}
+
+// emitAll emits every a-record (anti join against an empty b side).
+func (j *joiner[R, S, K, T]) emitAll(curA []R) *node[T] {
+	sc := j.dA.Scratch()
+	own := parallel.GetBuf[T](sc, len(curA))
+	for i, r := range curA {
+		own.S[i] = j.fromA(r)
+	}
+	nd := newNode[T](sc)
+	nd.own = own
+	return nd
+}
+
+// joinScratch is the pooled base-case build table: open-addressing slots
+// holding each key's chain head/tail (indices into the build relation), the
+// slot's cached hash, per-build-record chain links in input order, and the
+// dirtied-slot list for O(used) reset.
+type joinScratch struct {
+	head   []int32
+	tail   []int32
+	hashes []uint64
+	next   []int32
+	order  []uint64
+	// mask is the live table's slot mask and shift its slot-index shift
+	// (see slotIndex). The pooled arrays only grow, so a smaller leaf
+	// reusing a bigger leaf's arrays must derive slots from ITS m, not the
+	// array length — build and probe both read these fields.
+	mask  uint64
+	shift uint
+}
+
+// get (re)shapes the table for m power-of-two slots and n build records.
+func (t *joinScratch) get(m, n int) {
+	if len(t.head) < m {
+		t.head = make([]int32, m)
+		for i := range t.head {
+			t.head[i] = -1
+		}
+		t.tail = make([]int32, m)
+		t.hashes = make([]uint64, m)
+	}
+	t.mask = uint64(m - 1)
+	t.shift = hashutil.SlotShift(m)
+	if cap(t.next) < n {
+		t.next = make([]int32, n)
+	}
+	t.next = t.next[:n]
+}
+
+// reset clears the dirtied slots.
+func (t *joinScratch) reset() {
+	for _, i := range t.order {
+		t.head[i] = -1
+	}
+	t.order = t.order[:0]
+}
+
+// base joins one cache-resident bucket pair with a classic hash join
+// consuming the cached hash planes: build a chained table over one side in
+// input order, probe with the other in input order. The inner join builds
+// on the smaller side (ties to b); semi and anti always build on b (their
+// probe side must be a, whose records they emit). When the probe side is
+// large — the min-side cutoff fires long before the pair is cache-resident
+// — probing parallelizes over contiguous blocks, each emitting into its own
+// chunk, packed in block order.
+func (j *joiner[R, S, K, T]) base(curA []R, hA []uint64, curB []S, hB []uint64) *node[T] {
+	na, nb := len(curA), len(curB)
+	sc := j.dA.Scratch()
+	// probeB: build on a, probe with b — rows come out in (b-probe,
+	// a-chain) order, a different but equally deterministic order, since
+	// the direction is a pure function of the two lengths.
+	probeB := j.kind == joinInner && na < nb
+	var scr *joinScratch
+	nProbe := na
+	if probeB {
+		scr = j.buildA(curA, hA)
+		nProbe = nb
+	} else {
+		scr = j.buildB(curB, hB)
+	}
+	var nd *node[T]
+	if nProbe <= core.SerialCutoff {
+		// The common leaf: one serial probe into one chunk, closure-free
+		// (a per-leaf closure would dominate steady-state allocations).
+		own := parallel.GetBuf[T](sc, 0)
+		if probeB {
+			own.S = j.probeWithB(scr, curA, curB, hB, 0, nProbe, own.S[:0])
+		} else {
+			own.S = j.probeWithA(scr, curA, hA, curB, 0, nProbe, own.S[:0])
+		}
+		nd = newNode[T](sc)
+		nd.own = own
+	} else {
+		// A large probe side (the min-side cutoff fired): parallel blocks,
+		// each emitting into its own chunk child, packed in block order —
+		// the blocks partition is a pure function of n, so the row order is
+		// scheduling-independent.
+		rt := j.dA.Runtime()
+		nBlocks := min(4*parallel.Workers(), (nProbe+core.SerialCutoff-1)/core.SerialCutoff)
+		nd = newNode[T](sc)
+		nd.kids = parallel.GetBuf[*node[T]](sc, nBlocks)
+		nd.kids.Zero()
+		kids := nd.kids.S
+		rt.Blocks(nProbe, nBlocks, func(b, lo, hi int) {
+			own := parallel.GetBuf[T](sc, 0)
+			if probeB {
+				own.S = j.probeWithB(scr, curA, curB, hB, lo, hi, own.S[:0])
+			} else {
+				own.S = j.probeWithA(scr, curA, hA, curB, lo, hi, own.S[:0])
+			}
+			kid := newNode[T](sc)
+			kid.own = own
+			kids[b] = kid
+		})
+	}
+	scr.reset()
+	parallel.PutObj(sc, scr)
+	return nd
+}
+
+// buildB chains the b relation into a pooled table in input order.
+func (j *joiner[R, S, K, T]) buildB(curB []S, hB []uint64) *joinScratch {
+	nb := len(curB)
+	scr := parallel.GetObj[joinScratch](j.dA.Scratch())
+	m := sampling.CeilPow2(2 * nb)
+	scr.get(m, nb)
+	mask, shift := scr.mask, scr.shift
+	for i := 0; i < nb; i++ {
+		h := hB[i]
+		var k K
+		haveK := false
+		s := hashutil.Slot(h, shift)
+		for {
+			hd := scr.head[s]
+			if hd < 0 {
+				scr.head[s] = int32(i)
+				scr.tail[s] = int32(i)
+				scr.hashes[s] = h
+				scr.next[i] = -1
+				scr.order = append(scr.order, s)
+				break
+			}
+			if scr.hashes[s] == h {
+				if !haveK {
+					k = j.keyB(curB[i])
+					haveK = true
+				}
+				if j.eq(j.keyB(curB[hd]), k) {
+					scr.next[scr.tail[s]] = int32(i)
+					scr.tail[s] = int32(i)
+					scr.next[i] = -1
+					break
+				}
+			}
+			s = (s + 1) & mask
+		}
+	}
+	return scr
+}
+
+// buildA is buildB over the a relation (inner join, a smaller).
+func (j *joiner[R, S, K, T]) buildA(curA []R, hA []uint64) *joinScratch {
+	na := len(curA)
+	scr := parallel.GetObj[joinScratch](j.dA.Scratch())
+	m := sampling.CeilPow2(2 * na)
+	scr.get(m, na)
+	mask, shift := scr.mask, scr.shift
+	for i := 0; i < na; i++ {
+		h := hA[i]
+		var k K
+		haveK := false
+		s := hashutil.Slot(h, shift)
+		for {
+			hd := scr.head[s]
+			if hd < 0 {
+				scr.head[s] = int32(i)
+				scr.tail[s] = int32(i)
+				scr.hashes[s] = h
+				scr.next[i] = -1
+				scr.order = append(scr.order, s)
+				break
+			}
+			if scr.hashes[s] == h {
+				if !haveK {
+					k = j.keyA(curA[i])
+					haveK = true
+				}
+				if j.eq(j.keyA(curA[hd]), k) {
+					scr.next[scr.tail[s]] = int32(i)
+					scr.tail[s] = int32(i)
+					scr.next[i] = -1
+					break
+				}
+			}
+			s = (s + 1) & mask
+		}
+	}
+	return scr
+}
+
+// probeWithA probes a-records [lo, hi) against a table built over b,
+// emitting per the join kind in a-input order.
+func (j *joiner[R, S, K, T]) probeWithA(scr *joinScratch, curA []R, hA []uint64, curB []S, lo, hi int, out []T) []T {
+	mask, shift := scr.mask, scr.shift
+	for i := lo; i < hi; i++ {
+		h := hA[i]
+		var k K
+		haveK := false
+		matched := false
+		s := hashutil.Slot(h, shift)
+		for {
+			hd := scr.head[s]
+			if hd < 0 {
+				break
+			}
+			if scr.hashes[s] == h {
+				if !haveK {
+					k = j.keyA(curA[i])
+					haveK = true
+				}
+				if j.eq(j.keyB(curB[hd]), k) {
+					matched = true
+					if j.kind == joinInner {
+						for bi := hd; bi >= 0; bi = scr.next[bi] {
+							out = append(out, j.joinF(curA[i], curB[bi]))
+						}
+					}
+					break
+				}
+			}
+			s = (s + 1) & mask
+		}
+		if (j.kind == joinSemi && matched) || (j.kind == joinAnti && !matched) {
+			out = append(out, j.fromA(curA[i]))
+		}
+	}
+	return out
+}
+
+// probeWithB probes b-records [lo, hi) against a table built over a (inner
+// join only), emitting pairs in (b-probe, a-chain) order.
+func (j *joiner[R, S, K, T]) probeWithB(scr *joinScratch, curA []R, curB []S, hB []uint64, lo, hi int, out []T) []T {
+	mask, shift := scr.mask, scr.shift
+	for i := lo; i < hi; i++ {
+		h := hB[i]
+		var k K
+		haveK := false
+		s := hashutil.Slot(h, shift)
+		for {
+			hd := scr.head[s]
+			if hd < 0 {
+				break
+			}
+			if scr.hashes[s] == h {
+				if !haveK {
+					k = j.keyB(curB[i])
+					haveK = true
+				}
+				if j.eq(j.keyA(curA[hd]), k) {
+					for ai := hd; ai >= 0; ai = scr.next[ai] {
+						out = append(out, j.joinF(curA[ai], curB[i]))
+					}
+					break
+				}
+			}
+			s = (s + 1) & mask
+		}
+	}
+	return out
+}

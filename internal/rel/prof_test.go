@@ -1,0 +1,30 @@
+package rel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func mkP(n int, seed uint64) []rec {
+	return mkRecs(dist.Keys64(n, dist.Spec{Kind: dist.Uniform, Param: float64(n)}, seed))
+}
+
+func BenchmarkProfJoin(b *testing.B) {
+	as := mkP(2000000, 42)
+	bs := mkP(250000, 43)
+	pair := func(a, x rec) [2]int32 { return [2]int32{a.seq, x.seq} }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(as, bs, recKey, recKey, hashMix, eqU64, pair, core.Config{})
+	}
+}
+
+func BenchmarkProfDedup(b *testing.B) {
+	as := mkP(2000000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dedup(as, recKey, hashMix, eqU64, core.Config{})
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rel
+
+const raceEnabled = false

@@ -1,0 +1,60 @@
+package rel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The relational ops inherit the driver's arena discipline: hash planes, id
+// planes and counting matrices, survivor buffers, heavy tables, first-keep
+// matrices, heavy index logs, base-case tables, the node tree and its
+// chunks are all pooled, so repeated calls allocate little beyond the
+// result slice in steady state.
+
+func steadyAllocBound(t *testing.T, name string, run func(), bound float64) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation bounds are meaningless under -race instrumentation")
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm the arena
+	}
+	if got := testing.AllocsPerRun(5, run); got > bound {
+		t.Errorf("%s: %v allocs/op in steady state, want <= %v", name, got, bound)
+	}
+}
+
+func TestRelSteadyStateAllocs(t *testing.T) {
+	n := 1 << 17 // above core.SerialCutoff: the parallel engines run
+	uni := uniformRecs(n, 51)
+	zipf := zipfRecs(n, 1.2, 52)
+	bs := uniformRecs(n/8, 53)
+	pair := func(a, b rec) [2]int32 { return [2]int32{a.seq, b.seq} }
+	// Bounds follow collect's: the result slice plus pooled residue
+	// (closures, job descriptors, chunk-growth leftovers); skewed inputs
+	// add per-level closures and heavy chunks.
+	steadyAllocBound(t, "Dedup/uniform", func() {
+		Dedup(uni, recKey, hashMix, eqU64, core.Config{})
+	}, 100)
+	steadyAllocBound(t, "Dedup/zipf-1.2", func() {
+		Dedup(zipf, recKey, hashMix, eqU64, core.Config{})
+	}, 160)
+	steadyAllocBound(t, "CountDistinct/uniform", func() {
+		CountDistinct(uni, recKey, hashMix, eqU64, core.Config{})
+	}, 100)
+	steadyAllocBound(t, "CountDistinct/zipf-1.2", func() {
+		CountDistinct(zipf, recKey, hashMix, eqU64, core.Config{})
+	}, 160)
+	steadyAllocBound(t, "Join/uniform", func() {
+		Join(uni, bs, recKey, recKey, hashMix, eqU64, pair, core.Config{})
+	}, 220)
+	steadyAllocBound(t, "SemiJoin/zipf-1.2", func() {
+		SemiJoin(zipf, bs, recKey, recKey, hashMix, eqU64, core.Config{})
+	}, 260)
+	// TopK's histogram materializes the distinct keys internally; the
+	// bound covers that slice, the candidate merge and the result.
+	steadyAllocBound(t, "TopK/zipf-1.2", func() {
+		TopK(zipf, 10, recKey, hashMix, eqU64, core.Config{})
+	}, 200)
+}

@@ -1,0 +1,118 @@
+package rel
+
+import (
+	"sort"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// TopK returns the k most frequent keys of a with their occurrence counts,
+// ordered by descending count. It reuses histogram's count-only driver
+// passes end to end (one fused classify sweep per level, heavy keys counted
+// where they stand), then selects over the O(distinct) histogram — never
+// over the input — by folding per-block bounded heaps and merging them
+// deterministically: the selection order is the total order (count
+// descending, then the key's position in histogram's deterministic emission
+// order), so ties break identically at any parallelism and the result is a
+// pure function of (a, cfg, seed). k larger than the distinct-key count
+// returns every key; k <= 0 returns nil. a is not modified.
+func TopK[R, K any](a []R, k int, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []collect.KV[K, int64] {
+	if k <= 0 || len(a) == 0 {
+		return nil
+	}
+	hist := collect.Histogram(a, key, hash, eq, cfg)
+	if k > len(hist) {
+		k = len(hist)
+	}
+	rt := parallel.Or(cfg.Runtime)
+	sc := rt.Scratch()
+
+	// Per-block bounded min-heaps of size k (weakest candidate at the
+	// root), folded over contiguous histogram blocks in parallel; blocks
+	// only pay off when each one scans well past its own heap.
+	nBlocks := 4 * parallel.Workers()
+	if nBlocks*k*4 > len(hist) {
+		nBlocks = 1
+	}
+	heapsBuf := parallel.GetBuf[topCand](sc, nBlocks*k)
+	sizes := make([]int, nBlocks)
+	rt.Blocks(len(hist), nBlocks, func(b, lo, hi int) {
+		h := heapsBuf.S[b*k : b*k : (b+1)*k]
+		for i := lo; i < hi; i++ {
+			h = pushBounded(h, k, topCand{count: hist[i].Value, idx: int32(i)})
+		}
+		sizes[b] = len(h)
+	})
+
+	// Merge the <= nBlocks*k candidates: a full sort by the total order is
+	// O(nBlocks * k log(nBlocks * k)), independent of the distinct count.
+	cands := make([]topCand, 0, nBlocks*k)
+	for b := 0; b < nBlocks; b++ {
+		cands = append(cands, heapsBuf.S[b*k:b*k+sizes[b]]...)
+	}
+	heapsBuf.Release()
+	sort.Slice(cands, func(i, j int) bool { return cands[j].weaker(cands[i]) })
+	if k > len(cands) {
+		k = len(cands) // nBlocks > len(hist): blocks can cover < k keys each
+	}
+	out := make([]collect.KV[K, int64], k)
+	for i := range out {
+		out[i] = hist[cands[i].idx]
+	}
+	return out
+}
+
+// topCand is one selection candidate: a count and the key's deterministic
+// position in the histogram output.
+type topCand struct {
+	count int64
+	idx   int32
+}
+
+// weaker reports that c ranks strictly below d in the selection's total
+// order (lower count, or the same count emitted later).
+func (c topCand) weaker(d topCand) bool {
+	return c.count < d.count || (c.count == d.count && c.idx > d.idx)
+}
+
+// pushBounded inserts c into a size-bounded min-heap ordered by weaker
+// (weakest at the root), evicting the root once the heap holds k.
+func pushBounded(h []topCand, k int, c topCand) []topCand {
+	if len(h) < k {
+		h = append(h, c)
+		// Sift up.
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !h[i].weaker(h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+		return h
+	}
+	if !h[0].weaker(c) {
+		return h // c is no stronger than the current weakest
+	}
+	h[0] = c
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l].weaker(h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && h[r].weaker(h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return h
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

@@ -70,6 +70,7 @@ type HeavyTable[K any] struct {
 	ids    []int32
 	used   []bool
 	mask   uint64
+	shift  uint
 
 	// NH is the number of heavy keys.
 	NH int
@@ -77,6 +78,14 @@ type HeavyTable[K any] struct {
 	Order []K
 }
 
+// Slot indices throughout this package come from hashutil.Slot (Fibonacci
+// hashing into the table's top bits): recursion levels consume hash windows
+// from the LOW end as bucket ids, so at depth >= 1 every record of a
+// subproblem shares its low bits and a low-bits index (h & mask) would
+// collapse the whole table onto a few linear clusters — while raw TOP bits
+// carry no entropy for identity-hashed small integer keys (the "Ours-i"
+// variants). Cluster walks still step (i + 1) & mask.
+//
 // Probe and Resolve split the heavy lookup so the hash-once pipeline can
 // defer key extraction without paying a per-record closure: Probe walks the
 // cluster on cached hashes alone and reports the first hash-equal slot (or
@@ -87,7 +96,7 @@ type HeavyTable[K any] struct {
 // Probe returns the first slot whose stored hash equals h, or -1 if no
 // stored key can possibly equal a key hashing to h.
 func (t *HeavyTable[K]) Probe(h uint64) int32 {
-	i := h & t.mask
+	i := hashutil.Slot(h, t.shift)
 	for {
 		if !t.used[i] {
 			return -1
@@ -144,12 +153,13 @@ func (t *HeavyTable[K]) grow(nH int) {
 		clear(t.used)
 	}
 	t.mask = uint64(hCap - 1)
+	t.shift = hashutil.SlotShift(hCap)
 	t.NH = nH
 	t.Order = t.Order[:0]
 }
 
 func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
-	i := h & t.mask
+	i := hashutil.Slot(h, t.shift)
 	for t.used[i] {
 		i = (i + 1) & t.mask
 	}
@@ -255,7 +265,7 @@ func build[R, K any](a []R, key func(R) K, hashAt func(idx int) uint64, eq func(
 		sc = parallel.Default().Scratch()
 	}
 	tabCap := CeilPow2(2 * m)
-	mask := uint64(tabCap - 1)
+	mask, shift := uint64(tabCap-1), hashutil.SlotShift(tabCap)
 	slotHashBuf := parallel.GetBuf[uint64](sc, tabCap)
 	slotRecBuf := parallel.GetBuf[int32](sc, tabCap) // index into a of the slot's first record
 	slotCntBuf := parallel.GetBuf[int32](sc, tabCap)
@@ -273,7 +283,7 @@ func build[R, K any](a []R, key func(R) K, hashAt func(idx int) uint64, eq func(
 	for j := 0; j < m; j++ {
 		idx := rng.Intn(n)
 		h := hashAt(idx)
-		i := h & mask
+		i := hashutil.Slot(h, shift)
 		// The sample key is extracted lazily, at most once per draw: only a
 		// hash-equal slot holding a *different* record index needs the real
 		// eq test (re-drawing the same index is common — samples are drawn

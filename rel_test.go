@@ -1,0 +1,137 @@
+package semisort_test
+
+import (
+	"math/rand"
+	"testing"
+
+	semisort "repro"
+)
+
+// The relational public API: dedup keeps first occurrences, the join family
+// agrees with set semantics, counting and top-k agree with a map reference.
+// Deep correctness, contracts and determinism live in internal/rel; these
+// tests pin the exported wrappers end to end.
+
+type click struct {
+	User uint64
+	Seq  int
+}
+
+func clickUser(c click) uint64 { return c.User }
+func eqID(a, b uint64) bool    { return a == b }
+
+func TestRelationalPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	clicks := make([]click, n)
+	for i := range clicks {
+		clicks[i] = click{User: uint64(rng.Intn(n / 4)), Seq: i}
+	}
+	users := make([]uint64, n/8)
+	for i := range users {
+		users[i] = uint64(rng.Intn(n / 2))
+	}
+
+	first := make(map[uint64]int)
+	for _, c := range clicks {
+		if _, ok := first[c.User]; !ok {
+			first[c.User] = c.Seq
+		}
+	}
+
+	deduped := semisort.Dedup(clicks, clickUser, semisort.Hash64, eqID)
+	if len(deduped) != len(first) {
+		t.Fatalf("Dedup: %d records, want %d distinct", len(deduped), len(first))
+	}
+	for _, c := range deduped {
+		if first[c.User] != c.Seq {
+			t.Fatalf("Dedup kept occurrence %d of user %d, want first %d", c.Seq, c.User, first[c.User])
+		}
+	}
+
+	if got := semisort.CountDistinct(clicks, clickUser, semisort.Hash64, eqID); got != int64(len(first)) {
+		t.Fatalf("CountDistinct: %d, want %d", got, len(first))
+	}
+
+	dv := semisort.Distinct(users, semisort.Hash64, eqID)
+	uset := make(map[uint64]bool)
+	for _, u := range users {
+		uset[u] = true
+	}
+	if len(dv) != len(uset) {
+		t.Fatalf("Distinct: %d values, want %d", len(dv), len(uset))
+	}
+
+	inUsers := make(map[uint64]int)
+	for _, u := range users {
+		inUsers[u]++
+	}
+	joined := semisort.JoinEq(clicks, users, clickUser, semisort.Identity64, semisort.Hash64, eqID,
+		func(c click, u uint64) int { return c.Seq })
+	wantJoin := 0
+	for _, c := range clicks {
+		wantJoin += inUsers[c.User]
+	}
+	if len(joined) != wantJoin {
+		t.Fatalf("JoinEq: %d rows, want %d", len(joined), wantJoin)
+	}
+
+	semi := semisort.SemiJoinEq(clicks, users, clickUser, semisort.Identity64, semisort.Hash64, eqID)
+	anti := semisort.AntiJoinEq(clicks, users, clickUser, semisort.Identity64, semisort.Hash64, eqID)
+	wantSemi := 0
+	for _, c := range clicks {
+		if inUsers[c.User] > 0 {
+			wantSemi++
+		}
+	}
+	if len(semi) != wantSemi || len(anti) != len(clicks)-wantSemi {
+		t.Fatalf("SemiJoinEq/AntiJoinEq: %d/%d rows, want %d/%d",
+			len(semi), len(anti), wantSemi, len(clicks)-wantSemi)
+	}
+
+	counts := make(map[uint64]int64)
+	for _, c := range clicks {
+		counts[c.User]++
+	}
+	top := semisort.TopK(clicks, 3, clickUser, semisort.Hash64, eqID)
+	if len(top) != 3 {
+		t.Fatalf("TopK: %d entries, want 3", len(top))
+	}
+	prev := int64(1) << 62
+	for _, kc := range top {
+		if counts[kc.Key] != kc.Count {
+			t.Fatalf("TopK: user %d count %d, want %d", kc.Key, kc.Count, counts[kc.Key])
+		}
+		if kc.Count > prev {
+			t.Fatalf("TopK: counts not non-increasing")
+		}
+		prev = kc.Count
+	}
+	for u, c := range counts {
+		if c > top[len(top)-1].Count {
+			found := false
+			for _, kc := range top {
+				found = found || kc.Key == u
+			}
+			if !found {
+				t.Fatalf("TopK missed user %d with count %d > weakest selected %d", u, c, top[len(top)-1].Count)
+			}
+		}
+	}
+}
+
+func TestRelationalRuntimeOptionAndClose(t *testing.T) {
+	// Per-tenant pool: run a relational call on a private runtime, then shut
+	// it down; the closed runtime must still serve (serial) calls.
+	rt := semisort.NewRuntime(4)
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = uint64(i % 5000)
+	}
+	before := semisort.CountDistinct(keys, semisort.Identity64, semisort.Hash64, eqID, semisort.WithRuntime(rt))
+	rt.Close()
+	after := semisort.CountDistinct(keys, semisort.Identity64, semisort.Hash64, eqID, semisort.WithRuntime(rt))
+	if before != 5000 || after != 5000 {
+		t.Fatalf("CountDistinct across Close: %d then %d, want 5000 both", before, after)
+	}
+}

@@ -14,13 +14,17 @@ import (
 // SortEq/Histogram/CollectReduce calls are already allocation-free in
 // steady state. A service that wants an explicitly sized pool — or separate
 // pools for separate tenants — creates its own with NewRuntime and passes
-// it to each call via WithRuntime.
+// it to each call via WithRuntime. Runtimes that do not live for the life
+// of the process (per-tenant pools) must be shut down with Close once their
+// last call has returned, or their parked pool goroutines leak; a closed
+// runtime stays usable but runs calls on the calling goroutine only.
 type Runtime = parallel.Runtime
 
 // NewRuntime creates a runtime with the given target parallelism (the
 // calling goroutine plus workers-1 pool goroutines); workers <= 0 selects
-// GOMAXPROCS. The pool goroutines live for the life of the process: create
-// one runtime per service, not one per call.
+// GOMAXPROCS. The pool goroutines live until Close: create one runtime per
+// service or tenant, not one per call, and Close it when that scope goes
+// away. The shared DefaultRuntime is process-wide and never closed.
 func NewRuntime(workers int) *Runtime { return parallel.NewRuntime(workers) }
 
 // DefaultRuntime returns the shared process-wide runtime used when no
