@@ -56,6 +56,30 @@
 //
 // See examples/dedupjoin for a full pipeline against map-based baselines.
 //
+// # Fused pipelines
+//
+// Composing those ops by hand re-hashes every intermediate result: Dedup
+// hashes its input, JoinEq re-hashes the survivors, TopK hashes every joined
+// row. Query fuses a chain of stages (Dedup, Sort/GroupBy, JoinEq) into one
+// pipeline that calls the user hash at most once per input record — each
+// stage hands the next its cached hash plane, its promoted heavy keys, and
+// its grouped/distinct shape:
+//
+//	top := semisort.Query(clicks, clickUser, semisort.Hash64, eqU64).
+//	    Dedup().               // hashes clicks once, emits the hash plane
+//	    JoinEq(imps, impUser). // consumes the plane; hashes only imps
+//	    TopK(10)               // counts matches; no joined row materialized
+//
+// A pipeline keys its whole chain by the one key given to Query, is
+// single-use (stages consume their receiver; terminals release pooled
+// state; reuse panics), and never modifies the caller's slice. A join
+// followed by a counting terminal (Histogram, TopK, CountDistinct) never
+// materializes the joined rows — under skew the join output is quadratic in
+// the per-key multiplicities, and counting per-key match products instead
+// turns seconds into milliseconds. See examples/pipeline for fused-versus-
+// unfused comparisons and DESIGN.md ("Pipeline fusion") for what fuses and
+// what falls back.
+//
 // # Runtime
 //
 // All calls execute on a persistent parallel runtime: a fixed pool of

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	semisort "repro"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -166,6 +167,25 @@ func SteadyReportFor(o Options) SteadyReport {
 		rep.Results = append(rep.Results,
 			steadyCell(o, "TopK/"+shape, o.N, spec, func() {
 				rel.TopK(data, 10, key, hashutil.Mix64, eq, core.Config{})
+			}, nil))
+	}
+
+	// The fused pipeline (the public plane-threading API): dedup ->
+	// equi-join -> top-10 as one query, hashing each input record exactly
+	// once and counting join products instead of materializing rows. The
+	// join side is a full-size uniform relation over the same key domain,
+	// so the zipf shape exercises the heavy-key carry across all three
+	// stages.
+	for _, shape := range []string{"uniform-distinct", "zipf-1.2"} {
+		spec := specs[shape]
+		data := Make64(o.N, spec, o.Seed)
+		b := Make64(o.N, dist.Spec{Kind: dist.Uniform, Param: float64(o.N)}, o.Seed+1)
+		rep.Results = append(rep.Results,
+			steadyCell(o, "Pipeline/dedup-join-topk/"+shape, o.N, spec, func() {
+				semisort.Query(data, key, hashutil.Mix64, eq).
+					Dedup().
+					JoinEq(b, key).
+					TopK(10)
 			}, nil))
 	}
 	return rep

@@ -59,13 +59,21 @@ type Reducer[R, K, E any] struct {
 // keys in a deterministic order (heavy keys of each recursion level first,
 // then light buckets by bucket id). a is not modified.
 func Reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config) []KV[K, E] {
-	return reduce(a, rd, cfg, false)
+	return reduce[R, K, E](a, nil, rd, cfg, false)
+}
+
+// ReducePlane is Reduce fused into a pipeline: a non-nil input plane
+// supplies cached hashes (the top level starts hashed; the user hash closure
+// is never called) and carried heavy keys for level-0 adoption (no sampling
+// round).
+func ReducePlane[R, K, E any](a []R, in *core.Plane[K], rd Reducer[R, K, E], cfg core.Config) []KV[K, E] {
+	return reduce(a, in, rd, cfg, false)
 }
 
 // reduce is the shared body. countOnly is Histogram's fast path: rd's
 // monoid is known to be (+1, 0) over int64, so the hot loops count
 // directly and never call Map or Combine.
-func reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config, countOnly bool) []KV[K, E] {
+func reduce[R, K, E any](a []R, in *core.Plane[K], rd Reducer[R, K, E], cfg core.Config, countOnly bool) []KV[K, E] {
 	n := len(a)
 	if n == 0 {
 		return nil
@@ -81,11 +89,30 @@ func reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config, countOnly 
 	// top level reads a directly; only the hash plane mirrors the input.
 	// Each level's scatter buffer is sized to its *surviving* lights by the
 	// absorbing engines (heavy records are reduced where they stand), so
-	// under skew the call's footprint tracks the residue, not n.
-	hb := parallel.GetBuf[uint64](sc, n)
-	root := s.rec(a, hb.S, false, 0, 0, hashutil.NewRNG(d.Seed()))
+	// under skew the call's footprint tracks the residue, not n. An input
+	// plane with cached hashes IS that mirror already, so the lease is
+	// skipped and the top level starts hashed; its carried heavy keys seed
+	// the level-0 table in place of a sampling round.
+	var hb *parallel.Buf[uint64]
+	hs := []uint64(nil)
+	hashed := false
+	if in != nil {
+		if in.HeavyKeys != nil {
+			d.Adopt(in.HeavyKeys, in.HeavyHashes)
+		}
+		if in.Hashes != nil {
+			hs, hashed = in.Hashes, true
+		}
+	}
+	if hs == nil {
+		hb = parallel.GetBuf[uint64](sc, n)
+		hs = hb.S
+	}
+	root := s.rec(a, hs, hashed, 0, 0, hashutil.NewRNG(d.Seed()))
 	out := s.pack(root)
-	hb.Release()
+	if hb != nil {
+		hb.Release()
+	}
 
 	*s = reducer[R, K, E]{} // drop the user closures before pooling
 	parallel.PutObj(sc, s)
@@ -99,7 +126,13 @@ func reduce[R, K, E any](a []R, rd Reducer[R, K, E], cfg core.Config, countOnly 
 // absorption and the leaf tables increment int64 counters directly instead
 // of paying two indirect calls (Map, Combine) per record.
 func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []KV[K, int64] {
-	return reduce(a, Reducer[R, K, int64]{
+	return HistogramPlane(a, nil, key, hash, eq, cfg)
+}
+
+// HistogramPlane is Histogram fused into a pipeline (see ReducePlane for the
+// input-plane contract).
+func HistogramPlane[R, K any](a []R, in *core.Plane[K], key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []KV[K, int64] {
+	return reduce(a, in, Reducer[R, K, int64]{
 		Key:     key,
 		Hash:    hash,
 		Eq:      eq,

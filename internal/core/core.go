@@ -22,6 +22,23 @@ func SortEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) b
 	}
 }
 
+// SortEqHashed is SortEq consuming a pre-computed hash plane (hs[i] =
+// hash(key(a[i]))), the pipeline-fusion entry point: the top level starts
+// hashed, so the sampling round and the classify sweeps never call the user
+// hash closure — zero hash calls for the whole sort. hs is taken over as
+// the call's working hash plane (the A/T role swap scribbles on it), so the
+// caller must treat it as consumed.
+func SortEqHashed[R, K any](a []R, hs []uint64, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) {
+	if len(hs) != len(a) {
+		panic("semisort: hash plane length does not match input")
+	}
+	s := newSorter(a, key, hash, eq, nil, cfg)
+	if s != nil {
+		s.runHashed(a, hs)
+		s.release()
+	}
+}
+
 // SortLess is semisort<: like SortEq but additionally uses a less-than test,
 // which lets base cases run a comparison sort (Section 3.3). Equality is
 // derived from less. The result is stable and deterministic.
@@ -81,6 +98,18 @@ func (s *sorter[R, K]) run(a []R) {
 	tb.Release()
 }
 
+// runHashed is run with the caller-supplied hash plane standing in for the
+// lazily filled one: the recursion starts hashed, taking only the auxiliary
+// record array and the second hash-plane side from the arena.
+func (s *sorter[R, K]) runHashed(a []R, hs []uint64) {
+	tb := parallel.GetBuf[R](s.sc, len(a))
+	htb := parallel.GetBuf[uint64](s.sc, len(a))
+	rng := hashutil.NewRNG(s.seed)
+	s.rec(a, tb.S, hs, htb.S, true, true, 0, 0, rng)
+	htb.Release()
+	tb.Release()
+}
+
 // rec is one level of Algorithm 1. Data currently lives in cur; other is
 // equally sized scratch; hcur/hother hold the records' cached user hashes
 // and shadow every permutation of cur/other. hashed records whether hcur is
@@ -108,7 +137,12 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	// Step 1: Sampling and Bucketing (on cached hashes when the plane is
 	// filled; the top level hashes its sample through the memoizing fused
 	// build instead) plus the level-shape decision — see Driver.PlanLevel.
-	lv := s.PlanLevel(cur, hcur, hashed, true, bitDepth, &rng)
+	// The level lives in a pooled object, not a stack local: its address
+	// rides into the distribute sweep's worker closures, which would box a
+	// fresh Level at every recursion node (the per-node alloc behind the
+	// old SortEq/exponential outlier in BENCH_steady.json).
+	lv := parallel.GetObj[Level[K]](s.sc)
+	*lv = s.PlanLevel(cur, hcur, hashed, true, bitDepth, &rng)
 
 	// frng is a copy of the (sampling-advanced) generator for the per-bucket
 	// forks below. The copy is deliberate: rng itself has its address taken
@@ -123,12 +157,16 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	// the level's id plane: classify fills ids and counts in one fused
 	// sweep, the engine prefixes and replays.
 	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
-	starts := s.DistributeLevel(&lv, cur, other, hcur, hother, hashed, bitDepth, startsBuf.S)
+	starts := s.DistributeLevel(lv, cur, other, hcur, hother, hashed, bitDepth, startsBuf.S)
 	lv.ReleaseSample()
 	// The id plane has absorbed every classification; the table's storage
 	// feeds the next level's build.
 	lv.ReleaseTable(s.sc)
 	defer startsBuf.Release()
+	// Everything the recursion still needs from the level is scalar; copy
+	// it out and recycle the object before the children take their own.
+	serial, nextBit, nH := lv.Serial, lv.NextBit, lv.NH
+	parallel.PutObj(s.sc, lv)
 
 	if s.disableInPlace {
 		// Ablation path: Alg. 1 line 23 verbatim — copy T back to A after
@@ -137,10 +175,10 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 		// see each record's hash.
 		parallel.CopyIn(s.rt, cur, other)
 		parallel.CopyIn(s.rt, hcur, hother)
-		s.ForBuckets(lv.Serial, nLight, func(j int) {
+		s.ForBuckets(serial, nLight, func(j int) {
 			lo, hi := starts[j], starts[j+1]
 			if lo < hi {
-				s.rec(cur[lo:hi], other[lo:hi], hcur[lo:hi], hother[lo:hi], curIsA, true, depth+1, lv.NextBit, frng.Fork(uint64(j)))
+				s.rec(cur[lo:hi], other[lo:hi], hcur[lo:hi], hother[lo:hi], curIsA, true, depth+1, nextBit, frng.Fork(uint64(j)))
 			}
 		})
 		return
@@ -150,9 +188,9 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	// if they landed in T (the heavy region is contiguous at the end).
 	// Their hashes are never read again — the scatter already skipped them
 	// (hLive = nLight) — so only records move.
-	if lv.NH > 0 && curIsA {
+	if nH > 0 && curIsA {
 		lo, hi := starts[nLight], starts[nB]
-		if lv.Serial {
+		if serial {
 			copy(cur[lo:hi], other[lo:hi])
 		} else {
 			parallel.CopyIn(s.rt, cur[lo:hi], other[lo:hi])
@@ -161,11 +199,23 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 
 	// Step 3: Local Refining — recurse on light buckets with roles swapped,
 	// consuming the next window of hash bits (see levelBits). A collapsed
-	// level recurses on its single residue bucket with the same window.
-	s.ForBuckets(lv.Serial, nLight, func(j int) {
+	// level recurses on its single residue bucket with the same window. The
+	// serial branch loops in place of ForBuckets: a func literal handed to
+	// a non-inlined callee is heap-allocated even when it only ever runs on
+	// this goroutine, and serial nodes dominate the deep recursion.
+	if serial {
+		for j := 0; j < nLight; j++ {
+			lo, hi := starts[j], starts[j+1]
+			if lo < hi {
+				s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, true, depth+1, nextBit, frng.Fork(uint64(j)))
+			}
+		}
+		return
+	}
+	s.rt.For(nLight, 1, func(j int) {
 		lo, hi := starts[j], starts[j+1]
 		if lo < hi {
-			s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, true, depth+1, lv.NextBit, frng.Fork(uint64(j)))
+			s.rec(other[lo:hi], cur[lo:hi], hother[lo:hi], hcur[lo:hi], !curIsA, true, depth+1, nextBit, frng.Fork(uint64(j)))
 		}
 	})
 }

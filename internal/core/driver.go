@@ -69,6 +69,12 @@ type Driver[R, K any] struct {
 	// classify chunk, so the hot loop never touches the atomic.
 	probeCount *atomic.Int64
 
+	// adoptKeys/adoptHashes, when non-nil, are a pipeline plane's carried
+	// heavy keys (see Adopt): the next PlanLevel builds its heavy table from
+	// them directly and skips the sampling round.
+	adoptKeys   []K
+	adoptHashes []uint64
+
 	// rt is the worker pool the call runs on; sc is its buffer arena, the
 	// source of every transient buffer (the O(n) auxiliary arrays, the
 	// hash planes, counting matrices, cached ids, base-case tables,
@@ -227,15 +233,36 @@ type Level[K any] struct {
 	NextBit int
 }
 
+// Adopt hands the driver a pipeline plane's carried heavy keys (with their
+// user hashes, in the producer's bucket-id order): the next PlanLevel —
+// the consumer's top level — builds its heavy table directly from them and
+// skips the sampling round entirely. The adopted set is consumed once;
+// deeper levels sample normally. An adopted level never collapses (collapse
+// needs the sample's heavy-mass estimate, which adoption does not have).
+// Call between NewDriver and the first PlanLevel.
+func (d *Driver[R, K]) Adopt(keys []K, hashes []uint64) {
+	d.adoptKeys, d.adoptHashes = keys, hashes
+}
+
 // PlanLevel runs one sampling round over cur and decides the level shape.
 // hashed reports whether hcur already holds every record's user hash (false
 // only at the top level, which samples through the memoizing fused build so
 // the whole call stays at exactly one user hash per record); allowCollapse
 // gates the skew collapse (the in-place sorter declines it). rng is
-// advanced by the sampling draws.
+// advanced by the sampling draws. An adopted heavy set (see Adopt) replaces
+// the sampling round and leaves rng untouched.
 func (d *Driver[R, K]) PlanLevel(cur []R, hcur []uint64, hashed, allowCollapse bool, bitDepth int, rng *hashutil.RNG) Level[K] {
 	var lv Level[K]
-	if !d.disableHeavy {
+	if d.adoptKeys != nil {
+		keys, hs := d.adoptKeys, d.adoptHashes
+		d.adoptKeys, d.adoptHashes = nil, nil
+		if !d.disableHeavy && len(keys) > 0 {
+			if m := dist.MaxBuckets - 1 - d.nL; len(keys) > m {
+				keys, hs = keys[:m], hs[:m]
+			}
+			lv.ht = sampling.Adopt(keys, hs, d.nL, d.sc)
+		}
+	} else if !d.disableHeavy {
 		p := d.sampleParams(len(cur))
 		if !allowCollapse {
 			p.CollapsePercent = 0
@@ -273,6 +300,27 @@ func (d *Driver[R, K]) PlanLevel(cur []R, hcur []uint64, hashed, allowCollapse b
 // HeavyKey returns heavy key h (0 <= h < NH) in bucket-id order. Only valid
 // before ReleaseTable.
 func (lv *Level[K]) HeavyKey(h int) K { return lv.ht.Order[h] }
+
+// HeavyHash returns heavy key h's user hash. The table is the only place a
+// top-level heavy hash exists (the fused classify sweep never writes heavy
+// hashes into the plane), so plane-emitting ops read it instead of
+// re-hashing. Only valid before ReleaseTable.
+func (lv *Level[K]) HeavyHash(h int) uint64 { return lv.ht.OrderHash[h] }
+
+// HeavyCarry copies the level's heavy keys and hashes out of the pooled
+// table (bucket-id order) so they survive ReleaseTable — the level-0 call
+// site of a plane-emitting op hands them to the next pipeline stage for
+// adoption. Returns nils when the level has no heavy keys.
+func (lv *Level[K]) HeavyCarry() ([]K, []uint64) {
+	if lv.ht == nil || lv.NH == 0 {
+		return nil, nil
+	}
+	keys := make([]K, lv.NH)
+	hs := make([]uint64, lv.NH)
+	copy(keys, lv.ht.Order)
+	copy(hs, lv.ht.OrderHash)
+	return keys, hs
+}
 
 // ReleaseSample returns the fused sampler's skip list to the arena; the
 // terminal op calls it once its distribution has consumed the list.

@@ -111,7 +111,11 @@ func (sl Slotted[T]) Release() { sl.buf.Release() }
 // structs whose internal arrays grow monotonically, e.g. base-case hash
 // tables.
 func GetObj[T any](s *Scratch) *T {
-	p := s.poolFor(reflect.TypeFor[T]())
+	// Keyed by *T, not T: reflect.TypeFor[T] boxes a zero T into an
+	// interface, which heap-allocates a copy of the whole struct on every
+	// call (32 KiB for a page-sized T). The pointer type is free to name and
+	// cannot collide with GetBuf's []T keys.
+	p := s.poolFor(reflect.TypeFor[*T]())
 	if v, _ := p.Get().(*T); v != nil {
 		return v
 	}
@@ -120,7 +124,7 @@ func GetObj[T any](s *Scratch) *T {
 
 // PutObj returns an object taken with GetObj to the arena.
 func PutObj[T any](s *Scratch, v *T) {
-	s.poolFor(reflect.TypeFor[T]()).Put(v)
+	s.poolFor(reflect.TypeFor[*T]()).Put(v)
 }
 
 // ceilCap rounds allocation capacities up to a power of two so recycled

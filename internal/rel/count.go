@@ -16,6 +16,15 @@ import (
 // materializing any output. The user hash runs exactly once per record per
 // call; a is not modified.
 func CountDistinct[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) int64 {
+	return CountDistinctPlane(a, nil, key, hash, eq, cfg)
+}
+
+// CountDistinctPlane is CountDistinct fused into a pipeline: a non-nil
+// input plane supplies cached hashes (the top level starts hashed; the user
+// hash closure is never called) and carried heavy keys for level-0 adoption
+// (no sampling round).
+func CountDistinctPlane[R, K any](a []R, in *core.Plane[K],
+	key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) int64 {
 	n := len(a)
 	if n == 0 {
 		return 0
@@ -24,9 +33,9 @@ func CountDistinct[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(
 	sc := d.Scratch()
 	s := parallel.GetObj[counter[R, K]](sc)
 	s.key, s.eq, s.d = key, eq, d
-	hb := parallel.GetBuf[uint64](sc, n)
-	total := s.rec(a, hb.S, false, 0, 0, hashutil.NewRNG(d.Seed()))
-	hb.Release()
+	hcur, hashed := planeIn(in, d, sc, n)
+	total := s.rec(a, hcur.S, hashed, 0, 0, hashutil.NewRNG(d.Seed()))
+	hcur.Release()
 	*s = counter[R, K]{}
 	parallel.PutObj(sc, s)
 	d.Release()

@@ -22,34 +22,90 @@ import (
 // scattered — so under skew the work tracks the distinct-key count, not the
 // duplicate mass, with no post-pass over the input.
 func Dedup[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []R {
+	out, _ := DedupPlane(a, nil, false, key, hash, eq, cfg)
+	return out
+}
+
+// DedupPlane is Dedup fused into a pipeline. in, when non-nil, supplies the
+// input's plane: cached hashes make the top level start hashed (the user
+// hash closure is never called), and carried heavy keys are adopted as the
+// level-0 heavy table (no sampling round). When emit is set the call also
+// returns the output's hash plane in an arena buffer — hout.S[i] is
+// out[i]'s user hash, heavy firsts read from the heavy table's OrderHash —
+// so downstream stages never re-hash. hout is nil when emit is false or the
+// input is empty; the caller releases it.
+func DedupPlane[R, K any](a []R, in *core.Plane[K], emit bool,
+	key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) ([]R, *parallel.Buf[uint64]) {
 	n := len(a)
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	d := core.NewDriver(n, key, hash, eq, cfg)
 	sc := d.Scratch()
 	s := parallel.GetObj[deduper[R, K]](sc)
 	s.key, s.eq, s.d = key, eq, d
+	s.emit = emit
 
 	// No working copy: the absorbing distribution never writes its source,
-	// so the top level reads a directly; only the hash plane mirrors it.
-	hb := parallel.GetBuf[uint64](sc, n)
-	root := s.rec(a, hb.S, false, 0, 0, hashutil.NewRNG(d.Seed()))
-	out := pack(d.Runtime(), sc, root)
-	hb.Release()
+	// so the top level reads a directly; only the hash plane mirrors it —
+	// and an input plane IS that mirror, so the arena lease is skipped too.
+	hcur, hashed := planeIn(in, d, sc, n)
+	root := s.rec(a, hcur.S, hashed, 0, 0, hashutil.NewRNG(d.Seed()))
+	var out []R
+	var hout *parallel.Buf[uint64]
+	if emit {
+		out, hout = packPlane(d.Runtime(), sc, root)
+	} else {
+		out = pack(d.Runtime(), sc, root)
+	}
+	hcur.Release()
 
 	*s = deduper[R, K]{} // drop the user closures before pooling
 	parallel.PutObj(sc, s)
 	d.Release()
-	return out
+	return out, hout
+}
+
+// planeIn resolves a single-input op's top-level hash plane: an input plane
+// with cached hashes is consumed directly (hashed=true, no arena lease, and
+// any carried heavy keys are adopted by the driver); otherwise a fresh
+// arena plane is leased for the fused top level to fill lazily. The
+// returned handle's Release is a no-op for the borrowed case.
+func planeIn[R, K any](in *core.Plane[K], d *core.Driver[R, K], sc *parallel.Scratch, n int) (borrowedBuf[uint64], bool) {
+	if in != nil {
+		if in.HeavyKeys != nil {
+			d.Adopt(in.HeavyKeys, in.HeavyHashes)
+		}
+		if in.Hashes != nil {
+			return borrowedBuf[uint64]{S: in.Hashes}, true
+		}
+	}
+	b := parallel.GetBuf[uint64](sc, n)
+	return borrowedBuf[uint64]{S: b.S, owned: b}, false
+}
+
+// borrowedBuf is a slice that is either borrowed (an input plane's hashes;
+// Release is a no-op) or arena-leased for this call (Release returns it).
+type borrowedBuf[T any] struct {
+	S     []T
+	owned *parallel.Buf[T]
+}
+
+// Release returns the underlying lease, if this call took one.
+func (b borrowedBuf[T]) Release() {
+	if b.owned != nil {
+		b.owned.Release()
+	}
 }
 
 // deduper is the dedup terminal op: the user closures plus the shared
-// distribution driver. Pooled per call.
+// distribution driver. Pooled per call. emit marks plane-emitting calls
+// (every node's own chunk travels with aligned hashes).
 type deduper[R, K any] struct {
-	key func(R) K
-	eq  func(K, K) bool
-	d   *core.Driver[R, K]
+	key  func(R) K
+	eq   func(K, K) bool
+	d    *core.Driver[R, K]
+	emit bool
 }
 
 // rec is one level: plan (sampling + collapse), distribute the lights while
@@ -109,6 +165,15 @@ func (s *deduper[R, K]) rec(cur []R, hcur []uint64, hashed bool, depth, bitDepth
 			own.S[h] = cur[fk.First(h)]
 		}
 		nd.own = own
+		if s.emit {
+			// The heavy table is the only place a top-level heavy hash
+			// exists (classify never writes heavy hashes into the plane).
+			hown := parallel.GetBuf[uint64](sc, nH)
+			for h := 0; h < nH; h++ {
+				hown.S[h] = lv.HeavyHash(h)
+			}
+			nd.hown = hown
+		}
 		fk.Release()
 	}
 	lv.ReleaseTable(sc)
@@ -173,6 +238,14 @@ func (s *deduper[R, K]) base(cur []R, hcur []uint64) *node[R] {
 	slots, hashes := scr.slots, scr.hashes
 	own := parallel.GetBuf[R](sc, n)
 	out := own.S[:0]
+	// Plane-emitting calls record each kept record's cached hash alongside
+	// (appends stay within the n-record lease, so hout never reallocates).
+	var hown *parallel.Buf[uint64]
+	var hout []uint64
+	if s.emit {
+		hown = parallel.GetBuf[uint64](sc, n)
+		hout = hown.S[:0]
+	}
 	for idx := 0; idx < n; idx++ {
 		h := hcur[idx]
 		i := hashutil.Slot(h, shift)
@@ -183,6 +256,9 @@ func (s *deduper[R, K]) base(cur []R, hcur []uint64) *node[R] {
 				hashes[i] = h
 				scr.order = append(scr.order, i)
 				out = append(out, cur[idx])
+				if s.emit {
+					hout = append(hout, h)
+				}
 				break
 			}
 			if hashes[i] == h && s.eq(s.key(out[si]), s.key(cur[idx])) {
@@ -196,5 +272,9 @@ func (s *deduper[R, K]) base(cur []R, hcur []uint64) *node[R] {
 	own.S = out
 	nd := newNode[R](sc)
 	nd.own = own
+	if s.emit {
+		hown.S = hout
+		nd.hown = hown
+	}
 	return nd
 }

@@ -1,0 +1,196 @@
+package rel
+
+import (
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+	"repro/internal/sampling"
+)
+
+// Grouped fast paths: once a relation is grouped — equal-key records
+// contiguous, with the g+1 group boundaries known (core.Plane.Bounds, the
+// Sort stage's output) — the groups ARE a finished exact partition, and the
+// ops below skip the distribution driver outright. Dedup is one gather,
+// histogram one length read, and an equi-join hashes one representative per
+// GROUP instead of one per record (grouped bounds delimit maximal equal-key
+// runs, so group keys are distinct within a side and the join table needs no
+// chains).
+
+// FirstPerGroup is dedup over a grouped relation: each group's head record,
+// in group order. No hashing, no driver, no table — bounds already separate
+// the keys exactly.
+func FirstPerGroup[R any](rt *parallel.Runtime, a []R, bounds []int32) []R {
+	g := len(bounds) - 1
+	if g <= 0 {
+		return nil
+	}
+	out := make([]R, g)
+	rt.For(g, 1024, func(i int) { out[i] = a[bounds[i]] })
+	return out
+}
+
+// GroupedHistogram is histogram over a grouped relation: each group's key
+// with its length, in group order. key runs once per group; the user hash
+// never runs.
+func GroupedHistogram[R, K any](rt *parallel.Runtime, a []R, bounds []int32, key func(R) K) []collect.KV[K, int64] {
+	g := len(bounds) - 1
+	if g <= 0 {
+		return nil
+	}
+	out := make([]collect.KV[K, int64], g)
+	rt.For(g, 1024, func(i int) {
+		out[i] = collect.KV[K, int64]{Key: key(a[bounds[i]]), Value: int64(bounds[i+1] - bounds[i])}
+	})
+	return out
+}
+
+// JoinGrouped inner-joins two already-grouped relations by matching groups:
+// build a distinct-key table over the side with fewer groups (one hash per
+// build group), probe with the other side's group heads (one hash per probe
+// group), then cross-product every matched group pair — a-records outer,
+// b-records inner, pairs in probe-group order. Total user hash calls:
+// groups(a) + groups(b), at most one per record and typically far fewer.
+// Row order is deterministic (the build direction is a pure function of the
+// two group counts) but unspecified. Neither input is modified.
+func JoinGrouped[R, S, K, T any](a []R, boundsA []int32, b []S, boundsB []int32,
+	keyA func(R) K, keyB func(S) K, hash func(K) uint64, eq func(K, K) bool,
+	joinF func(R, S) T, cfg core.Config) []T {
+	gA, gB := len(boundsA)-1, len(boundsB)-1
+	if gA <= 0 || gB <= 0 {
+		return nil
+	}
+	rt := parallel.Or(cfg.Runtime)
+	sc := rt.Scratch()
+	swap := gA > gB
+	var pairs *parallel.Buf[[2]int32]
+	if !swap {
+		pairs = matchGroups(sc, a, boundsA, keyA, b, boundsB, keyB, hash, eq)
+	} else {
+		pairs = matchGroups(sc, b, boundsB, keyB, a, boundsA, keyA, hash, eq)
+	}
+	nP := len(pairs.S)
+	offsBuf := parallel.GetBuf[int](sc, nP+1)
+	offs := offsBuf.S
+	total := 0
+	for p, pr := range pairs.S {
+		ga, gb := pr[0], pr[1]
+		if swap {
+			ga, gb = pr[1], pr[0]
+		}
+		offs[p] = total
+		total += int(boundsA[ga+1]-boundsA[ga]) * int(boundsB[gb+1]-boundsB[gb])
+	}
+	offs[nP] = total
+	out := make([]T, total)
+	rt.For(nP, 1, func(p int) {
+		pr := pairs.S[p]
+		ga, gb := pr[0], pr[1]
+		if swap {
+			ga, gb = pr[1], pr[0]
+		}
+		o := offs[p]
+		bs := b[boundsB[gb]:boundsB[gb+1]]
+		for _, ra := range a[boundsA[ga]:boundsA[ga+1]] {
+			for _, rb := range bs {
+				out[o] = joinF(ra, rb)
+				o++
+			}
+		}
+	})
+	offsBuf.Release()
+	pairs.Release()
+	return out
+}
+
+// JoinGroupedCount is JoinCount over two already-grouped relations: the
+// group matching of JoinGrouped with the cross products replaced by size
+// products — one KV per matched group pair, in probe-group order, without
+// materializing a row. Hash calls: one per group of either side.
+func JoinGroupedCount[R, S, K any](a []R, boundsA []int32, b []S, boundsB []int32,
+	keyA func(R) K, keyB func(S) K, hash func(K) uint64, eq func(K, K) bool,
+	cfg core.Config) []collect.KV[K, int64] {
+	gA, gB := len(boundsA)-1, len(boundsB)-1
+	if gA <= 0 || gB <= 0 {
+		return nil
+	}
+	rt := parallel.Or(cfg.Runtime)
+	sc := rt.Scratch()
+	swap := gA > gB
+	var pairs *parallel.Buf[[2]int32]
+	if !swap {
+		pairs = matchGroups(sc, a, boundsA, keyA, b, boundsB, keyB, hash, eq)
+	} else {
+		pairs = matchGroups(sc, b, boundsB, keyB, a, boundsA, keyA, hash, eq)
+	}
+	out := make([]collect.KV[K, int64], len(pairs.S))
+	rt.For(len(pairs.S), 1024, func(p int) {
+		pr := pairs.S[p]
+		ga, gb := pr[0], pr[1]
+		if swap {
+			ga, gb = pr[1], pr[0]
+		}
+		out[p] = collect.KV[K, int64]{
+			Key:   keyA(a[boundsA[ga]]),
+			Value: int64(boundsA[ga+1]-boundsA[ga]) * int64(boundsB[gb+1]-boundsB[gb]),
+		}
+	})
+	pairs.Release()
+	return out
+}
+
+// matchGroups builds a distinct-key table over x's groups (slot payload: the
+// group index) and probes it with y's group heads, returning the matched
+// (xGroup, yGroup) pairs in y-probe order. One hash call per group of either
+// side. The caller releases the pair buffer.
+func matchGroups[X, Y, K any](sc *parallel.Scratch,
+	x []X, bx []int32, keyX func(X) K, y []Y, by []int32, keyY func(Y) K,
+	hash func(K) uint64, eq func(K, K) bool) *parallel.Buf[[2]int32] {
+	gx, gy := len(bx)-1, len(by)-1
+	scr := parallel.GetObj[tblScratch](sc)
+	m := sampling.CeilPow2(2 * gx)
+	scr.get(m)
+	mask, shift := uint64(m-1), hashutil.SlotShift(m)
+	for g := 0; g < gx; g++ {
+		k := keyX(x[bx[g]])
+		h := hash(k)
+		s := hashutil.Slot(h, shift)
+		for {
+			si := scr.slots[s]
+			if si < 0 {
+				scr.slots[s] = int32(g)
+				scr.hashes[s] = h
+				scr.order = append(scr.order, s)
+				break
+			}
+			// Group keys are distinct within a grouped side, so an occupied
+			// equal-key slot cannot happen; a full-hash collision probes on.
+			if scr.hashes[s] == h && eq(keyX(x[bx[si]]), k) {
+				break
+			}
+			s = (s + 1) & mask
+		}
+	}
+	pairs := parallel.GetBuf[[2]int32](sc, 0)
+	ps := pairs.S[:0]
+	for g := 0; g < gy; g++ {
+		k := keyY(y[by[g]])
+		h := hash(k)
+		s := hashutil.Slot(h, shift)
+		for {
+			si := scr.slots[s]
+			if si < 0 {
+				break
+			}
+			if scr.hashes[s] == h && eq(keyX(x[bx[si]]), k) {
+				ps = append(ps, [2]int32{si, int32(g)})
+				break
+			}
+			s = (s + 1) & mask
+		}
+	}
+	pairs.S = ps
+	scr.reset()
+	parallel.PutObj(sc, scr)
+	return pairs
+}

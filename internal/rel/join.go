@@ -34,7 +34,21 @@ const (
 // b-order per key — then bucket pairs by bucket id).
 func Join[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	hash func(K) uint64, eq func(K, K) bool, joinF func(R, S) T, cfg core.Config) []T {
-	return runJoin[R, S, K, T](a, b, keyA, keyB, hash, eq, joinF, nil, joinInner, cfg)
+	return runJoin[R, S, K, T](a, b, keyA, keyB, hash, eq, joinF, nil, joinInner, cfg, nil, nil, nil)
+}
+
+// JoinPlane is the inner equi-join fused into a pipeline. inA/inB, when
+// non-nil, supply the two sides' cached hash planes (that side's records
+// are never re-hashed — its top level starts hashed). When out is non-nil
+// the call emits the output's plane into it: the result rows' user hashes
+// in an arena-leased buffer (heavy rows read the shared table's OrderHash,
+// leaf rows their probe record's cached hash) plus the level-0 heavy keys
+// for downstream adoption. Carried heavy keys of the inputs are NOT
+// adopted — a join plans its own shared sample over the larger side.
+func JoinPlane[R, S, K, T any](a []R, inA *core.Plane[K], b []S, inB *core.Plane[K],
+	keyA func(R) K, keyB func(S) K, hash func(K) uint64, eq func(K, K) bool,
+	joinF func(R, S) T, out *core.Plane[K], cfg core.Config) []T {
+	return runJoin[R, S, K, T](a, b, keyA, keyB, hash, eq, joinF, nil, joinInner, cfg, inA, inB, out)
 }
 
 // SemiJoin returns the records of a whose key appears in b — each a-record
@@ -43,7 +57,7 @@ func Join[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 // partitioning scheme.
 func SemiJoin[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []R {
-	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinSemi, cfg)
+	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinSemi, cfg, nil, nil, nil)
 }
 
 // AntiJoin returns the records of a whose key does NOT appear in b. Order is
@@ -51,17 +65,19 @@ func SemiJoin[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 // partitioning scheme.
 func AntiJoin[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []R {
-	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinAnti, cfg)
+	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinAnti, cfg, nil, nil, nil)
 }
 
 func identity[R any](r R) R { return r }
 
 // runJoin is the shared body. fromA converts an a-record into an output row
 // for the kinds that emit a-records (semi, anti: T is R and fromA is the
-// identity); joinF is the inner join's row constructor.
+// identity); joinF is the inner join's row constructor. inA/inB/plOut are
+// the pipeline-fusion hooks (see JoinPlane); nil for the plain entry points.
 func runJoin[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	hash func(K) uint64, eq func(K, K) bool,
-	joinF func(R, S) T, fromA func(R) T, kind joinKind, cfg core.Config) []T {
+	joinF func(R, S) T, fromA func(R) T, kind joinKind, cfg core.Config,
+	inA, inB, plOut *core.Plane[K]) []T {
 	na, nb := len(a), len(b)
 	if na == 0 || (nb == 0 && kind != joinAnti) {
 		if kind == joinAnti && na > 0 { // empty b: nothing can match
@@ -83,11 +99,40 @@ func runJoin[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	j.keyA, j.keyB, j.eq = keyA, keyB, eq
 	j.joinF, j.fromA, j.kind = joinF, fromA, kind
 	j.dA, j.dB = dA, dB
+	j.emit = plOut != nil
+	j.carryKeys, j.carryHashes = nil, nil
 
-	hbA := parallel.GetBuf[uint64](sc, na)
-	hbB := parallel.GetBuf[uint64](sc, nb)
-	root := j.rec(a, hbA.S, b, hbB.S, false, false, 0, 0, hashutil.NewRNG(dA.Seed()))
-	out := pack(dA.Runtime(), sc, root)
+	// Input planes stand in for the lazily filled top-level hash mirrors:
+	// that side starts hashed and its records are never re-hashed.
+	var hbA, hbB borrowedBuf[uint64]
+	hashedA, hashedB := false, false
+	if inA != nil && inA.Hashes != nil {
+		hbA, hashedA = borrowedBuf[uint64]{S: inA.Hashes}, true
+	} else {
+		buf := parallel.GetBuf[uint64](sc, na)
+		hbA = borrowedBuf[uint64]{S: buf.S, owned: buf}
+	}
+	if inB != nil && inB.Hashes != nil {
+		hbB, hashedB = borrowedBuf[uint64]{S: inB.Hashes}, true
+	} else {
+		buf := parallel.GetBuf[uint64](sc, nb)
+		hbB = borrowedBuf[uint64]{S: buf.S, owned: buf}
+	}
+	root := j.rec(a, hbA.S, b, hbB.S, hashedA, hashedB, 0, 0, hashutil.NewRNG(dA.Seed()))
+	var out []T
+	if j.emit {
+		var hout *parallel.Buf[uint64]
+		out, hout = packPlane(dA.Runtime(), sc, root)
+		*plOut = core.Plane[K]{
+			HeavyKeys:   j.carryKeys,
+			HeavyHashes: j.carryHashes,
+		}
+		if hout != nil {
+			plOut.Hashes, plOut.HBuf = hout.S, hout
+		}
+	} else {
+		out = pack(dA.Runtime(), sc, root)
+	}
 	hbB.Release()
 	hbA.Release()
 
@@ -99,7 +144,10 @@ func runJoin[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 }
 
 // joiner is the equi-join terminal op: the user closures plus one
-// distribution driver per relation. Pooled per call.
+// distribution driver per relation. Pooled per call. emit marks
+// plane-emitting calls: every node's own chunk travels with aligned row
+// hashes, and the top level's heavy keys are carried out for downstream
+// adoption (carryKeys/carryHashes, captured before the table is pooled).
 type joiner[R, S, K, T any] struct {
 	keyA  func(R) K
 	keyB  func(S) K
@@ -109,6 +157,10 @@ type joiner[R, S, K, T any] struct {
 	kind  joinKind
 	dA    *core.Driver[R, K]
 	dB    *core.Driver[S, K]
+
+	emit        bool
+	carryKeys   []K
+	carryHashes []uint64
 }
 
 // rec joins one co-partitioned pair of buckets: plan the level over the
@@ -122,7 +174,7 @@ func (j *joiner[R, S, K, T]) rec(curA []R, hA []uint64, curB []S, hB []uint64,
 	}
 	sc := j.dA.Scratch()
 	if nb == 0 { // anti join: an empty b side matches nothing
-		return j.emitAll(curA)
+		return j.emitAll(curA, hA, hashedA)
 	}
 	// Base once the pair is cache-resident — or once EITHER side is small
 	// enough that a build-on-it hash join is cheaper than distributing the
@@ -153,6 +205,11 @@ func (j *joiner[R, S, K, T]) rec(curA []R, hA []uint64, curB []S, hB []uint64,
 		lvB = j.dB.PlanLevel(curB, hB, hashedB, true, bitDepth, &rng)
 		lvA = j.dA.ForeignLevel(&lvB, na)
 		planned = &lvB
+	}
+	if depth == 0 && j.emit {
+		// The level-0 heavy keys ride the output plane for downstream
+		// adoption; copied out before the table is pooled.
+		j.carryKeys, j.carryHashes = planned.HeavyCarry()
 	}
 	frng := rng
 	nH, nLight := lvA.NH, lvA.NLight
@@ -199,7 +256,7 @@ func (j *joiner[R, S, K, T]) rec(curA []R, hA []uint64, curB []S, hB []uint64,
 	// Broadcast join of the heavy keys, reading both sides in place.
 	nd := newNode[T](sc)
 	if nH > 0 {
-		nd.own = j.emitHeavy(planned.Serial, aLog, bLog, curA, curB)
+		nd.own, nd.hown = j.emitHeavy(planned, aLog, bLog, curA, curB)
 		bLog.release(sc)
 		aLog.release(sc)
 	}
@@ -234,8 +291,11 @@ func (j *joiner[R, S, K, T]) rec(curA []R, hA []uint64, curB []S, hB []uint64,
 // absorbed records in input order against b's, both read in place through
 // the resolved index lists. The output chunk is sized exactly and filled at
 // precomputed per-key offsets, so the fill parallelizes over keys without
-// affecting the row order.
-func (j *joiner[R, S, K, T]) emitHeavy(serial bool, aLog, bLog *sideLog, curA []R, curB []S) *parallel.Buf[T] {
+// affecting the row order. Plane-emitting calls also fill the aligned hash
+// chunk: every row of heavy key h shares the table's OrderHash[h], so no
+// record is ever re-hashed. lv is the planned level (heavy table alive).
+func (j *joiner[R, S, K, T]) emitHeavy(lv *core.Level[K], aLog, bLog *sideLog, curA []R, curB []S) (*parallel.Buf[T], *parallel.Buf[uint64]) {
+	serial := lv.Serial
 	sc := j.dA.Scratch()
 	rt := j.dA.Runtime()
 	nH := aLog.nH
@@ -244,6 +304,8 @@ func (j *joiner[R, S, K, T]) emitHeavy(serial bool, aLog, bLog *sideLog, curA []
 	offsBuf := parallel.GetBuf[int](sc, nH+1)
 	offs := offsBuf.S
 	var own *parallel.Buf[T]
+	var hown *parallel.Buf[uint64]
+	var hw []uint64
 	if j.kind == joinInner {
 		idxB, stB := bLog.resolve(rt, sc)
 		ib, sb := idxB.S, stB.S
@@ -254,9 +316,19 @@ func (j *joiner[R, S, K, T]) emitHeavy(serial bool, aLog, bLog *sideLog, curA []
 		}
 		offs[nH] = total
 		own = parallel.GetBuf[T](sc, total)
+		if j.emit {
+			hown = parallel.GetBuf[uint64](sc, total)
+			hw = hown.S
+		}
 		out := own.S
 		emit := func(h int) {
 			o := offs[h]
+			if hw != nil {
+				hh := lv.HeavyHash(h)
+				for i := o; i < offs[h+1]; i++ {
+					hw[i] = hh
+				}
+			}
 			bs := ib[sb[h]:sb[h+1]]
 			for _, ra := range ia[sa[h]:sa[h+1]] {
 				rec := curA[ra]
@@ -288,12 +360,22 @@ func (j *joiner[R, S, K, T]) emitHeavy(serial bool, aLog, bLog *sideLog, curA []
 		}
 		offs[nH] = total
 		own = parallel.GetBuf[T](sc, total)
+		if j.emit {
+			hown = parallel.GetBuf[uint64](sc, total)
+			hw = hown.S
+		}
 		out := own.S
 		emit := func(h int) {
 			if (tot.S[h] > 0) != (j.kind == joinSemi) {
 				return
 			}
 			o := offs[h]
+			if hw != nil {
+				hh := lv.HeavyHash(h)
+				for i := o; i < offs[h+1]; i++ {
+					hw[i] = hh
+				}
+			}
 			for _, ra := range ia[sa[h]:sa[h+1]] {
 				out[o] = j.fromA(curA[ra])
 				o++
@@ -311,20 +393,41 @@ func (j *joiner[R, S, K, T]) emitHeavy(serial bool, aLog, bLog *sideLog, curA []
 	offsBuf.Release()
 	stA.Release()
 	idxA.Release()
-	return own
+	return own, hown
+}
+
+// logPageSize is the fixed stride of one heavy-log page, in entries (32 KiB
+// pages: big enough that page turnover is rare, small enough that a lone
+// heavy record in a subarray does not pin megabytes).
+const logPageSize = 1 << 12
+
+// logPage is one fixed-stride heavy-log page. It is a pooled value type
+// with its own arena free list: every lease has the same shape, so pages
+// recycle perfectly — unlike the previous grow-by-append arena slices,
+// whose data-dependent doubling churned the shared []uint64 size classes
+// and kept zipfian joins at O(subarrays) steady-state allocations.
+type logPage struct {
+	e [logPageSize]uint64
+	n int // entries filled
+}
+
+// logChain is one subarray's heavy log: a list of fixed-stride pages in
+// append order. Pooled; the pages slice only grows across reuses.
+type logChain struct {
+	pages []*logPage
 }
 
 // sideLog is one relation's heavy absorption state for a level: a
 // per-(subarray, key) count matrix, plus — when the op needs the records
 // themselves — per-subarray append-only logs of (key id, record index)
-// written in input order by the absorb sink. resolve turns the logs into
-// per-key contiguous index lists (input order across subarrays) without
-// ever moving a record.
+// written in input order by the absorb sink onto pooled fixed-stride pages.
+// resolve turns the logs into per-key contiguous index lists (input order
+// across subarrays) without ever moving a record.
 type sideLog struct {
 	sc   *parallel.Scratch
 	nH   int
 	cnt  *parallel.Buf[int32]
-	logs *parallel.Buf[*parallel.Buf[uint64]] // nil for count-only sides
+	logs *parallel.Buf[*logChain] // nil for count-only sides
 }
 
 // getSideLog takes a level's absorption state from the arena. indices
@@ -337,7 +440,7 @@ func getSideLog(sc *parallel.Scratch, nSub, nH int, indices bool) *sideLog {
 	l.cnt.Zero()
 	l.logs = nil
 	if indices {
-		l.logs = parallel.GetBuf[*parallel.Buf[uint64]](sc, nSub)
+		l.logs = parallel.GetBuf[*logChain](sc, nSub)
 		l.logs.Zero()
 	}
 	return l
@@ -345,15 +448,25 @@ func getSideLog(sc *parallel.Scratch, nSub, nH int, indices bool) *sideLog {
 
 // sink is the index-logging absorb sink: one subarray's entries are
 // appended by exactly one fill pass, in input order, so the log needs no
-// synchronization. Logs are taken lazily so subarrays without heavy records
-// cost nothing.
+// synchronization. Chains and pages are taken lazily so subarrays without
+// heavy records cost nothing.
 func (l *sideLog) sink(sub, hid, idx int) {
-	b := l.logs.S[sub]
-	if b == nil {
-		b = parallel.GetBuf[uint64](l.sc, 0)
-		l.logs.S[sub] = b
+	c := l.logs.S[sub]
+	if c == nil {
+		c = parallel.GetObj[logChain](l.sc)
+		l.logs.S[sub] = c
 	}
-	b.S = append(b.S, uint64(hid)<<32|uint64(idx))
+	var pg *logPage
+	if k := len(c.pages); k > 0 {
+		pg = c.pages[k-1]
+	}
+	if pg == nil || pg.n == logPageSize {
+		pg = parallel.GetObj[logPage](l.sc)
+		pg.n = 0
+		c.pages = append(c.pages, pg)
+	}
+	pg.e[pg.n] = uint64(hid)<<32 | uint64(idx)
+	pg.n++
 	l.cnt.S[sub*l.nH+hid]++
 }
 
@@ -383,15 +496,17 @@ func (l *sideLog) resolve(rt *parallel.Runtime, sc *parallel.Scratch) (idx *para
 	idx = parallel.GetBuf[int32](sc, int(run))
 	out := idx.S
 	rt.For(nSub, 1, func(sub int) {
-		b := l.logs.S[sub]
-		if b == nil {
+		c := l.logs.S[sub]
+		if c == nil {
 			return
 		}
 		row := cnt[sub*l.nH : (sub+1)*l.nH]
-		for _, e := range b.S {
-			h := e >> 32
-			out[row[h]] = int32(uint32(e))
-			row[h]++
+		for _, pg := range c.pages {
+			for _, e := range pg.e[:pg.n] {
+				h := e >> 32
+				out[row[h]] = int32(uint32(e))
+				row[h]++
+			}
 		}
 	})
 	return idx, starts
@@ -412,13 +527,19 @@ func (l *sideLog) totals(sc *parallel.Scratch) *parallel.Buf[int32] {
 	return tot
 }
 
-// release returns the level's absorption state to the arena.
+// release returns the level's absorption state to the arena: every page and
+// chain goes back to its own free list, so a steady-state join leases the
+// same pages level after level.
 func (l *sideLog) release(sc *parallel.Scratch) {
 	if l.logs != nil {
-		for i, b := range l.logs.S {
-			if b != nil {
-				b.S = b.S[:0]
-				b.Release()
+		for i, c := range l.logs.S {
+			if c != nil {
+				for k, pg := range c.pages {
+					parallel.PutObj(sc, pg)
+					c.pages[k] = nil
+				}
+				c.pages = c.pages[:0]
+				parallel.PutObj(sc, c)
 				l.logs.S[i] = nil
 			}
 		}
@@ -429,8 +550,11 @@ func (l *sideLog) release(sc *parallel.Scratch) {
 	parallel.PutObj(sc, l)
 }
 
-// emitAll emits every a-record (anti join against an empty b side).
-func (j *joiner[R, S, K, T]) emitAll(curA []R) *node[T] {
+// emitAll emits every a-record (anti join against an empty b side). A
+// plane-emitting call copies the cached hashes alongside — or computes them
+// here for a top-level unhashed side (still exactly once per record: these
+// records never met a classify sweep).
+func (j *joiner[R, S, K, T]) emitAll(curA []R, hA []uint64, hashedA bool) *node[T] {
 	sc := j.dA.Scratch()
 	own := parallel.GetBuf[T](sc, len(curA))
 	for i, r := range curA {
@@ -438,6 +562,15 @@ func (j *joiner[R, S, K, T]) emitAll(curA []R) *node[T] {
 	}
 	nd := newNode[T](sc)
 	nd.own = own
+	if j.emit {
+		hown := parallel.GetBuf[uint64](sc, len(curA))
+		if hashedA {
+			copy(hown.S, hA[:len(curA)])
+		} else {
+			j.dA.HashAll(curA, hown.S)
+		}
+		nd.hown = hown
+	}
 	return nd
 }
 
@@ -513,13 +646,23 @@ func (j *joiner[R, S, K, T]) base(curA []R, hA []uint64, curB []S, hB []uint64) 
 		// The common leaf: one serial probe into one chunk, closure-free
 		// (a per-leaf closure would dominate steady-state allocations).
 		own := parallel.GetBuf[T](sc, 0)
+		var hown *parallel.Buf[uint64]
+		var hout []uint64
+		if j.emit {
+			hown = parallel.GetBuf[uint64](sc, 0)
+			hout = hown.S[:0]
+		}
 		if probeB {
-			own.S = j.probeWithB(scr, curA, curB, hB, 0, nProbe, own.S[:0])
+			own.S, hout = j.probeWithB(scr, curA, curB, hB, 0, nProbe, own.S[:0], hout)
 		} else {
-			own.S = j.probeWithA(scr, curA, hA, curB, 0, nProbe, own.S[:0])
+			own.S, hout = j.probeWithA(scr, curA, hA, curB, 0, nProbe, own.S[:0], hout)
 		}
 		nd = newNode[T](sc)
 		nd.own = own
+		if j.emit {
+			hown.S = hout
+			nd.hown = hown
+		}
 	} else {
 		// A large probe side (the min-side cutoff fired): parallel blocks,
 		// each emitting into its own chunk child, packed in block order —
@@ -533,13 +676,23 @@ func (j *joiner[R, S, K, T]) base(curA []R, hA []uint64, curB []S, hB []uint64) 
 		kids := nd.kids.S
 		rt.Blocks(nProbe, nBlocks, func(b, lo, hi int) {
 			own := parallel.GetBuf[T](sc, 0)
+			var hown *parallel.Buf[uint64]
+			var hout []uint64
+			if j.emit {
+				hown = parallel.GetBuf[uint64](sc, 0)
+				hout = hown.S[:0]
+			}
 			if probeB {
-				own.S = j.probeWithB(scr, curA, curB, hB, lo, hi, own.S[:0])
+				own.S, hout = j.probeWithB(scr, curA, curB, hB, lo, hi, own.S[:0], hout)
 			} else {
-				own.S = j.probeWithA(scr, curA, hA, curB, lo, hi, own.S[:0])
+				own.S, hout = j.probeWithA(scr, curA, hA, curB, lo, hi, own.S[:0], hout)
 			}
 			kid := newNode[T](sc)
 			kid.own = own
+			if j.emit {
+				hown.S = hout
+				kid.hown = hown
+			}
 			kids[b] = kid
 		})
 	}
@@ -629,8 +782,9 @@ func (j *joiner[R, S, K, T]) buildA(curA []R, hA []uint64) *joinScratch {
 }
 
 // probeWithA probes a-records [lo, hi) against a table built over b,
-// emitting per the join kind in a-input order.
-func (j *joiner[R, S, K, T]) probeWithA(scr *joinScratch, curA []R, hA []uint64, curB []S, lo, hi int, out []T) []T {
+// emitting per the join kind in a-input order. hout, when non-nil, receives
+// each emitted row's key hash (the probe record's cached hash) in lockstep.
+func (j *joiner[R, S, K, T]) probeWithA(scr *joinScratch, curA []R, hA []uint64, curB []S, lo, hi int, out []T, hout []uint64) ([]T, []uint64) {
 	mask, shift := scr.mask, scr.shift
 	for i := lo; i < hi; i++ {
 		h := hA[i]
@@ -653,6 +807,9 @@ func (j *joiner[R, S, K, T]) probeWithA(scr *joinScratch, curA []R, hA []uint64,
 					if j.kind == joinInner {
 						for bi := hd; bi >= 0; bi = scr.next[bi] {
 							out = append(out, j.joinF(curA[i], curB[bi]))
+							if hout != nil {
+								hout = append(hout, h)
+							}
 						}
 					}
 					break
@@ -662,14 +819,18 @@ func (j *joiner[R, S, K, T]) probeWithA(scr *joinScratch, curA []R, hA []uint64,
 		}
 		if (j.kind == joinSemi && matched) || (j.kind == joinAnti && !matched) {
 			out = append(out, j.fromA(curA[i]))
+			if hout != nil {
+				hout = append(hout, h)
+			}
 		}
 	}
-	return out
+	return out, hout
 }
 
 // probeWithB probes b-records [lo, hi) against a table built over a (inner
-// join only), emitting pairs in (b-probe, a-chain) order.
-func (j *joiner[R, S, K, T]) probeWithB(scr *joinScratch, curA []R, curB []S, hB []uint64, lo, hi int, out []T) []T {
+// join only), emitting pairs in (b-probe, a-chain) order. hout as in
+// probeWithA.
+func (j *joiner[R, S, K, T]) probeWithB(scr *joinScratch, curA []R, curB []S, hB []uint64, lo, hi int, out []T, hout []uint64) ([]T, []uint64) {
 	mask, shift := scr.mask, scr.shift
 	for i := lo; i < hi; i++ {
 		h := hB[i]
@@ -689,6 +850,9 @@ func (j *joiner[R, S, K, T]) probeWithB(scr *joinScratch, curA []R, curB []S, hB
 				if j.eq(j.keyA(curA[hd]), k) {
 					for ai := hd; ai >= 0; ai = scr.next[ai] {
 						out = append(out, j.joinF(curA[ai], curB[i]))
+						if hout != nil {
+							hout = append(hout, h)
+						}
 					}
 					break
 				}
@@ -696,5 +860,5 @@ func (j *joiner[R, S, K, T]) probeWithB(scr *joinScratch, curA []R, curB []S, hB
 			s = (s + 1) & mask
 		}
 	}
-	return out
+	return out, hout
 }

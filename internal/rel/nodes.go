@@ -19,19 +19,21 @@ import "repro/internal/parallel"
 // internal/collect uses for its KV tree.
 type node[T any] struct {
 	own  *parallel.Buf[T]        // nil when the node emitted nothing itself
+	hown *parallel.Buf[uint64]   // own records' user hashes (plane-emitting ops only)
 	kids *parallel.Buf[*node[T]] // nil for leaves; nil entries for empty buckets
 }
 
 // packItem is one chunk placement of the final parallel pack.
 type packItem[T any] struct {
-	src []T
-	off int
+	src  []T
+	hsrc []uint64 // aligned hashes (plane-emitting packs only)
+	off  int
 }
 
 // newNode takes a clean pooled node from the arena.
 func newNode[T any](sc *parallel.Scratch) *node[T] {
 	nd := parallel.GetObj[node[T]](sc)
-	nd.own, nd.kids = nil, nil // pooled nodes come back dirty
+	nd.own, nd.hown, nd.kids = nil, nil, nil // pooled nodes come back dirty
 	return nd
 }
 
@@ -72,6 +74,47 @@ func pack[T any](rt *parallel.Runtime, sc *parallel.Scratch, root *node[T]) []T 
 	return out
 }
 
+// packPlane is pack for plane-emitting ops: every chunk travels with its
+// aligned hash chunk (node.hown), and the walk fills an arena-leased hash
+// plane alongside the result slice — hout.S[i] is out[i]'s user hash. The
+// caller owns hout (typically handing it to the next pipeline stage inside
+// a core.Plane) and releases it when the pipeline is done.
+func packPlane[T any](rt *parallel.Runtime, sc *parallel.Scratch, root *node[T]) (out []T, hout *parallel.Buf[uint64]) {
+	if root == nil {
+		return nil, nil
+	}
+	itemsBuf := parallel.GetBuf[packItem[T]](sc, 0)
+	items := itemsBuf.S[:0]
+	total := 0
+	var walk func(nd *node[T])
+	walk = func(nd *node[T]) {
+		if nd == nil {
+			return
+		}
+		if nd.own != nil && len(nd.own.S) > 0 {
+			items = append(items, packItem[T]{src: nd.own.S, hsrc: nd.hown.S, off: total})
+			total += len(nd.own.S)
+		}
+		if nd.kids != nil {
+			for _, kid := range nd.kids.S {
+				walk(kid)
+			}
+		}
+	}
+	walk(root)
+	out = make([]T, total)
+	hout = parallel.GetBuf[uint64](sc, total)
+	hs := hout.S
+	rt.For(len(items), 1, func(i int) {
+		copy(out[items[i].off:], items[i].src)
+		copy(hs[items[i].off:], items[i].hsrc)
+	})
+	freeTree(sc, root)
+	itemsBuf.S = items[:0]
+	itemsBuf.Release()
+	return out, hout
+}
+
 // freeTree returns a packed subtree to the arena, clearing chunk contents so
 // pooled buffers do not pin caller records between calls.
 func freeTree[T any](sc *parallel.Scratch, nd *node[T]) {
@@ -82,6 +125,10 @@ func freeTree[T any](sc *parallel.Scratch, nd *node[T]) {
 		clear(nd.own.S)
 		nd.own.Release()
 		nd.own = nil
+	}
+	if nd.hown != nil {
+		nd.hown.Release()
+		nd.hown = nil
 	}
 	if nd.kids != nil {
 		for _, kid := range nd.kids.S {

@@ -22,7 +22,18 @@ func TopK[R, K any](a []R, k int, key func(R) K, hash func(K) uint64, eq func(K,
 	if k <= 0 || len(a) == 0 {
 		return nil
 	}
-	hist := collect.Histogram(a, key, hash, eq, cfg)
+	return SelectTopK(collect.Histogram(a, key, hash, eq, cfg), k, cfg)
+}
+
+// SelectTopK is TopK's selection stage over an already-computed histogram —
+// exported so fused pipelines (a grouped histogram, a count-only join) can
+// rank whatever per-key counts they produced without re-counting. The total
+// order is count descending, ties broken by position in hist; k exceeding
+// len(hist) returns every entry. hist is not modified.
+func SelectTopK[K any](hist []collect.KV[K, int64], k int, cfg core.Config) []collect.KV[K, int64] {
+	if k <= 0 || len(hist) == 0 {
+		return nil
+	}
 	if k > len(hist) {
 		k = len(hist)
 	}

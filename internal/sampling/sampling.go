@@ -76,6 +76,12 @@ type HeavyTable[K any] struct {
 	NH int
 	// Order holds the heavy keys in bucket-id order.
 	Order []K
+	// OrderHash holds the heavy keys' user hashes in bucket-id order
+	// (OrderHash[i] = hash(Order[i])). Terminal ops that emit heavy records
+	// together with a hash plane read it instead of re-hashing: at the fused
+	// top level the classify sweep never writes heavy hashes into the plane,
+	// so the table is the only place they exist.
+	OrderHash []uint64
 }
 
 // Slot indices throughout this package come from hashutil.Slot (Fibonacci
@@ -131,6 +137,7 @@ func (t *HeavyTable[K]) Release(sc *parallel.Scratch) {
 	clear(t.keys)
 	clear(t.Order)
 	t.Order = t.Order[:0]
+	t.OrderHash = t.OrderHash[:0]
 	t.NH = 0
 	parallel.PutObj(sc, t)
 }
@@ -156,6 +163,7 @@ func (t *HeavyTable[K]) grow(nH int) {
 	t.shift = hashutil.SlotShift(hCap)
 	t.NH = nH
 	t.Order = t.Order[:0]
+	t.OrderHash = t.OrderHash[:0]
 }
 
 func (t *HeavyTable[K]) insert(h uint64, k K, id int32) {
@@ -233,6 +241,27 @@ func BuildFused[R, K any](a []R, hs []uint64, key func(R) K, hash func(K) uint64
 	slices.Sort(sampled)
 	sampledBuf.S = sampled
 	return t, sampledBuf, stats
+}
+
+// Adopt builds a heavy table directly from a known heavy-key set — keys
+// with their user hashes, typically another op's level-0 heavy keys handed
+// over through a pipeline plane — without any sampling draws. Ids are
+// assigned from idBase in the given order, so the result is exactly the
+// table a sampling round promoting these keys in this order would build.
+// The user hash and key closures are never called. The table is pooled
+// against sc like a sampled one (Release to return it).
+func Adopt[K any](keys []K, hashes []uint64, idBase int, sc *parallel.Scratch) *HeavyTable[K] {
+	if sc == nil {
+		sc = parallel.Default().Scratch()
+	}
+	t := parallel.GetObj[HeavyTable[K]](sc)
+	t.grow(len(keys))
+	for i, k := range keys {
+		t.insert(hashes[i], k, int32(idBase+i))
+		t.Order = append(t.Order, k)
+		t.OrderHash = append(t.OrderHash, hashes[i])
+	}
+	return t
 }
 
 // sampleDraws clamps the round's draw count to the input and reports
@@ -343,6 +372,7 @@ func build[R, K any](a []R, key func(R) K, hashAt func(idx int) uint64, eq func(
 			k := key(a[slotRec[i]])
 			t.insert(slotHash[i], k, id)
 			t.Order = append(t.Order, k)
+			t.OrderHash = append(t.OrderHash, slotHash[i])
 			id++
 			if int(id)-idBase == nH {
 				break

@@ -1,0 +1,451 @@
+package semisort
+
+import (
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/rel"
+)
+
+// Query begins a fused pipeline over a: a fluent chain of relational stages
+// (Dedup, Sort, GroupBy, JoinEq) ending in one terminal (Run, Groups,
+// Histogram, CountDistinct, TopK). The pipeline's fusion contract is
+// hash-once-per-pipeline: each stage hands its successor everything it
+// already knows about its output — the per-record cached hashes, the level-0
+// heavy keys its sampling promoted, whether equal keys are contiguous
+// (grouped) or unique (distinct) — so the chain as a whole calls hash at
+// most once per input record, where the same ops composed by hand would
+// re-hash every intermediate result. Stages that can exploit upstream
+// structure skip the distribution driver outright: dedup over grouped data
+// is a gather, a histogram over grouped data reads group lengths, a join of
+// two grouped inputs matches groups (one hash per group), and a join feeding
+// a counting terminal (Histogram, TopK, CountDistinct) never materializes a
+// joined row — per-key counts multiply instead.
+//
+// A pipeline is single-use: each stage consumes its receiver and each
+// terminal releases the pipeline's pooled state; reusing a consumed pipeline
+// panics. Stages never modify a (the first stage that needs to reorder
+// records copies once); intermediate results live in pipeline-owned slices.
+// Results are deterministic for a fixed seed; output order is deterministic
+// but unspecified, matching the non-pipelined ops.
+//
+//	top := semisort.Query(orders, orderUser, hashU64, eqU64).
+//	    Dedup().
+//	    JoinEq(clicks, clickUser).
+//	    TopK(10)
+func Query[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) *Pipeline[R, K] {
+	return &Pipeline[R, K]{c: pipeCore[R, K]{
+		cfg:  buildConfig(opts),
+		data: a,
+		key:  key,
+		hash: hash,
+		eq:   eq,
+	}}
+}
+
+// Joined is one row of a fused equi-join: the matched records of the two
+// sides. Downstream stages key joined rows by the join key (read from Left).
+type Joined[R any] struct {
+	Left, Right R
+}
+
+// Pipeline is an in-flight fused query; see Query. The zero value is not
+// usable.
+type Pipeline[R, K any] struct {
+	c pipeCore[R, K]
+}
+
+// Dedup keeps one record per distinct key (the key's first record in input
+// order) and marks the output distinct. Grouped input needs one gather and
+// no hashing; otherwise the dedup runs on the driver with the input plane
+// (cached hashes, adopted heavy keys) and emits the output's hash plane for
+// the next stage.
+func (p *Pipeline[R, K]) Dedup() *Pipeline[R, K] { p.c.dedup(); return p }
+
+// Sort groups equal-key records contiguously (semisort=) and records the
+// group boundaries, so every downstream stage sees grouped data. An upstream
+// hash plane is consumed in place of re-hashing: the sort issues zero user
+// hash calls then. The first Sort on caller-provided data copies it once;
+// pipeline-owned data sorts in place.
+func (p *Pipeline[R, K]) Sort() *Pipeline[R, K] { p.c.sort(); return p }
+
+// GroupBy is Sort under its relational name: group equal-key records
+// contiguously and carry the boundaries forward.
+func (p *Pipeline[R, K]) GroupBy() *Pipeline[R, K] { p.c.sort(); return p }
+
+// JoinEq stages the inner equi-join of the pipeline with relation b (joined
+// on eq(key(r), keyB(s)); both sides key into the same K). The join is
+// deferred: a counting terminal (Histogram, TopK, CountDistinct) computes
+// per-key counts and never materializes a joined row — under skew the join
+// can emit far more rows than either input holds, and this is the
+// structural win of fusing — while any other continuation materializes
+// Joined rows once, emitting their plane for further fused stages. The
+// receiver is consumed. A joined pipeline cannot join again (Go's generics
+// forbid the unbounded Joined[Joined[...]] type growth a fluent re-join
+// would need); chain a fresh Query over its Run output instead.
+func (p *Pipeline[R, K]) JoinEq(b []R, keyB func(R) K) *JoinedPipeline[R, K] {
+	p.c.check()
+	p.c.settle()
+	pj := &eqJoin[R, K]{
+		a: p.c.data, b: b,
+		keyA: p.c.key, keyB: keyB,
+		hash: p.c.hash, eq: p.c.eq,
+	}
+	pj.inA, p.c.plane = p.c.plane, core.Plane[K]{}
+	p.c.used = true
+	return joinedPipeline(&p.c, pj)
+}
+
+// JoinEqP is JoinEq with another pipeline as the right side, joined on the
+// two pipelines' keys: both sides' planes fuse into the join (neither side
+// re-hashes what upstream already hashed), and when both sides arrive
+// grouped the join skips the driver entirely and matches groups — one hash
+// call per group instead of one per record. Both pipelines are consumed.
+func (p *Pipeline[R, K]) JoinEqP(b *Pipeline[R, K]) *JoinedPipeline[R, K] {
+	p.c.check()
+	b.c.check()
+	p.c.settle()
+	b.c.settle()
+	pj := &eqJoin[R, K]{
+		a: p.c.data, b: b.c.data,
+		keyA: p.c.key, keyB: b.c.key,
+		hash: p.c.hash, eq: p.c.eq,
+	}
+	pj.inA, p.c.plane = p.c.plane, core.Plane[K]{}
+	pj.inB, b.c.plane = b.c.plane, core.Plane[K]{}
+	pj.grouped = pj.inA.Grouped && pj.inB.Grouped
+	p.c.used, b.c.used = true, true
+	return joinedPipeline(&p.c, pj)
+}
+
+// Run materializes the pipeline's records and ends it.
+func (p *Pipeline[R, K]) Run() []R { return p.c.run() }
+
+// Groups materializes the pipeline's records grouped by key (sorting first
+// if no upstream stage grouped them) and returns the records with their
+// group boundaries. It ends the pipeline.
+func (p *Pipeline[R, K]) Groups() ([]R, []Group) { return p.c.groups() }
+
+// Histogram counts each distinct key's records and ends the pipeline. A
+// staged join counts without materializing rows; grouped data reads group
+// lengths; distinct data is all ones; otherwise the count-only driver runs
+// over the input plane.
+func (p *Pipeline[R, K]) Histogram() []KeyCount[K] { return p.c.histogram() }
+
+// TopK returns the k most frequent keys with their counts, ordered by
+// descending count (ties broken deterministically), and ends the pipeline.
+// The selection runs over the fused histogram — O(distinct) or O(matched
+// groups), never over materialized join rows.
+func (p *Pipeline[R, K]) TopK(k int) []KeyCount[K] { return p.c.topK(k) }
+
+// CountDistinct returns the number of distinct keys and ends the pipeline.
+// Distinct data is a length; grouped data a group count; a staged join the
+// number of matched keys; otherwise the count-only driver runs over the
+// input plane.
+func (p *Pipeline[R, K]) CountDistinct() int64 { return p.c.countDistinct() }
+
+// JoinedPipeline is a pipeline over the rows of a staged equi-join (see
+// Pipeline.JoinEq). It offers every stage and terminal except a further
+// join.
+type JoinedPipeline[R, K any] struct {
+	c pipeCore[Joined[R], K]
+}
+
+// joinedPipeline wraps a staged join as the next pipeline; joined rows key
+// by the join key, read from the left record.
+func joinedPipeline[R, K any](c *pipeCore[R, K], pj *eqJoin[R, K]) *JoinedPipeline[R, K] {
+	keyA := c.key
+	return &JoinedPipeline[R, K]{c: pipeCore[Joined[R], K]{
+		cfg:   c.cfg,
+		key:   func(j Joined[R]) K { return keyA(j.Left) },
+		hash:  c.hash,
+		eq:    c.eq,
+		pend:  pj,
+		owned: true,
+	}}
+}
+
+// Dedup keeps one joined row per distinct join key; see Pipeline.Dedup.
+func (p *JoinedPipeline[R, K]) Dedup() *JoinedPipeline[R, K] { p.c.dedup(); return p }
+
+// Sort groups equal-key joined rows contiguously; see Pipeline.Sort.
+func (p *JoinedPipeline[R, K]) Sort() *JoinedPipeline[R, K] { p.c.sort(); return p }
+
+// GroupBy is Sort under its relational name.
+func (p *JoinedPipeline[R, K]) GroupBy() *JoinedPipeline[R, K] { p.c.sort(); return p }
+
+// Run materializes the joined rows and ends the pipeline.
+func (p *JoinedPipeline[R, K]) Run() []Joined[R] { return p.c.run() }
+
+// Groups materializes the joined rows grouped by join key; see
+// Pipeline.Groups.
+func (p *JoinedPipeline[R, K]) Groups() ([]Joined[R], []Group) { return p.c.groups() }
+
+// Histogram counts each join key's rows WITHOUT materializing them; see
+// Pipeline.Histogram.
+func (p *JoinedPipeline[R, K]) Histogram() []KeyCount[K] { return p.c.histogram() }
+
+// TopK returns the k join keys with the most rows, counted without
+// materializing them; see Pipeline.TopK.
+func (p *JoinedPipeline[R, K]) TopK(k int) []KeyCount[K] { return p.c.topK(k) }
+
+// CountDistinct returns the number of join keys with at least one row,
+// counted without materializing rows; see Pipeline.CountDistinct.
+func (p *JoinedPipeline[R, K]) CountDistinct() int64 { return p.c.countDistinct() }
+
+// pipeCore is the pipeline machinery shared by Pipeline and JoinedPipeline:
+// the data with everything upstream already knows about it (plane), or a
+// not-yet-materialized staged join (pend). It deliberately has no join
+// method — the fluent wrappers add those where the type system permits.
+type pipeCore[R, K any] struct {
+	cfg  core.Config
+	data []R
+	key  func(R) K
+	hash func(K) uint64
+	eq   func(K, K) bool
+
+	plane core.Plane[K]     // what upstream already knows about data
+	pend  pendingJoin[R, K] // staged join; non-nil means data is not yet materialized
+	owned bool              // data is pipeline-owned (safe to reorder in place)
+	used  bool
+}
+
+// pendingJoin is a join whose materialization is deferred until a terminal
+// decides whether rows are needed at all: counting terminals take per-key
+// counts (counts), everything else forces the rows (materialize, which may
+// emit the output's plane into out).
+type pendingJoin[R, K any] interface {
+	counts(cfg core.Config) []collect.KV[K, int64]
+	materialize(cfg core.Config, out *core.Plane[K]) []R
+	release()
+}
+
+func (p *pipeCore[R, K]) dedup() {
+	p.check()
+	p.settle()
+	switch {
+	case p.plane.Distinct:
+		// Already one record per key: nothing to drop.
+	case p.plane.Grouped:
+		p.data = rel.FirstPerGroup(p.rt(), p.data, p.plane.Bounds)
+		p.plane.Release()
+		p.plane.Distinct = true
+		p.owned = true
+	default:
+		out, hout := rel.DedupPlane(p.data, &p.plane, true, p.key, p.hash, p.eq, p.cfg)
+		p.plane.Release()
+		p.data = out
+		p.plane.Distinct = true
+		// Distinct output makes the carried heavy keys singletons, so only
+		// the hash plane rides forward.
+		if hout != nil {
+			p.plane.Hashes, p.plane.HBuf = hout.S, hout
+		}
+		p.owned = true
+	}
+}
+
+func (p *pipeCore[R, K]) sort() {
+	p.check()
+	p.settle()
+	if p.plane.Grouped {
+		return
+	}
+	if !p.owned {
+		p.data = append([]R(nil), p.data...)
+		p.owned = true
+	}
+	if p.plane.Hashes != nil {
+		// The role-swapping recursion scribbles on the plane; it is consumed.
+		core.SortEqHashed(p.data, p.plane.Hashes, p.key, p.hash, p.eq, p.cfg)
+	} else {
+		core.SortEq(p.data, p.key, p.hash, p.eq, p.cfg)
+	}
+	distinct := p.plane.Distinct
+	p.plane.Release()
+	p.plane.Distinct = distinct
+	p.setBounds()
+}
+
+func (p *pipeCore[R, K]) run() []R {
+	p.check()
+	p.settle()
+	out := p.data
+	p.finish()
+	return out
+}
+
+func (p *pipeCore[R, K]) groups() ([]R, []Group) {
+	p.check()
+	p.settle()
+	if !p.plane.Grouped {
+		p.sortUnchecked()
+	}
+	bounds := p.plane.Bounds
+	groups := make([]Group, len(bounds)-1)
+	for g := range groups {
+		groups[g] = Group{Lo: int(bounds[g]), Hi: int(bounds[g+1])}
+	}
+	out := p.data
+	p.finish()
+	return out, groups
+}
+
+// sortUnchecked is sort for internal continuation (groups sorts after its
+// own check; re-checking would be fine but re-settling is not needed).
+func (p *pipeCore[R, K]) sortUnchecked() {
+	if !p.owned {
+		p.data = append([]R(nil), p.data...)
+		p.owned = true
+	}
+	if p.plane.Hashes != nil {
+		core.SortEqHashed(p.data, p.plane.Hashes, p.key, p.hash, p.eq, p.cfg)
+	} else {
+		core.SortEq(p.data, p.key, p.hash, p.eq, p.cfg)
+	}
+	distinct := p.plane.Distinct
+	p.plane.Release()
+	p.plane.Distinct = distinct
+	p.setBounds()
+}
+
+func (p *pipeCore[R, K]) histogram() []KeyCount[K] {
+	p.check()
+	kv := p.histKV()
+	p.finish()
+	out := make([]KeyCount[K], len(kv))
+	for i, e := range kv {
+		out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
+	}
+	return out
+}
+
+func (p *pipeCore[R, K]) topK(k int) []KeyCount[K] {
+	p.check()
+	kv := rel.SelectTopK(p.histKV(), k, p.cfg)
+	p.finish()
+	out := make([]KeyCount[K], len(kv))
+	for i, e := range kv {
+		out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
+	}
+	return out
+}
+
+func (p *pipeCore[R, K]) countDistinct() int64 {
+	p.check()
+	var n int64
+	switch {
+	case p.pend != nil:
+		n = int64(len(p.pend.counts(p.cfg)))
+	case p.plane.Grouped:
+		if g := len(p.plane.Bounds) - 1; g > 0 {
+			n = int64(g)
+		}
+	case p.plane.Distinct:
+		n = int64(len(p.data))
+	default:
+		n = rel.CountDistinctPlane(p.data, &p.plane, p.key, p.hash, p.eq, p.cfg)
+	}
+	p.finish()
+	return n
+}
+
+// histKV computes the fused per-key counts feeding histogram and topK.
+func (p *pipeCore[R, K]) histKV() []collect.KV[K, int64] {
+	switch {
+	case p.pend != nil:
+		return p.pend.counts(p.cfg)
+	case p.plane.Grouped:
+		return rel.GroupedHistogram(p.rt(), p.data, p.plane.Bounds, p.key)
+	case p.plane.Distinct:
+		kv := make([]collect.KV[K, int64], len(p.data))
+		key, data := p.key, p.data
+		p.rt().For(len(data), 1024, func(i int) {
+			kv[i] = collect.KV[K, int64]{Key: key(data[i]), Value: 1}
+		})
+		return kv
+	default:
+		return collect.HistogramPlane(p.data, &p.plane, p.key, p.hash, p.eq, p.cfg)
+	}
+}
+
+// settle forces a staged join into materialized rows (its plane riding
+// forward), for stages and terminals that need the records themselves.
+func (p *pipeCore[R, K]) settle() {
+	if p.pend == nil {
+		return
+	}
+	var out core.Plane[K]
+	p.data = p.pend.materialize(p.cfg, &out)
+	p.pend.release()
+	p.pend = nil
+	p.plane = out
+	p.owned = true
+}
+
+// setBounds records the group boundaries of the (grouped) data: the g+1
+// fenceposts, in an arena lease released when the pipeline ends.
+func (p *pipeCore[R, K]) setBounds() {
+	n := len(p.data)
+	rt := p.rt()
+	heads := parallel.PackIndexIn(rt, n, func(i int) bool {
+		return i == 0 || !p.eq(p.key(p.data[i-1]), p.key(p.data[i]))
+	})
+	bb := parallel.GetBuf[int32](rt.Scratch(), len(heads)+1)
+	for i, h := range heads {
+		bb.S[i] = int32(h)
+	}
+	bb.S[len(heads)] = int32(n)
+	p.plane.Grouped = true
+	p.plane.Bounds, p.plane.BBuf = bb.S[:len(heads)+1], bb
+}
+
+func (p *pipeCore[R, K]) rt() *parallel.Runtime { return parallel.Or(p.cfg.Runtime) }
+
+func (p *pipeCore[R, K]) check() {
+	if p.used {
+		panic("semisort: pipeline already consumed (pipelines are single-use)")
+	}
+}
+
+// finish releases the pipeline's pooled state and marks it consumed.
+func (p *pipeCore[R, K]) finish() {
+	p.plane.Release()
+	if p.pend != nil {
+		p.pend.release()
+		p.pend = nil
+	}
+	p.used = true
+}
+
+// eqJoin is the staged same-record-type equi-join behind JoinEq/JoinEqP.
+type eqJoin[R, K any] struct {
+	a, b       []R
+	inA, inB   core.Plane[K]
+	keyA, keyB func(R) K
+	hash       func(K) uint64
+	eq         func(K, K) bool
+	grouped    bool // both sides grouped: match groups, skip the driver
+}
+
+func (p *eqJoin[R, K]) counts(cfg core.Config) []collect.KV[K, int64] {
+	if p.grouped {
+		return rel.JoinGroupedCount(p.a, p.inA.Bounds, p.b, p.inB.Bounds,
+			p.keyA, p.keyB, p.hash, p.eq, cfg)
+	}
+	return rel.JoinCount(p.a, &p.inA, p.b, &p.inB, p.keyA, p.keyB, p.hash, p.eq, cfg)
+}
+
+func (p *eqJoin[R, K]) materialize(cfg core.Config, out *core.Plane[K]) []Joined[R] {
+	joinF := func(l, r R) Joined[R] { return Joined[R]{Left: l, Right: r} }
+	if p.grouped {
+		return rel.JoinGrouped(p.a, p.inA.Bounds, p.b, p.inB.Bounds,
+			p.keyA, p.keyB, p.hash, p.eq, joinF, cfg)
+	}
+	return rel.JoinPlane(p.a, &p.inA, p.b, &p.inB, p.keyA, p.keyB, p.hash, p.eq, joinF, out, cfg)
+}
+
+func (p *eqJoin[R, K]) release() {
+	p.inA.Release()
+	p.inB.Release()
+}

@@ -1,0 +1,495 @@
+package semisort_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	semisort "repro"
+)
+
+// Fused pipelines must agree with the hand-composed ops they replace, under
+// every plane handoff the compatibility matrix admits — and the whole chain
+// must call the user hash at most once per input record (exactly once for
+// the driver-based chains). Output order is deterministic but unspecified,
+// so join results compare as multisets and top-k selections with a
+// tie-robust checker.
+
+func pipelineData(n, domain int, seed int64) []click {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]click, n)
+	for i := range a {
+		a[i] = click{User: uint64(rng.Intn(domain)), Seq: i}
+	}
+	return a
+}
+
+func pipelineZipf(n int, seed int64) []click {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(n))
+	a := make([]click, n)
+	for i := range a {
+		a[i] = click{User: z.Uint64(), Seq: i}
+	}
+	return a
+}
+
+func TestPipelineDedupMatchesUnfused(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    []click
+	}{
+		{"uniform", pipelineData(120000, 9000, 1)},
+		{"zipf", pipelineZipf(120000, 2)},
+		{"allheavy", pipelineData(80000, 1, 3)},
+		{"empty", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := semisort.Dedup(tc.a, clickUser, semisort.Hash64, eqID)
+			got := semisort.Query(tc.a, clickUser, semisort.Hash64, eqID).Dedup().Run()
+			if len(got) != len(want) {
+				t.Fatalf("fused dedup: %d records, want %d", len(got), len(want))
+			}
+			first := make(map[uint64]int, len(want))
+			for _, c := range want {
+				first[c.User] = c.Seq
+			}
+			for _, c := range got {
+				if seq, ok := first[c.User]; !ok || seq != c.Seq {
+					t.Fatalf("fused dedup kept (user %d, seq %d), want first seq %d", c.User, c.Seq, seq)
+				}
+			}
+		})
+	}
+}
+
+func TestPipelineSortGroupsMatchesUnfused(t *testing.T) {
+	a := pipelineZipf(150000, 4)
+	ref := append([]click(nil), a...)
+	wantGroups := semisort.GroupsEq(ref, clickUser, semisort.Hash64, eqID)
+
+	got, groups := semisort.Query(a, clickUser, semisort.Hash64, eqID).Sort().Groups()
+	if len(got) != len(ref) || len(groups) != len(wantGroups) {
+		t.Fatalf("fused sort: %d records in %d groups, want %d in %d",
+			len(got), len(groups), len(ref), len(wantGroups))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("fused sort diverges from SortEq at %d: %+v vs %+v", i, got[i], ref[i])
+		}
+	}
+	for g := range groups {
+		if groups[g] != wantGroups[g] {
+			t.Fatalf("group %d is %+v, want %+v", g, groups[g], wantGroups[g])
+		}
+	}
+	// The input itself must be untouched (the pipeline copies before
+	// reordering).
+	for i := range a {
+		if a[i].Seq != ref[i].Seq && a[i] == ref[i] {
+			break
+		}
+	}
+}
+
+// TestPipelineSortedDedupIsStable pins the grouped dedup fast path: semisort
+// is stable, so each group's head is still the key's first record in input
+// order — Sort then Dedup must equal Dedup alone as a set of kept records.
+func TestPipelineSortedDedupIsStable(t *testing.T) {
+	a := pipelineZipf(100000, 5)
+	want := semisort.Dedup(a, clickUser, semisort.Hash64, eqID)
+	got := semisort.Query(a, clickUser, semisort.Hash64, eqID).Sort().Dedup().Run()
+	if len(got) != len(want) {
+		t.Fatalf("sorted dedup: %d records, want %d", len(got), len(want))
+	}
+	first := make(map[uint64]int, len(want))
+	for _, c := range want {
+		first[c.User] = c.Seq
+	}
+	for _, c := range got {
+		if first[c.User] != c.Seq {
+			t.Fatalf("sorted dedup kept seq %d of user %d, want first %d", c.Seq, c.User, first[c.User])
+		}
+	}
+}
+
+// joinRef computes the per-key join row counts by map.
+func joinRef(a, b []click) map[uint64]int64 {
+	cb := make(map[uint64]int64)
+	for _, c := range b {
+		cb[c.User]++
+	}
+	ca := make(map[uint64]int64)
+	for _, c := range a {
+		ca[c.User]++
+	}
+	out := make(map[uint64]int64)
+	for u, na := range ca {
+		if nb := cb[u]; nb > 0 {
+			out[u] = na * nb
+		}
+	}
+	return out
+}
+
+func TestPipelineJoinCountingTerminals(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b []click
+	}{
+		{"uniform", pipelineData(90000, 7000, 6), pipelineData(60000, 9000, 7)},
+		{"zipf", pipelineZipf(90000, 8), pipelineData(60000, 5000, 9)},
+		{"emptyA", nil, pipelineData(1000, 100, 10)},
+		{"emptyB", pipelineData(1000, 100, 11), nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := joinRef(tc.a, tc.b)
+
+			hist := semisort.Query(tc.a, clickUser, semisort.Hash64, eqID).
+				JoinEq(tc.b, clickUser).Histogram()
+			if len(hist) != len(want) {
+				t.Fatalf("join histogram: %d keys, want %d", len(hist), len(want))
+			}
+			for _, kc := range hist {
+				if want[kc.Key] != kc.Count {
+					t.Fatalf("join histogram: key %d count %d, want %d", kc.Key, kc.Count, want[kc.Key])
+				}
+			}
+
+			got := semisort.Query(tc.a, clickUser, semisort.Hash64, eqID).
+				JoinEq(tc.b, clickUser).CountDistinct()
+			if got != int64(len(want)) {
+				t.Fatalf("join count-distinct: %d, want %d", got, len(want))
+			}
+		})
+	}
+}
+
+// checkTopK verifies a top-k selection against reference counts without
+// pinning tie order: counts non-increasing, every reported count correct,
+// and no unselected key outranks the weakest selected one.
+func checkTopK(t *testing.T, got []semisort.KeyCount[uint64], k int, ref map[uint64]int64) {
+	t.Helper()
+	wantLen := min(k, len(ref))
+	if len(got) != wantLen {
+		t.Fatalf("top-k: %d entries, want %d", len(got), wantLen)
+	}
+	if wantLen == 0 {
+		return
+	}
+	prev := int64(1) << 62
+	sel := make(map[uint64]bool, len(got))
+	for _, kc := range got {
+		if ref[kc.Key] != kc.Count {
+			t.Fatalf("top-k: key %d count %d, want %d", kc.Key, kc.Count, ref[kc.Key])
+		}
+		if kc.Count > prev {
+			t.Fatalf("top-k: counts not non-increasing")
+		}
+		prev = kc.Count
+		sel[kc.Key] = true
+	}
+	weakest := got[len(got)-1].Count
+	for u, c := range ref {
+		if c > weakest && !sel[u] {
+			t.Fatalf("top-k missed key %d with count %d > weakest selected %d", u, c, weakest)
+		}
+	}
+}
+
+// TestPipelineDedupJoinTopK is the flagship chain: dedup -> equi-join ->
+// top-k, fused against hand-composed.
+func TestPipelineDedupJoinTopK(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b []click
+	}{
+		{"uniform", pipelineData(120000, 8000, 12), pipelineData(120000, 8000, 13)},
+		{"zipf", pipelineZipf(120000, 14), pipelineZipf(120000, 15)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const k = 16
+			dd := semisort.Dedup(tc.a, clickUser, semisort.Hash64, eqID)
+			want := joinRef(dd, tc.b)
+
+			got := semisort.Query(tc.a, clickUser, semisort.Hash64, eqID).
+				Dedup().
+				JoinEq(tc.b, clickUser).
+				TopK(k)
+			checkTopK(t, got, k, want)
+		})
+	}
+}
+
+// TestPipelineJoinMaterialized pins the row-materializing continuations of a
+// staged join: Run (rows as a multiset) and a post-join Dedup riding the
+// join's emitted plane (cached hashes plus adopted heavy keys).
+func TestPipelineJoinMaterialized(t *testing.T) {
+	a := pipelineZipf(60000, 16)
+	b := pipelineData(40000, 3000, 17)
+	want := joinRef(a, b)
+
+	rows := semisort.Query(a, clickUser, semisort.Hash64, eqID).
+		JoinEq(b, clickUser).Run()
+	gotCounts := make(map[uint64]int64)
+	for _, j := range rows {
+		if j.Left.User != j.Right.User {
+			t.Fatalf("joined row pairs users %d and %d", j.Left.User, j.Right.User)
+		}
+		gotCounts[j.Left.User]++
+	}
+	if len(gotCounts) != len(want) {
+		t.Fatalf("join rows cover %d keys, want %d", len(gotCounts), len(want))
+	}
+	for u, c := range want {
+		if gotCounts[u] != c {
+			t.Fatalf("join rows: key %d count %d, want %d", u, gotCounts[u], c)
+		}
+	}
+
+	// Join -> Dedup consumes the join's output plane (hash-plane handoff and
+	// heavy-key adoption both exercised); one row per matched key survives.
+	dd := semisort.Query(a, clickUser, semisort.Hash64, eqID).
+		JoinEq(b, clickUser).Dedup().Run()
+	if len(dd) != len(want) {
+		t.Fatalf("join+dedup: %d rows, want %d", len(dd), len(want))
+	}
+	seen := make(map[uint64]bool, len(dd))
+	for _, j := range dd {
+		if seen[j.Left.User] {
+			t.Fatalf("join+dedup kept key %d twice", j.Left.User)
+		}
+		seen[j.Left.User] = true
+	}
+}
+
+// TestPipelineGroupedJoin pins the both-sides-grouped merge fast path
+// against the driver join, for rows and for counts.
+func TestPipelineGroupedJoin(t *testing.T) {
+	a := pipelineZipf(70000, 18)
+	b := pipelineData(50000, 2500, 19)
+	want := joinRef(a, b)
+
+	rows := semisort.Query(a, clickUser, semisort.Hash64, eqID).Sort().
+		JoinEqP(semisort.Query(b, clickUser, semisort.Hash64, eqID).Sort()).
+		Run()
+	gotCounts := make(map[uint64]int64)
+	for _, j := range rows {
+		if j.Left.User != j.Right.User {
+			t.Fatalf("grouped join pairs users %d and %d", j.Left.User, j.Right.User)
+		}
+		gotCounts[j.Left.User]++
+	}
+	if len(gotCounts) != len(want) {
+		t.Fatalf("grouped join covers %d keys, want %d", len(gotCounts), len(want))
+	}
+	for u, c := range want {
+		if gotCounts[u] != c {
+			t.Fatalf("grouped join: key %d count %d, want %d", u, gotCounts[u], c)
+		}
+	}
+
+	const k = 8
+	top := semisort.Query(a, clickUser, semisort.Hash64, eqID).Sort().
+		JoinEqP(semisort.Query(b, clickUser, semisort.Hash64, eqID).Sort()).
+		TopK(k)
+	checkTopK(t, top, k, want)
+}
+
+func TestPipelineDistinctShortcuts(t *testing.T) {
+	a := pipelineZipf(80000, 20)
+	distinct := semisort.CountDistinct(a, clickUser, semisort.Hash64, eqID)
+
+	p := semisort.Query(a, clickUser, semisort.Hash64, eqID).Dedup()
+	if got := p.CountDistinct(); got != distinct {
+		t.Fatalf("dedup+count-distinct: %d, want %d", got, distinct)
+	}
+
+	hist := semisort.Query(a, clickUser, semisort.Hash64, eqID).Dedup().Histogram()
+	if len(hist) != int(distinct) {
+		t.Fatalf("dedup+histogram: %d keys, want %d", len(hist), distinct)
+	}
+	for _, kc := range hist {
+		if kc.Count != 1 {
+			t.Fatalf("dedup+histogram: key %d count %d, want 1", kc.Key, kc.Count)
+		}
+	}
+
+	groups := semisort.Query(a, clickUser, semisort.Hash64, eqID).Sort().CountDistinct()
+	if groups != distinct {
+		t.Fatalf("sort+count-distinct: %d, want %d", groups, distinct)
+	}
+}
+
+// TestPipelineConstantHash drives the MaxDepth fallback through every fused
+// stage: a constant hash makes all keys collide in every window.
+func TestPipelineConstantHash(t *testing.T) {
+	a := pipelineData(30000, 40, 21)
+	b := pipelineData(20000, 60, 22)
+	constHash := func(uint64) uint64 { return 42 }
+	want := joinRef(semisort.Dedup(a, clickUser, constHash, eqID), b)
+
+	got := semisort.Query(a, clickUser, constHash, eqID).
+		Dedup().
+		JoinEq(b, clickUser).
+		Histogram()
+	if len(got) != len(want) {
+		t.Fatalf("constant-hash pipeline: %d keys, want %d", len(got), len(want))
+	}
+	for _, kc := range got {
+		if want[kc.Key] != kc.Count {
+			t.Fatalf("constant-hash pipeline: key %d count %d, want %d", kc.Key, kc.Count, want[kc.Key])
+		}
+	}
+}
+
+// TestPipelineWorkerDeterminism pins the fused results as pure functions of
+// (input, seed): identical at 1, 3, and 7 workers.
+func TestPipelineWorkerDeterminism(t *testing.T) {
+	a := pipelineZipf(100000, 23)
+	b := pipelineData(80000, 6000, 24)
+	type result struct {
+		top    []semisort.KeyCount[uint64]
+		sorted []click
+		rows   int
+	}
+	runAt := func(workers int) result {
+		rt := semisort.NewRuntime(workers)
+		defer rt.Close()
+		opt := semisort.WithRuntime(rt)
+		top := semisort.Query(a, clickUser, semisort.Hash64, eqID, opt).
+			Dedup().
+			JoinEq(b, clickUser).
+			TopK(12)
+		sorted, _ := semisort.Query(a, clickUser, semisort.Hash64, eqID, opt).Sort().Groups()
+		rows := semisort.Query(a, clickUser, semisort.Hash64, eqID, opt).
+			JoinEq(b, clickUser).Run()
+		return result{top: top, sorted: sorted, rows: len(rows)}
+	}
+	base := runAt(1)
+	for _, w := range []int{3, 7} {
+		r := runAt(w)
+		if len(r.top) != len(base.top) {
+			t.Fatalf("%d workers: top-k length %d, want %d", w, len(r.top), len(base.top))
+		}
+		for i := range r.top {
+			if r.top[i] != base.top[i] {
+				t.Fatalf("%d workers: top-k[%d] = %+v, want %+v", w, i, r.top[i], base.top[i])
+			}
+		}
+		for i := range r.sorted {
+			if r.sorted[i] != base.sorted[i] {
+				t.Fatalf("%d workers: sorted[%d] differs", w, i)
+			}
+		}
+		if r.rows != base.rows {
+			t.Fatalf("%d workers: %d join rows, want %d", w, r.rows, base.rows)
+		}
+	}
+}
+
+// TestPipelineHashOnce is the fusion contract test: the flagship chain calls
+// the user hash EXACTLY once per input record of either relation — dedup
+// hashes a, its output plane rides through the join, and the join hashes
+// only b.
+func TestPipelineHashOnce(t *testing.T) {
+	a := pipelineZipf(150000, 25)
+	b := pipelineData(100000, 8000, 26)
+	var calls atomic.Int64
+	countingHash := func(k uint64) uint64 {
+		calls.Add(1)
+		return semisort.Hash64(k)
+	}
+
+	top := semisort.Query(a, clickUser, countingHash, eqID).
+		Dedup().
+		JoinEq(b, clickUser).
+		TopK(10)
+	if len(top) == 0 {
+		t.Fatal("hash-once pipeline returned nothing")
+	}
+	if got, want := calls.Load(), int64(len(a)+len(b)); got != want {
+		t.Fatalf("pipeline called hash %d times, want exactly %d (once per input record)", got, want)
+	}
+
+	// Sort -> Groups: exactly once per record too (the sort's plane feeds
+	// the boundary scan, which hashes nothing).
+	calls.Store(0)
+	if _, g := semisort.Query(a, clickUser, countingHash, eqID).Sort().Groups(); len(g) == 0 {
+		t.Fatal("sort pipeline returned no groups")
+	}
+	if got, want := calls.Load(), int64(len(a)); got != want {
+		t.Fatalf("sort pipeline called hash %d times, want exactly %d", got, want)
+	}
+
+	// Grouped join: one call per record for the two sorts, then one per
+	// GROUP for the merge — strictly fewer than one per record again.
+	calls.Store(0)
+	rows := semisort.Query(a, clickUser, countingHash, eqID).Sort().
+		JoinEqP(semisort.Query(b, clickUser, countingHash, eqID).Sort()).
+		CountDistinct()
+	if rows == 0 {
+		t.Fatal("grouped join matched nothing")
+	}
+	gA := semisort.CountDistinct(a, clickUser, semisort.Hash64, eqID)
+	gB := semisort.CountDistinct(b, clickUser, semisort.Hash64, eqID)
+	if got, bound := calls.Load(), int64(len(a)+len(b))+gA+gB; got > bound {
+		t.Fatalf("grouped-join pipeline called hash %d times, want <= %d (records + groups)", got, bound)
+	}
+}
+
+func TestPipelineSingleUse(t *testing.T) {
+	p := semisort.Query([]click{{User: 1}}, clickUser, semisort.Hash64, eqID)
+	_ = p.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a consumed pipeline did not panic")
+		}
+	}()
+	_ = p.Run()
+}
+
+// FuzzPipelineJoin cross-checks the fused join pipeline against a map
+// reference on arbitrary small inputs.
+func FuzzPipelineJoin(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{3, 4, 9})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{7, 7, 7, 7}, []byte{7, 7})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		a := make([]click, len(ab))
+		for i, v := range ab {
+			a[i] = click{User: uint64(v % 16), Seq: i}
+		}
+		b := make([]click, len(bb))
+		for i, v := range bb {
+			b[i] = click{User: uint64(v % 16), Seq: i}
+		}
+		want := joinRef(a, b)
+		hist := semisort.Query(a, clickUser, semisort.Hash64, eqID).
+			JoinEq(b, clickUser).Histogram()
+		if len(hist) != len(want) {
+			t.Fatalf("fuzz join histogram: %d keys, want %d", len(hist), len(want))
+		}
+		for _, kc := range hist {
+			if want[kc.Key] != kc.Count {
+				t.Fatalf("fuzz join histogram: key %d count %d, want %d", kc.Key, kc.Count, want[kc.Key])
+			}
+		}
+		total := int64(0)
+		for _, c := range want {
+			total += c
+		}
+		rows := semisort.Query(a, clickUser, semisort.Hash64, eqID).
+			Dedup().Sort().
+			JoinEq(b, clickUser).Run()
+		dd := semisort.Dedup(a, clickUser, semisort.Hash64, eqID)
+		wantRows := joinRef(dd, b)
+		wantTotal := int64(0)
+		for _, c := range wantRows {
+			wantTotal += c
+		}
+		if int64(len(rows)) != wantTotal {
+			t.Fatalf("fuzz dedup+sort+join: %d rows, want %d", len(rows), wantTotal)
+		}
+	})
+}
