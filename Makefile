@@ -26,7 +26,7 @@ test:
 ## race: race-detector pass on the runtime, the semisort core, and the
 ## collect-reduce + relational terminal ops
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect ./internal/rel
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect ./internal/rel ./internal/chaos .
 
 ## bench-steady: steady-state allocation benchmark (see EXPERIMENTS.md)
 bench-steady:

@@ -23,12 +23,27 @@ type KeyValue[K, E any] struct {
 // called exactly once per record per call; frequent keys are counted where
 // they stand and never moved.
 func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []KeyCount[K] {
-	kv := collect.Histogram(a, key, hash, eq, buildConfig(opts))
-	out := make([]KeyCount[K], len(kv))
+	out, err := HistogramE(a, key, hash, eq, opts...)
+	mustCall(err)
+	return out
+}
+
+// HistogramE is Histogram with an error return for cancellable calls; see
+// SortEqE for the contract. On cancellation it returns (nil, ctx.Err())
+// and the input is untouched (Histogram never modifies it).
+func HistogramE[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (out []KeyCount[K], err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
+	kv := collect.Histogram(a, key, hash, eq, cfg)
+	out = make([]KeyCount[K], len(kv))
 	for i, e := range kv {
 		out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
 	}
-	return out
+	return out, nil
 }
 
 // CollectReduce computes, for each distinct key, the reduction of the
@@ -41,6 +56,22 @@ func Histogram[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 // reduced in place instead of being moved.
 func CollectReduce[R, K, E any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool,
 	mapf func(R) E, combine func(E, E) E, id E, opts ...Option) []KeyValue[K, E] {
+	out, err := CollectReduceE(a, key, hash, eq, mapf, combine, id, opts...)
+	mustCall(err)
+	return out
+}
+
+// CollectReduceE is CollectReduce with an error return for cancellable
+// calls; see SortEqE for the contract. On cancellation it returns
+// (nil, ctx.Err()) and the input is untouched.
+func CollectReduceE[R, K, E any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool,
+	mapf func(R) E, combine func(E, E) E, id E, opts ...Option) (out []KeyValue[K, E], err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
 	kv := collect.Reduce(a, collect.Reducer[R, K, E]{
 		Key:      key,
 		Hash:     hash,
@@ -48,10 +79,10 @@ func CollectReduce[R, K, E any](a []R, key func(R) K, hash func(K) uint64, eq fu
 		Map:      mapf,
 		Combine:  combine,
 		Identity: id,
-	}, buildConfig(opts))
-	out := make([]KeyValue[K, E], len(kv))
+	}, cfg)
+	out = make([]KeyValue[K, E], len(kv))
 	for i, e := range kv {
 		out[i] = KeyValue[K, E]{Key: e.Key, Value: e.Value}
 	}
-	return out
+	return out, nil
 }

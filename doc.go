@@ -97,6 +97,35 @@
 // The runtime never affects results: for a fixed seed the output is
 // identical at any pool size and any GOMAXPROCS.
 //
+// # Failure semantics
+//
+// A shared runtime must survive bad requests, so faults are contained at
+// the call: a panic in any user callback (key, hash, eq, less, map,
+// combine, join) — on whatever worker goroutine it fired — re-raises on
+// the calling goroutine as a typed *PanicError carrying the original
+// value and the panicking goroutine's stack. The pool workers survive,
+// and everything the failed call leased from the arena is discarded
+// rather than re-pooled, so the next call on the same runtime sees clean
+// state. Recover it at a service boundary to fail one request instead of
+// the process.
+//
+// For cancellation, pass WithContext and use the error-returning forms
+// (every op and pipeline terminal has one — SortEqE, HistogramE, DedupE,
+// JoinEqE, RunE, ...); the engine checks the context at its level
+// boundaries and classify chunks, unwinds, discards the call's leases,
+// and returns ctx.Err():
+//
+//	ctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+//	defer cancel()
+//	top, err := semisort.TopKE(events, 10, key, semisort.Hash64, eqU64,
+//	    semisort.WithRuntime(rt), semisort.WithContext(ctx))
+//	if errors.Is(err, context.DeadlineExceeded) { ... } // rt still healthy
+//
+// A service can additionally bound concurrent calls with
+// rt.SetInflightLimit(n): excess calls wait (context-aware) at the door
+// instead of piling onto the pool. See examples/service for the full
+// service shape and DESIGN.md ("Failure semantics") for the mechanism.
+//
 // See DESIGN.md for the algorithm internals and the runtime architecture,
 // and EXPERIMENTS.md for the reproduction of the paper's evaluation.
 package semisort

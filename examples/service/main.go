@@ -1,0 +1,94 @@
+// Service: fault containment in a long-lived analytics service. One shared
+// runtime serves every request; a slow query is cancelled by its deadline
+// mid-flight and a buggy request's callback panic is contained — and in
+// both cases the very next request runs on the same runtime, full speed,
+// with byte-identical results to a fresh process. This is the failure
+// model the error-returning entry points (SortEqE, HistogramE, the
+// pipeline's RunE family) and WithContext exist for.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	semisort "repro"
+)
+
+type event struct {
+	User uint64
+	Item uint64
+}
+
+func user(e event) uint64      { return e.User }
+func eqU64(a, b uint64) bool   { return a == b }
+func slowHash(x uint64) uint64 { time.Sleep(10 * time.Microsecond); return semisort.Hash64(x) }
+
+func main() {
+	// One runtime for the whole service: shared workers, shared recycled
+	// buffers, and an in-flight cap so a burst of requests queues at the
+	// door (context-aware) instead of piling onto the pool.
+	rt := semisort.NewRuntime(0)
+	defer rt.Close()
+	rt.SetInflightLimit(4)
+
+	events := make([]event, 200_000)
+	for i := range events {
+		events[i] = event{User: uint64(i) % 1000, Item: uint64(i)}
+	}
+
+	// Request 1: a query too slow for its deadline. The engine checks the
+	// context at every level boundary and classify chunk, so the call
+	// returns context.DeadlineExceeded promptly — its pooled buffers
+	// discarded, never half-mutated back into the arena.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	top, err := semisort.TopKE(events, 3, user, slowHash, eqU64,
+		semisort.WithRuntime(rt), semisort.WithContext(ctx))
+	cancel()
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Println("slow query: cancelled by deadline, as intended")
+	case err != nil:
+		fmt.Println("slow query:", err)
+	default:
+		fmt.Println("slow query finished anyway:", top)
+	}
+
+	// Request 2: a buggy callback. The panic is contained on whatever
+	// worker it fired on and re-raised here as a typed *PanicError — the
+	// service recovers it, fails this one request, and keeps serving.
+	func() {
+		defer func() {
+			var pe *semisort.PanicError
+			if r := recover(); r != nil {
+				if pe, _ = r.(*semisort.PanicError); pe == nil {
+					panic(r)
+				}
+				fmt.Printf("buggy query: contained panic %v (stack captured: %d bytes)\n",
+					pe.Value, len(pe.Stack))
+			}
+		}()
+		n := 0
+		buggy := func(x uint64) uint64 {
+			if n++; n == 1000 {
+				panic("bug in request handler")
+			}
+			return semisort.Hash64(x)
+		}
+		semisort.Histogram(events, user, buggy, eqU64, semisort.WithRuntime(rt))
+	}()
+
+	// Request 3: the same runtime keeps serving — full parallelism, clean
+	// pools — right after both failures.
+	top, err = semisort.TopKE(events, 3, user, semisort.Hash64, eqU64,
+		semisort.WithRuntime(rt), semisort.WithContext(context.Background()))
+	if err != nil {
+		fmt.Println("healthy query:", err)
+		return
+	}
+	fmt.Println("healthy query on the same runtime:")
+	for _, kc := range top {
+		fmt.Printf("  user %4d: %d events\n", kc.Key, kc.Count)
+	}
+}

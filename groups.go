@@ -19,19 +19,49 @@ type Group struct {
 //	    neighbors := edges[g.Lo:g.Hi]
 //	}
 func GroupsEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []Group {
+	out, err := GroupsEqE(a, key, hash, eq, opts...)
+	mustCall(err)
+	return out
+}
+
+// GroupsEqE is GroupsEq with an error return for cancellable calls; see
+// SortEqE for the contract. The sort and the boundary scan run as one
+// guarded call: cancellation anywhere returns ctx.Err() with a left in a
+// valid but unspecified permutation and no groups.
+func GroupsEqE[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (out []Group, err error) {
 	// The options are resolved once: the config built here drives both the
 	// sort and the boundary scan (core.SortEq applies the defaults).
 	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
 	core.SortEq(a, key, hash, eq, cfg)
-	return boundaries(parallel.Or(cfg.Runtime), a, key, eq)
+	cfg.CheckCancel()
+	return boundaries(parallel.Or(cfg.Runtime), a, key, eq), nil
 }
 
 // GroupsLess is GroupsEq using SortLess (semisort<).
 func GroupsLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) []Group {
+	out, err := GroupsLessE(a, key, hash, less, opts...)
+	mustCall(err)
+	return out
+}
+
+// GroupsLessE is GroupsLess with an error return for cancellable calls;
+// see GroupsEqE for the contract.
+func GroupsLessE[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) (out []Group, err error) {
 	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
 	core.SortLess(a, key, hash, less, cfg)
+	cfg.CheckCancel()
 	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
-	return boundaries(parallel.Or(cfg.Runtime), a, key, eq)
+	return boundaries(parallel.Or(cfg.Runtime), a, key, eq), nil
 }
 
 // boundaries locates the group starts of an already-semisorted array in

@@ -1,0 +1,312 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	semisort "repro"
+	"repro/internal/chaos"
+)
+
+// TestCancelMidCall cancels the context from inside the k-th user-callback
+// invocation — modeling an external cancel racing the call — and asserts
+// every op family returns context.Canceled from its error form, with the
+// panic-free unwind the guard promises.
+func TestCancelMidCall(t *testing.T) {
+	data := pairData(60_000, 512, 7)
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+
+	type eOp struct {
+		name string
+		run  func(in *chaos.Injector, ctx context.Context) error
+	}
+	opts := func(ctx context.Context) []semisort.Option {
+		return []semisort.Option{
+			semisort.WithRuntime(rt), semisort.WithSeed(1), semisort.WithContext(ctx),
+		}
+	}
+	ops := []eOp{
+		{"SortEqE", func(in *chaos.Injector, ctx context.Context) error {
+			return semisort.SortEqE(clone(data), keyOf, chaos.Hash(in, semisort.Hash64), eqU, opts(ctx)...)
+		}},
+		{"SortEqInPlaceE", func(in *chaos.Injector, ctx context.Context) error {
+			return semisort.SortEqInPlaceE(clone(data), keyOf, chaos.Hash(in, semisort.Hash64), eqU, opts(ctx)...)
+		}},
+		{"HistogramE", func(in *chaos.Injector, ctx context.Context) error {
+			_, err := semisort.HistogramE(data, keyOf, chaos.Hash(in, semisort.Hash64), eqU, opts(ctx)...)
+			return err
+		}},
+		{"DedupE", func(in *chaos.Injector, ctx context.Context) error {
+			_, err := semisort.DedupE(data, keyOf, chaos.Hash(in, semisort.Hash64), eqU, opts(ctx)...)
+			return err
+		}},
+		{"JoinEqE", func(in *chaos.Injector, ctx context.Context) error {
+			half := len(data) / 2
+			_, err := semisort.JoinEqE(data[:half], data[half:], keyOf, keyOf,
+				chaos.Hash(in, semisort.Hash64), eqU, joinXor, opts(ctx)...)
+			return err
+		}},
+		{"Pipeline.RunE", func(in *chaos.Injector, ctx context.Context) error {
+			_, err := semisort.Query(data, keyOf, chaos.Hash(in, semisort.Hash64), eqU, opts(ctx)...).
+				Dedup().
+				RunE()
+			return err
+		}},
+	}
+	for _, op := range ops {
+		t.Run(op.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// Cancel inside the very first callback: the engine has its
+			// whole run ahead of it, so a checkpoint must notice.
+			err := op.run(chaos.CallAt(1, cancel), ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestCancelInPlaceKeepsPermutation cancels the in-place sorts at several
+// callback ordinals — including late enough that the cycle-chase's
+// amortized mid-walk checkpoint (one check per 2^16 placements, fired with
+// a displaced record in hand) is the one that notices — and asserts the
+// documented contract for a cancelled in-place call: the slice is a valid
+// but unspecified permutation of the input, with no record duplicated or
+// lost. The input is large enough (n >> alpha, n > 2^16) that the chase
+// runs at the top level and crosses its checkpoint threshold repeatedly.
+func TestCancelInPlaceKeepsPermutation(t *testing.T) {
+	const n = 200_000
+	data := pairData(n, 1<<14, 21)
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+	lessU := func(a, b uint64) bool { return a < b }
+
+	sorts := []struct {
+		name string
+		run  func(a []pair, hash func(uint64) uint64, ctx context.Context) error
+	}{
+		{"SortEqInPlaceE", func(a []pair, hash func(uint64) uint64, ctx context.Context) error {
+			return semisort.SortEqInPlaceE(a, keyOf, hash, eqU,
+				semisort.WithRuntime(rt), semisort.WithSeed(1), semisort.WithContext(ctx))
+		}},
+		{"SortLessInPlaceE", func(a []pair, hash func(uint64) uint64, ctx context.Context) error {
+			return semisort.SortLessInPlaceE(a, keyOf, hash, lessU,
+				semisort.WithRuntime(rt), semisort.WithSeed(1), semisort.WithContext(ctx))
+		}},
+	}
+	// Ordinal 1 cancels during sampling (nothing permuted yet); n/2 during
+	// the classify sweep; n on the last hashed record, so the first
+	// checkpoint left to notice is inside the permutation walk itself.
+	for _, s := range sorts {
+		for _, k := range []int64{1, n / 2, n} {
+			t.Run(fmt.Sprintf("%s/cancelAtCall=%d", s.name, k), func(t *testing.T) {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				got := clone(data)
+				err := s.run(got, chaos.Hash(chaos.CallAt(k, cancel), semisort.Hash64), ctx)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+				assertPermutation(t, data, got)
+			})
+		}
+	}
+}
+
+// assertPermutation fails unless got is a permutation of want: equal
+// multisets of records, checked by comparing canonical sorted orders.
+func assertPermutation(t *testing.T, want, got []pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length changed: %d records, want %d", len(got), len(want))
+	}
+	w, g := clone(want), clone(got)
+	byKV := func(a, b pair) int {
+		if a.Key != b.Key {
+			if a.Key < b.Key {
+				return -1
+			}
+			return 1
+		}
+		if a.Value != b.Value {
+			if a.Value < b.Value {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+	slices.SortFunc(w, byKV)
+	slices.SortFunc(g, byKV)
+	for i := range w {
+		if g[i] != w[i] {
+			t.Fatalf("cancelled call did not leave a permutation of the input: first divergence at rank %d: got %+v, want %+v", i, g[i], w[i])
+		}
+	}
+}
+
+// TestCancelBeforeCall hands every error-returning entry point an
+// already-fired context: each must refuse before running any user
+// callback, returning ctx.Err() with the input untouched.
+func TestCancelBeforeCall(t *testing.T) {
+	data := pairData(10_000, 128, 9)
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := chaos.CallAt(0, nil) // pure call counter
+	hash := chaos.Hash(in, semisort.Hash64)
+	opts := []semisort.Option{
+		semisort.WithRuntime(rt), semisort.WithSeed(1), semisort.WithContext(ctx),
+	}
+	half := len(data) / 2
+
+	calls := []struct {
+		name string
+		run  func() error
+	}{
+		{"SortEqE", func() error { return semisort.SortEqE(clone(data), keyOf, hash, eqU, opts...) }},
+		{"SortLessE", func() error {
+			return semisort.SortLessE(clone(data), keyOf, hash, func(a, b uint64) bool { return a < b }, opts...)
+		}},
+		{"SortEqInPlaceE", func() error { return semisort.SortEqInPlaceE(clone(data), keyOf, hash, eqU, opts...) }},
+		{"SortLessInPlaceE", func() error {
+			return semisort.SortLessInPlaceE(clone(data), keyOf, hash, func(a, b uint64) bool { return a < b }, opts...)
+		}},
+		{"GroupsEqE", func() error { _, err := semisort.GroupsEqE(clone(data), keyOf, hash, eqU, opts...); return err }},
+		{"GroupsLessE", func() error {
+			_, err := semisort.GroupsLessE(clone(data), keyOf, hash, func(a, b uint64) bool { return a < b }, opts...)
+			return err
+		}},
+		{"HistogramE", func() error { _, err := semisort.HistogramE(data, keyOf, hash, eqU, opts...); return err }},
+		{"CollectReduceE", func() error {
+			_, err := semisort.CollectReduceE(data, keyOf, hash, eqU,
+				func(p pair) uint64 { return p.Value }, func(a, b uint64) uint64 { return a + b }, 0, opts...)
+			return err
+		}},
+		{"DedupE", func() error { _, err := semisort.DedupE(data, keyOf, hash, eqU, opts...); return err }},
+		{"DistinctE", func() error {
+			keys := make([]uint64, len(data))
+			for i, p := range data {
+				keys[i] = p.Key
+			}
+			_, err := semisort.DistinctE(keys, hash, eqU, opts...)
+			return err
+		}},
+		{"JoinEqE", func() error {
+			_, err := semisort.JoinEqE(data[:half], data[half:], keyOf, keyOf, hash, eqU, joinXor, opts...)
+			return err
+		}},
+		{"SemiJoinEqE", func() error {
+			_, err := semisort.SemiJoinEqE(data[:half], data[half:], keyOf, keyOf, hash, eqU, opts...)
+			return err
+		}},
+		{"AntiJoinEqE", func() error {
+			_, err := semisort.AntiJoinEqE(data[:half], data[half:], keyOf, keyOf, hash, eqU, opts...)
+			return err
+		}},
+		{"CountDistinctE", func() error { _, err := semisort.CountDistinctE(data, keyOf, hash, eqU, opts...); return err }},
+		{"TopKE", func() error { _, err := semisort.TopKE(data, 5, keyOf, hash, eqU, opts...); return err }},
+		{"Pipeline.RunE", func() error { _, err := semisort.Query(data, keyOf, hash, eqU, opts...).RunE(); return err }},
+		{"Pipeline.GroupsE", func() error {
+			_, _, err := semisort.Query(data, keyOf, hash, eqU, opts...).GroupsE()
+			return err
+		}},
+		{"Pipeline.HistogramE", func() error {
+			_, err := semisort.Query(data, keyOf, hash, eqU, opts...).HistogramE()
+			return err
+		}},
+		{"Pipeline.TopKE", func() error {
+			_, err := semisort.Query(data, keyOf, hash, eqU, opts...).TopKE(5)
+			return err
+		}},
+		{"Pipeline.CountDistinctE", func() error {
+			_, err := semisort.Query(data, keyOf, hash, eqU, opts...).CountDistinctE()
+			return err
+		}},
+		{"Joined.HistogramE", func() error {
+			_, err := semisort.Query(data[:half], keyOf, hash, eqU, opts...).
+				JoinEq(data[half:], keyOf).
+				HistogramE()
+			return err
+		}},
+	}
+	for _, c := range calls {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.run(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+	if n := in.Calls(); n != 0 {
+		t.Fatalf("%d user callbacks ran under a pre-cancelled context, want 0", n)
+	}
+}
+
+// TestDeadlineExceeded runs a sort whose deadline has already passed and
+// one large enough to outlive a short mid-run deadline; both must report
+// context.DeadlineExceeded.
+func TestDeadlineExceeded(t *testing.T) {
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+
+	t.Run("before", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		err := semisort.SortEqE(pairData(10_000, 128, 1), keyOf, semisort.Hash64, eqU,
+			semisort.WithRuntime(rt), semisort.WithContext(ctx))
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	})
+	t.Run("midway", func(t *testing.T) {
+		// A slow hash makes the call take far longer than the deadline
+		// without depending on machine speed.
+		slow := func(x uint64) uint64 {
+			time.Sleep(20 * time.Microsecond)
+			return semisort.Hash64(x)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		err := semisort.SortEqE(pairData(200_000, 1<<16, 2), keyOf, slow, eqU,
+			semisort.WithRuntime(rt), semisort.WithContext(ctx))
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestCancelRacesClose races an in-flight cancellable sort against both its
+// context's cancel and the runtime's Close: whatever interleaving the
+// scheduler picks, the call must return promptly (nil or Canceled) and
+// nothing may deadlock or panic. Run with -race in CI.
+func TestCancelRacesClose(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		t.Run(fmt.Sprintf("round=%d", i), func(t *testing.T) {
+			rt := semisort.NewRuntime(4)
+			data := pairData(30_000, 256, uint64(i))
+			ctx, cancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			wg.Add(3)
+			errc := make(chan error, 1)
+			go func() {
+				defer wg.Done()
+				errc <- semisort.SortEqE(clone(data), keyOf, semisort.Hash64, eqU,
+					semisort.WithRuntime(rt), semisort.WithSeed(1), semisort.WithContext(ctx))
+			}()
+			go func() { defer wg.Done(); cancel() }()
+			go func() { defer wg.Done(); rt.Close() }()
+			wg.Wait()
+			if err := <-errc; err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want nil or context.Canceled", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+// Package chaos is the fault-injection harness for the runtime's
+// containment guarantees. It wraps user callbacks (hash, key, eq) so that
+// the k-th invocation — counted atomically across every worker goroutine —
+// fires a configured fault: a panic (exercising worker panic containment)
+// or an arbitrary action such as a context cancel (exercising cooperative
+// cancellation at the engine's checkpoints). The tests in this package
+// drive every public op and pipeline shape through injected faults and
+// assert the three containment invariants: faults surface as
+// *semisort.PanicError or ctx.Err() on the calling goroutine only, no
+// goroutine leaks, and a fault never poisons the runtime's pools (the next
+// call on the same runtime is byte-identical to a fresh one).
+package chaos
+
+import "sync/atomic"
+
+// Injector fires a fault at the k-th tick. Ticks are counted atomically, so
+// callbacks running on any worker goroutine share one trigger; k <= 0 never
+// fires. The zero Injector is inert.
+type Injector struct {
+	n    atomic.Int64
+	k    int64
+	fire func()
+}
+
+// PanicAt returns an injector that panics with v at the k-th tick.
+func PanicAt(k int64, v any) *Injector {
+	return &Injector{k: k, fire: func() { panic(v) }}
+}
+
+// CallAt returns an injector that calls f at the k-th tick (typically a
+// context.CancelFunc, modeling external cancellation racing the call).
+func CallAt(k int64, f func()) *Injector {
+	return &Injector{k: k, fire: f}
+}
+
+// Tick counts one callback invocation, firing the fault on the k-th.
+func (in *Injector) Tick() {
+	if in.n.Add(1) == in.k && in.fire != nil {
+		in.fire()
+	}
+}
+
+// Calls reports how many ticks have happened.
+func (in *Injector) Calls() int64 { return in.n.Load() }
+
+// Hash wraps a user hash so every call ticks the injector.
+func Hash[K any](in *Injector, h func(K) uint64) func(K) uint64 {
+	return func(k K) uint64 {
+		in.Tick()
+		return h(k)
+	}
+}
+
+// Key wraps a key extractor so every call ticks the injector.
+func Key[R, K any](in *Injector, key func(R) K) func(R) K {
+	return func(r R) K {
+		in.Tick()
+		return key(r)
+	}
+}
+
+// Eq wraps an equality test so every call ticks the injector.
+func Eq[K any](in *Injector, eq func(K, K) bool) func(K, K) bool {
+	return func(a, b K) bool {
+		in.Tick()
+		return eq(a, b)
+	}
+}

@@ -1,0 +1,81 @@
+package chaos_test
+
+import (
+	"testing"
+
+	semisort "repro"
+	"repro/internal/chaos"
+)
+
+// The chaos tests drive the PUBLIC API (the root package) — containment is
+// a whole-stack property: a panic on a pool worker must cross the job
+// barrier, the driver's recursion, the call guard's ledger, and surface
+// typed at the top. Everything here is deterministic: fixed seeds, fixed
+// data, faults at fixed call ordinals.
+
+type pair = semisort.Pair[uint64, uint64]
+
+// mix is splitmix64, a private copy so test data does not depend on the
+// library's own hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pairData builds n records with keys drawn from [0, domain) — a small
+// domain yields heavy keys (exercising the heavy path), domain >= n is
+// near-uniform.
+func pairData(n int, domain uint64, seed uint64) []pair {
+	a := make([]pair, n)
+	for i := range a {
+		a[i] = pair{Key: mix(seed+uint64(i)) % domain, Value: uint64(i)}
+	}
+	return a
+}
+
+func keyOf(p pair) uint64      { return p.Key }
+func eqU(a, b uint64) bool     { return a == b }
+func joinXor(a, b pair) uint64 { return a.Value ^ b.Value }
+
+func clone(a []pair) []pair { return append([]pair(nil), a...) }
+
+// faultOp is one public operation under test, parameterized by the
+// injector whose wrapped callbacks it must call and the runtime it must
+// run on. Ops that reorder their input work on their own copy.
+type faultOp struct {
+	name string
+	run  func(t *testing.T, in *chaos.Injector, rt *semisort.Runtime, data []pair)
+}
+
+// faultOps spans the op families: flat sort, histogram terminal, dedup
+// terminal, driver join, and a fused pipeline (stage + counting terminal).
+func faultOps() []faultOp {
+	return []faultOp{
+		{"SortEq", func(t *testing.T, in *chaos.Injector, rt *semisort.Runtime, data []pair) {
+			semisort.SortEq(clone(data), keyOf, chaos.Hash(in, semisort.Hash64), eqU,
+				semisort.WithRuntime(rt), semisort.WithSeed(1))
+		}},
+		{"Histogram", func(t *testing.T, in *chaos.Injector, rt *semisort.Runtime, data []pair) {
+			semisort.Histogram(data, keyOf, chaos.Hash(in, semisort.Hash64), eqU,
+				semisort.WithRuntime(rt), semisort.WithSeed(1))
+		}},
+		{"Dedup", func(t *testing.T, in *chaos.Injector, rt *semisort.Runtime, data []pair) {
+			semisort.Dedup(data, keyOf, chaos.Hash(in, semisort.Hash64), eqU,
+				semisort.WithRuntime(rt), semisort.WithSeed(1))
+		}},
+		{"JoinEq", func(t *testing.T, in *chaos.Injector, rt *semisort.Runtime, data []pair) {
+			half := len(data) / 2
+			semisort.JoinEq(data[:half], data[half:], keyOf, keyOf,
+				chaos.Hash(in, semisort.Hash64), eqU, joinXor,
+				semisort.WithRuntime(rt), semisort.WithSeed(1))
+		}},
+		{"Pipeline", func(t *testing.T, in *chaos.Injector, rt *semisort.Runtime, data []pair) {
+			semisort.Query(data, keyOf, chaos.Hash(in, semisort.Hash64), eqU,
+				semisort.WithRuntime(rt), semisort.WithSeed(1)).
+				Dedup().
+				TopK(8)
+		}},
+	}
+}

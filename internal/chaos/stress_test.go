@@ -1,0 +1,144 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	semisort "repro"
+	"repro/internal/chaos"
+)
+
+// TestStressSharedRuntime hammers ONE runtime from many goroutines with a
+// mix of clean, panicking, and cancelling calls — the service shape the
+// containment design exists for. Every clean call must produce exactly the
+// reference result computed up front; every faulted call must surface its
+// fault typed, on its own goroutine, without disturbing the others. CI
+// runs this under -race.
+func TestStressSharedRuntime(t *testing.T) {
+	const goroutines = 6
+	const iters = 12
+	data := pairData(20_000, 256, 13)
+
+	ref := semisort.NewRuntime(4)
+	wantSorted := clone(data)
+	semisort.SortEq(wantSorted, keyOf, semisort.Hash64, eqU,
+		semisort.WithRuntime(ref), semisort.WithSeed(1))
+	wantCount := semisort.CountDistinct(data, keyOf, semisort.Hash64, eqU,
+		semisort.WithRuntime(ref), semisort.WithSeed(1))
+	ref.Close()
+
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for i := 0; i < iters; i++ {
+				var err error
+				switch (g + i) % 4 {
+				case 0: // clean sort, result checked against the reference
+					got := clone(data)
+					if serr := semisort.SortEqE(got, keyOf, semisort.Hash64, eqU,
+						semisort.WithRuntime(rt), semisort.WithSeed(1)); serr != nil {
+						err = serr
+						break
+					}
+					for j := range got {
+						if got[j] != wantSorted[j] {
+							err = errors.New("clean sort diverged from reference under stress")
+							break
+						}
+					}
+				case 1: // contained panic in a histogram
+					in := chaos.PanicAt(100, "stress")
+					err = func() (err error) {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, ok := r.(*semisort.PanicError); !ok {
+									err = errors.New("stress panic surfaced untyped")
+								}
+							}
+						}()
+						semisort.Histogram(data, keyOf, chaos.Hash(in, semisort.Hash64), eqU,
+							semisort.WithRuntime(rt), semisort.WithSeed(1))
+						return errors.New("faulted histogram completed")
+					}()
+				case 2: // cancelled dedup
+					ctx, cancel := context.WithCancel(context.Background())
+					_, derr := semisort.DedupE(data, keyOf,
+						chaos.Hash(chaos.CallAt(1, cancel), semisort.Hash64), eqU,
+						semisort.WithRuntime(rt), semisort.WithSeed(1), semisort.WithContext(ctx))
+					cancel()
+					if !errors.Is(derr, context.Canceled) {
+						err = errors.New("cancelled dedup did not return context.Canceled")
+					}
+				case 3: // clean fused join count, checked against the reference
+					n, cerr := semisort.Query(data, keyOf, semisort.Hash64, eqU,
+						semisort.WithRuntime(rt), semisort.WithSeed(1)).
+						CountDistinctE()
+					if cerr != nil {
+						err = cerr
+					} else if n != wantCount {
+						err = errors.New("clean count diverged from reference under stress")
+					}
+				}
+				errc <- err
+			}
+		}(g)
+	}
+	for i := 0; i < goroutines*iters; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAdmissionControl exercises the bounded in-flight-call semaphore: a
+// held slot blocks the next call until the context fires (deadline
+// delivered, zero user callbacks run) or the slot frees (call proceeds),
+// and removing the limit opens the door again.
+func TestAdmissionControl(t *testing.T) {
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+	data := pairData(10_000, 128, 5)
+
+	rt.SetInflightLimit(1)
+	slot, err := rt.Acquire(context.Background()) // hold the only slot
+	if err != nil {
+		t.Fatalf("Acquire on a free semaphore: %v", err)
+	}
+
+	in := chaos.CallAt(0, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	err = semisort.SortEqE(clone(data), keyOf, chaos.Hash(in, semisort.Hash64), eqU,
+		semisort.WithRuntime(rt), semisort.WithContext(ctx))
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked call returned %v, want context.DeadlineExceeded", err)
+	}
+	if n := in.Calls(); n != 0 {
+		t.Fatalf("blocked call ran %d user callbacks before admission, want 0", n)
+	}
+
+	// Freeing the slot mid-wait admits the queued call.
+	done := make(chan error, 1)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	go func() {
+		done <- semisort.SortEqE(clone(data), keyOf, semisort.Hash64, eqU,
+			semisort.WithRuntime(rt), semisort.WithContext(ctx2))
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the semaphore
+	slot.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("call after slot freed: %v", err)
+	}
+
+	// Clearing the limit admits immediately; no Release is pending.
+	rt.SetInflightLimit(0)
+	if err := semisort.SortEqE(clone(data), keyOf, semisort.Hash64, eqU,
+		semisort.WithRuntime(rt)); err != nil {
+		t.Fatalf("call after limit cleared: %v", err)
+	}
+}

@@ -105,7 +105,8 @@ func reduce[R, K, E any](a []R, in *core.Plane[K], rd Reducer[R, K, E], cfg core
 		}
 	}
 	if hs == nil {
-		hb = parallel.GetBuf[uint64](sc, n)
+		// Ledger-tracked: discarded instead of re-pooled if the call faults.
+		hb = parallel.LeaseBuf[uint64](sc, d.Ledger(), n)
 		hs = hb.S
 	}
 	root := s.rec(a, hs, hashed, 0, 0, hashutil.NewRNG(d.Seed()))

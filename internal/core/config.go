@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"sync/atomic"
 
@@ -54,6 +55,21 @@ type Config struct {
 	// line 23). Used by the ablation benchmarks; leave false otherwise.
 	DisableInPlace bool
 
+	// Ctx, when non-nil, cancels the call cooperatively: the driver checks
+	// it at every level boundary and at every classify chunk, the join's
+	// broadcast loops check it between cross-product rows, and the call
+	// unwinds with a cancellation the public error-returning entry points
+	// translate back into ctx.Err(). Semisort levels are O(n) sweeps, so
+	// cancellation latency is one chunk of one sweep, not one call.
+	Ctx context.Context
+
+	// Ledger, when non-nil, is the call-scoped lease ledger fault recovery
+	// aborts: buffers leased through it are discarded (never re-pooled)
+	// once the call panics or cancels. The public entry points install one
+	// per call; driving core directly without one simply loses the
+	// leak-to-GC backstop, not correctness.
+	Ledger *parallel.Ledger
+
 	// probeCounter, when non-nil, accumulates every heavy-table probe the
 	// sort issues. It exists for the package's own contract tests (which
 	// pin "at most one probe per record per level"); the hot path pays
@@ -68,6 +84,28 @@ type Config struct {
 func (c Config) WithProbeCounter(pc *atomic.Int64) Config {
 	c.probeCounter = pc
 	return c
+}
+
+// CheckCancel is a cancellation checkpoint: when the config carries a
+// context that has fired, it aborts the lease ledger (so every tracked
+// release during the unwind discards instead of re-pooling) and raises the
+// engine's cancellation panic, which the public error-returning entry
+// points translate back into ctx.Err(). A nil context costs one branch.
+func (c *Config) CheckCancel() { CheckCancel(c.Ctx, c.Ledger) }
+
+// CheckCancel is the free-function checkpoint: hot closures capture ctx and
+// ledger by value instead of taking a Config's address (which would heap-box
+// the whole struct at every call).
+func CheckCancel(ctx context.Context, lg *parallel.Ledger) {
+	if ctx == nil {
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		if lg != nil {
+			lg.Abort()
+		}
+		panic(&parallel.Canceled{Err: err})
+	}
 }
 
 // WithDefaults fills unset fields with the paper's parameters. LightBuckets

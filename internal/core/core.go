@@ -88,9 +88,11 @@ func (s *sorter[R, K]) release() {
 // filled lazily by the first level's fused classify sweep, not by a
 // dedicated pass.
 func (s *sorter[R, K]) run(a []R) {
-	tb := parallel.GetBuf[R](s.sc, len(a))
-	hb := parallel.GetBuf[uint64](s.sc, len(a))
-	htb := parallel.GetBuf[uint64](s.sc, len(a))
+	// Leased through the call ledger: on a fault these O(n) planes are
+	// discarded, on a clean return re-pooled as before (see parallel.Ledger).
+	tb := parallel.LeaseBuf[R](s.sc, s.ledger, len(a))
+	hb := parallel.LeaseBuf[uint64](s.sc, s.ledger, len(a))
+	htb := parallel.LeaseBuf[uint64](s.sc, s.ledger, len(a))
 	rng := hashutil.NewRNG(s.seed)
 	s.rec(a, tb.S, hb.S, htb.S, true, false, 0, 0, rng)
 	htb.Release()
@@ -102,8 +104,8 @@ func (s *sorter[R, K]) run(a []R) {
 // lazily filled one: the recursion starts hashed, taking only the auxiliary
 // record array and the second hash-plane side from the arena.
 func (s *sorter[R, K]) runHashed(a []R, hs []uint64) {
-	tb := parallel.GetBuf[R](s.sc, len(a))
-	htb := parallel.GetBuf[uint64](s.sc, len(a))
+	tb := parallel.LeaseBuf[R](s.sc, s.ledger, len(a))
+	htb := parallel.LeaseBuf[uint64](s.sc, s.ledger, len(a))
 	rng := hashutil.NewRNG(s.seed)
 	s.rec(a, tb.S, hs, htb.S, true, true, 0, 0, rng)
 	htb.Release()
@@ -156,7 +158,13 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 	// Step 2: Blocked Distributing (cur -> other, hcur -> hother) through
 	// the level's id plane: classify fills ids and counts in one fused
 	// sweep, the engine prefixes and replays.
-	startsBuf := parallel.GetBuf[int](s.sc, nB+1)
+	// Leased, not plain: the release below sits in a defer, so it runs
+	// mid-unwind on faults. On cancellation the checkpoint aborts the
+	// ledger BEFORE unwinding, so the release is suppressed; on a worker
+	// panic the defer may run before the root recovery aborts, which is
+	// harmless — a prefix array is plain dirty content, exactly what the
+	// arena contract permits a pool to hold.
+	startsBuf := parallel.LeaseBuf[int](s.sc, s.ledger, nB+1)
 	starts := s.DistributeLevel(lv, cur, other, hcur, hother, hashed, bitDepth, startsBuf.S)
 	lv.ReleaseSample()
 	// The id plane has absorbed every classification; the table's storage

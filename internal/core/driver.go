@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -75,6 +76,12 @@ type Driver[R, K any] struct {
 	adoptKeys   []K
 	adoptHashes []uint64
 
+	// ctx/ledger carry the call's cancellation state: the context checked
+	// at level boundaries and classify chunks, and the lease ledger a
+	// firing checkpoint aborts before unwinding (see Config.Ctx/Ledger).
+	ctx    context.Context
+	ledger *parallel.Ledger
+
 	// rt is the worker pool the call runs on; sc is its buffer arena, the
 	// source of every transient buffer (the O(n) auxiliary arrays, the
 	// hash planes, counting matrices, cached ids, base-case tables,
@@ -110,6 +117,8 @@ func (d *Driver[R, K]) init(n int, key func(R) K, hash func(K) uint64, eq func(K
 		seed:         cfg.Seed,
 		disableHeavy: cfg.DisableHeavy,
 		probeCount:   cfg.probeCounter,
+		ctx:          cfg.Ctx,
+		ledger:       cfg.Ledger,
 		rt:           rt,
 		sc:           rt.Scratch(),
 	}
@@ -144,6 +153,33 @@ func (d *Driver[R, K]) Runtime() *parallel.Runtime { return d.rt }
 
 // Scratch is the runtime's buffer arena.
 func (d *Driver[R, K]) Scratch() *parallel.Scratch { return d.sc }
+
+// Ledger is the call's lease ledger (nil when the caller installed none).
+func (d *Driver[R, K]) Ledger() *parallel.Ledger { return d.ledger }
+
+// Cancelable reports whether the call carries a context at all, so hot
+// loops can hoist the nil check out of their bodies and keep the no-context
+// path at one predictable branch.
+func (d *Driver[R, K]) Cancelable() bool { return d.ctx != nil }
+
+// CheckCancel is the driver's cancellation checkpoint: if the call's
+// context has fired, it aborts the lease ledger and raises the engine's
+// cancellation panic (see Config.CheckCancel). The driver plants it at
+// every PlanLevel (so each recursion node checks on entry) and at the top
+// of every classify chunk (so an O(n) sweep cancels within one chunk);
+// terminal ops with their own unbounded loops — the join's heavy
+// broadcast — add their own. A nil context costs one branch.
+func (d *Driver[R, K]) CheckCancel() {
+	if d.ctx == nil {
+		return
+	}
+	if err := d.ctx.Err(); err != nil {
+		if d.ledger != nil {
+			d.ledger.Abort()
+		}
+		panic(&parallel.Canceled{Err: err})
+	}
+}
 
 // sampleParams sizes one sampling round for an n-record level: |S| =
 // c * log2(n) draws, heavy threshold log2(n)/2 occurrences (Section 3.1
@@ -252,6 +288,7 @@ func (d *Driver[R, K]) Adopt(keys []K, hashes []uint64) {
 // advanced by the sampling draws. An adopted heavy set (see Adopt) replaces
 // the sampling round and leaves rng untouched.
 func (d *Driver[R, K]) PlanLevel(cur []R, hcur []uint64, hashed, allowCollapse bool, bitDepth int, rng *hashutil.RNG) Level[K] {
+	d.CheckCancel()
 	var lv Level[K]
 	if d.adoptKeys != nil {
 		keys, hs := d.adoptKeys, d.adoptHashes
@@ -414,6 +451,10 @@ func (d *Driver[R, K]) AbsorbLevelFirst(lv *Level[K], cur []R, hcur []uint64,
 func (d *Driver[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []int32,
 	ht *sampling.HeavyTable[K], hashed, collapsed bool, sampled []int32, lo, hi, bitDepth int,
 	absorb func(sub, hid, j int)) {
+	// One cancellation checkpoint per chunk: a chunk is one subarray (or
+	// one serial bucket), so a firing context stops an O(n) sweep within
+	// one subarray's worth of work on every participant.
+	d.CheckCancel()
 	nLmask := uint64(d.nL - 1)
 	// Heavy ids start right after the light buckets (IDBase, or 1 when
 	// collapsed); the absorb sink gets them rebased to [0, NH).

@@ -32,7 +32,7 @@ import (
 func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) {
 	s := newSorter(a, key, hash, eq, nil, cfg)
 	if s != nil {
-		hb := parallel.GetBuf[uint64](s.sc, len(a))
+		hb := parallel.LeaseBuf[uint64](s.sc, s.ledger, len(a))
 		s.inPlaceRec(a, hb.S, false, 0, 0, hashutil.NewRNG(s.seed))
 		hb.Release()
 		s.release()
@@ -45,7 +45,7 @@ func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less f
 	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
 	s := newSorter(a, key, hash, eq, less, cfg)
 	if s != nil {
-		hb := parallel.GetBuf[uint64](s.sc, len(a))
+		hb := parallel.LeaseBuf[uint64](s.sc, s.ledger, len(a))
 		s.inPlaceRec(a, hb.S, false, 0, 0, hashutil.NewRNG(s.seed))
 		hb.Release()
 		s.release()
@@ -103,12 +103,27 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 	}
 	starts[nB] = sum
 	countsBuf.Release()
+	// The chase is one serial O(n) pass with no natural chunk boundary, so
+	// it carries its own amortized cancellation checkpoint: one context
+	// check per 2^16 placements (a cycle places one record per hop, so the
+	// counter advances even inside one giant cycle). The mid-walk check
+	// must not raise while a record is in hand — at that point a[i]'s
+	// value is duplicated at its placed position and the displaced record
+	// exists only in v — so it writes v back into a[i] first, which
+	// restores a permutation, and only then panics; a cancelled call thus
+	// keeps the documented "valid but unspecified permutation" contract.
+	placed := 0
 	for b := 0; b < nB; b++ {
 		end := starts[b+1]
 		for heads[b] < end {
+			if placed >= serialCutoff {
+				placed = 0
+				s.CheckCancel()
+			}
 			i := heads[b]
 			if int(ids[i]) == b {
 				heads[b]++
+				placed++
 				continue
 			}
 			v, hv, vid := a[i], hs[i], ids[i]
@@ -118,9 +133,18 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 				a[j], v = v, a[j]
 				hs[j], hv = hv, hs[j]
 				ids[j], vid = vid, ids[j]
+				placed++
+				if placed >= serialCutoff {
+					placed = 0
+					if s.ctx != nil && s.ctx.Err() != nil {
+						a[i], hs[i], ids[i] = v, hv, vid
+						s.CheckCancel()
+					}
+				}
 			}
 			a[i], hs[i], ids[i] = v, hv, vid
 			heads[b]++
+			placed++
 		}
 	}
 	headsBuf.Release()

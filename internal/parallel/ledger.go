@@ -1,0 +1,136 @@
+package parallel
+
+import "sync"
+
+// Ledger is a call-scoped lease registry, the pool-hygiene half of fault
+// containment. The arena's buffer-reuse contract (scratch.go) is built on
+// explicit releases, and a panic or cancellation unwinds a call straight
+// past them. Two failure modes follow, and the ledger closes both:
+//
+//   - Leaks: a buffer taken and never released is gone from the pool. The
+//     ledger's Settle detaches every lease still outstanding at a clean
+//     call end, so a forgotten release degrades to garbage (the GC
+//     reclaims it) instead of silently shrinking the arena. On a fault
+//     this is the DESIRED end state for everything the call touched —
+//     see below — so faulted calls leak nothing either.
+//
+//   - Poisoning: an object released while the call is unwinding — or by a
+//     straggling deferred release after the fault was declared — may be
+//     half-mutated (a heavy table mid-build, a hash plane mid-scatter).
+//     Re-pooling it hands the wreckage to the next caller. Once Abort has
+//     been called, every tracked release is suppressed: the handle
+//     settles, the object is discarded, the pool never sees it.
+//
+// The discard rule, stated once: on a fault, a tracked object is NEVER
+// re-pooled, whether its release runs or not. Plain-content buffers
+// ([]T slices) could in principle be re-pooled dirty — the arena contract
+// already says contents are unspecified — but invariant-carrying scratch
+// (tables whose undirtied slots must read -1, page chains, pooled op
+// structs) cannot, and the engine releases those only on success paths by
+// construction. The ledger backstops the buffers whose releases sit in
+// defers and would otherwise run mid-unwind.
+//
+// Ledgers are pooled through the arena themselves and guarded by a
+// generation counter: a lease token names (generation, slot), so a stale
+// handle from a previous call of a recycled ledger can never settle — or
+// double-free — a current lease. An aborted ledger is permanently retired
+// (never re-pooled): the few hundred bytes are the price of making
+// use-after-abort races structurally impossible.
+type Ledger struct {
+	mu      sync.Mutex
+	gen     uint32
+	aborted bool
+	leases  []leased
+}
+
+// leased is the ledger's view of a tracked object: on Settle, stragglers
+// are detached (forget their ledger) so their eventual Release re-pools
+// them normally... except it never runs — that is the leak-to-GC path.
+type leased interface{ detach() }
+
+// GetLedger takes a pooled ledger from the arena and opens a new
+// generation for this call.
+func GetLedger(s *Scratch) *Ledger {
+	lg := GetObj[Ledger](s)
+	lg.mu.Lock()
+	lg.gen++
+	lg.aborted = false
+	clear(lg.leases)
+	lg.leases = lg.leases[:0]
+	lg.mu.Unlock()
+	return lg
+}
+
+// add registers a lease and returns its token.
+func (lg *Ledger) add(x leased) uint64 {
+	lg.mu.Lock()
+	idx := len(lg.leases)
+	lg.leases = append(lg.leases, x)
+	tok := uint64(lg.gen)<<32 | uint64(uint32(idx))
+	lg.mu.Unlock()
+	return tok
+}
+
+// settle ends lease tok cleanly and reports whether the underlying object
+// may be re-pooled: false once the call has aborted (the object may be
+// half-mutated; discard it), true on the clean path. A token from an
+// earlier generation belongs to a call that already settled — its object
+// was detached, not re-pooled, so re-pooling now is single and safe.
+func (lg *Ledger) settle(tok uint64) bool {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if uint32(tok>>32) != lg.gen {
+		return true
+	}
+	if lg.aborted {
+		return false
+	}
+	lg.leases[uint32(tok)] = nil
+	return true
+}
+
+// Abort marks the call faulted: every outstanding lease is dropped (the
+// objects go to the GC, never back to a pool) and every release that still
+// runs during the unwind is suppressed. The ledger itself is retired — an
+// aborted ledger must not be re-pooled, so its generation can never be
+// reused by a caller racing the unwind.
+func (lg *Ledger) Abort() {
+	lg.mu.Lock()
+	lg.aborted = true
+	clear(lg.leases)
+	lg.leases = lg.leases[:0]
+	lg.mu.Unlock()
+}
+
+// Settle ends the call cleanly: leases already released are gone, and any
+// straggler (a forgotten release) is detached and dropped — leaked to the
+// GC rather than re-pooled, since nothing can prove a straggler's handle
+// will not be released later. The ledger goes back to the arena for the
+// next call.
+func (lg *Ledger) Settle(s *Scratch) {
+	lg.mu.Lock()
+	for _, x := range lg.leases {
+		if x != nil {
+			x.detach()
+		}
+	}
+	clear(lg.leases)
+	lg.leases = lg.leases[:0]
+	lg.mu.Unlock()
+	PutObj(s, lg)
+}
+
+// LeaseBuf is GetBuf with the lease recorded in lg (nil lg degrades to a
+// plain GetBuf): the buffer's Release routes through the ledger, so it is
+// suppressed after an Abort and the buffer is discarded instead of
+// re-pooled. Call-root buffers whose releases can run during a panic
+// unwind — or that should be provably leak-free across faults — take this
+// path; purely success-path releases do not need it.
+func LeaseBuf[T any](s *Scratch, lg *Ledger, n int) *Buf[T] {
+	b := GetBuf[T](s, n)
+	if lg != nil {
+		b.ledger = lg
+		b.token = lg.add(b)
+	}
+	return b
+}

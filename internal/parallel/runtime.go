@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,15 @@ type Runtime struct {
 	closed     atomic.Bool
 	announcing atomic.Int64
 	scratch    Scratch
+	// admit, when non-nil, is the bounded in-flight-call semaphore installed
+	// by SetInflightLimit: public engine entry points Acquire a slot before
+	// doing any work and release it on every exit path, so a multi-tenant
+	// service gets backpressure instead of unbounded pile-up. Swapping the
+	// limit replaces the channel atomically; every admitted call holds an
+	// AdmitSlot bound to the exact channel it acquired on, so releases after
+	// a swap drain the OLD channel — waiters queued on it make progress, and
+	// no release can consume a slot another call took from the new channel.
+	admit atomic.Pointer[chan struct{}]
 }
 
 // job is one parallel loop in flight.
@@ -47,6 +57,14 @@ type job struct {
 	body   func(lo, hi int)
 	bodyW  func(w, lo, hi int)
 	wg     sync.WaitGroup // one count per chunk
+	// abort flips when any chunk panics: participants check it at every
+	// steal boundary and drain the remaining chunks without running them,
+	// so siblings of a dead chunk stop within one chunk's worth of work.
+	abort atomic.Bool
+	// pan holds the job's first recorded panic (wrapped with the panicking
+	// goroutine's stack); run re-raises it on the calling goroutine once
+	// every chunk is accounted for.
+	pan atomic.Pointer[PanicError]
 }
 
 // NewRuntime creates a runtime with the given target parallelism (the
@@ -159,23 +177,60 @@ func (rt *Runtime) worker() {
 }
 
 // help claims and runs chunks until none are left. The first claimed chunk
-// lazily assigns this participant a dense slot id for bodyW.
+// lazily assigns this participant a dense slot id for bodyW. Once the job
+// is aborting (a sibling chunk panicked) the participant stops running
+// bodies and drains instead.
 func (j *job) help() {
 	slot := int64(-1)
 	for {
+		if j.abort.Load() {
+			j.drain()
+			return
+		}
 		c := j.next.Add(1) - 1
 		if c >= j.chunks {
 			return
 		}
 		lo := int(c) * j.grain
 		hi := min(lo+j.grain, j.hi)
-		if j.bodyW != nil {
-			if slot < 0 {
-				slot = j.slots.Add(1) - 1
-			}
-			j.bodyW(int(slot), lo, hi)
-		} else {
-			j.body(lo, hi)
+		if j.bodyW != nil && slot < 0 {
+			slot = j.slots.Add(1) - 1
+		}
+		j.runChunk(int(slot), lo, hi)
+	}
+}
+
+// runChunk runs one claimed chunk with its panic contained: the first
+// panic value of the job is recorded (with this goroutine's stack) and the
+// job flips to aborting. The chunk is counted done either way, so run's
+// barrier never hangs, and a recovering pool worker goes back to its queue
+// alive.
+func (j *job) runChunk(slot, lo, hi int) {
+	defer j.wg.Done()
+	defer j.catch()
+	if j.bodyW != nil {
+		j.bodyW(slot, lo, hi)
+	} else {
+		j.body(lo, hi)
+	}
+}
+
+// catch records a chunk panic into the job. Deferred directly by runChunk
+// (recover only works in a directly deferred function).
+func (j *job) catch() {
+	if r := recover(); r != nil {
+		j.pan.CompareAndSwap(nil, AsPanicError(r))
+		j.abort.Store(true)
+	}
+}
+
+// drain claims the remaining chunks of an aborting job without running
+// them, keeping the chunk accounting exact.
+func (j *job) drain() {
+	for {
+		c := j.next.Add(1) - 1
+		if c >= j.chunks {
+			return
 		}
 		j.wg.Done()
 	}
@@ -207,12 +262,17 @@ func chunkCount(n, grain int) int64 {
 }
 
 // run executes one job to completion: announce, participate, wait for
-// straggler chunks claimed by pool workers.
+// straggler chunks claimed by pool workers. If any chunk panicked, the
+// job's first recorded panic is re-raised here — on the calling goroutine,
+// after every sibling has drained — wrapped as a *PanicError.
 func (rt *Runtime) run(j *job) {
 	j.wg.Add(int(j.chunks))
 	rt.announce(j, min(int(j.chunks)-1, rt.pool))
 	j.help()
 	j.wg.Wait()
+	if pe := j.pan.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // ForRange splits [0, n) into chunks of at most grain indices and runs
@@ -284,7 +344,9 @@ func (rt *Runtime) ForRangeW(n, grain int, body func(w, lo, hi int)) {
 // the k-ary fork primitive of the work-span model: unlike the loop
 // primitives (which may run chunks sequentially on the caller when the pool
 // is busy), Do guarantees every function gets its own goroutine, so
-// functions that synchronize with each other cannot deadlock.
+// functions that synchronize with each other cannot deadlock. A panic in
+// any function is recorded, the others run to completion, and the first
+// panic is re-raised on the caller as a *PanicError.
 func (rt *Runtime) Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -293,16 +355,85 @@ func (rt *Runtime) Do(fns ...func()) {
 		fns[0]()
 		return
 	}
+	var pan atomic.Pointer[PanicError]
 	var wg sync.WaitGroup
 	wg.Add(len(fns) - 1)
 	for _, fn := range fns[1:] {
 		go func() {
 			defer wg.Done()
+			defer catchInto(&pan)
 			fn()
 		}()
 	}
-	fns[0]()
+	func() {
+		defer catchInto(&pan)
+		fns[0]()
+	}()
 	wg.Wait()
+	if pe := pan.Load(); pe != nil {
+		panic(pe)
+	}
+}
+
+// SetInflightLimit bounds how many engine calls the runtime admits
+// concurrently: public op entry points and pipeline stages Acquire an
+// admission slot before doing any work and Release it when they return, so
+// at most n calls compute at once and the rest queue at the door (with
+// context-aware waiting) instead of piling onto the worker pool. n <= 0
+// removes the limit. Changing the limit does not disturb calls already
+// admitted; they drain under the limit they were admitted with.
+func (rt *Runtime) SetInflightLimit(n int) {
+	if n <= 0 {
+		rt.admit.Store(nil)
+		return
+	}
+	ch := make(chan struct{}, n)
+	rt.admit.Store(&ch)
+}
+
+// AdmitSlot is one admission slot held by an in-flight call. It is bound
+// to the exact semaphore channel Acquire took it from, so Release stays
+// correct across concurrent SetInflightLimit swaps: a call admitted under
+// the old limit drains the old channel (unblocking waiters queued on it)
+// instead of consuming a slot some other call took from the new one. The
+// zero AdmitSlot (no limit installed at Acquire time) releases nothing.
+type AdmitSlot struct {
+	ch chan struct{}
+}
+
+// Release returns the slot to the semaphore it came from. Call it exactly
+// once per successful Acquire; on the zero slot it is a no-op.
+func (s AdmitSlot) Release() {
+	if s.ch != nil {
+		<-s.ch
+	}
+}
+
+// Acquire takes one admission slot, waiting until a slot frees or ctx
+// fires (ctx may be nil: wait indefinitely). It returns the zero AdmitSlot
+// immediately when no in-flight limit is installed. Each successful
+// Acquire must be paired with exactly one Release on the returned slot;
+// the public entry points do this — user code only touches the pair when
+// driving the runtime directly.
+func (rt *Runtime) Acquire(ctx context.Context) (AdmitSlot, error) {
+	p := rt.admit.Load()
+	if p == nil {
+		return AdmitSlot{}, nil
+	}
+	ch := *p
+	if ctx == nil {
+		ch <- struct{}{}
+		return AdmitSlot{ch: ch}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return AdmitSlot{}, err
+	}
+	select {
+	case ch <- struct{}{}:
+		return AdmitSlot{ch: ch}, nil
+	case <-ctx.Done():
+		return AdmitSlot{}, ctx.Err()
+	}
 }
 
 // Blocks splits [0, n) into nBlocks nearly equal contiguous blocks and runs

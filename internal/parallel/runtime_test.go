@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -208,6 +210,67 @@ func TestRuntimeCloseStopsPoolWorkers(t *testing.T) {
 	}
 	if got := goroutines(); got > before {
 		t.Fatalf("running on a closed runtime revived %d goroutines", got-before)
+	}
+}
+
+func TestAdmitReleaseBoundToAcquiredChannel(t *testing.T) {
+	// A release must drain the semaphore channel the slot was ACQUIRED on.
+	// Hold a slot on the original channel, swap the limit (new channel),
+	// fill the new channel, then release the old slot: the new channel must
+	// stay full — a release that loaded the current channel would steal the
+	// new call's token and transiently admit more than the limit.
+	rt := NewRuntime(2)
+	defer rt.Close()
+	rt.SetInflightLimit(1)
+	oldSlot, err := rt.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire on a free semaphore: %v", err)
+	}
+	rt.SetInflightLimit(1) // swap channels while oldSlot is held
+	newSlot, err := rt.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire on the fresh semaphore: %v", err)
+	}
+	oldSlot.Release() // must drain the OLD channel only
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := rt.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("release after a limit swap freed a slot on the NEW semaphore: err = %v, want DeadlineExceeded", err)
+	}
+	newSlot.Release()
+	s, err := rt.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after the new slot freed: %v", err)
+	}
+	s.Release()
+}
+
+func TestAdmitWaiterOnSwappedChannelUnblocks(t *testing.T) {
+	// A nil-context Acquire queued on a full semaphore must be admitted
+	// when the slot holder releases, even if SetInflightLimit swapped the
+	// channel in between: the holder's release is bound to the old channel
+	// the waiter is queued on. Before AdmitSlot bound the pair, the
+	// release went to the new channel and the waiter hung forever.
+	rt := NewRuntime(2)
+	defer rt.Close()
+	rt.SetInflightLimit(1)
+	held, err := rt.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire on a free semaphore: %v", err)
+	}
+	admitted := make(chan AdmitSlot)
+	go func() {
+		s, _ := rt.Acquire(nil) // nil ctx: waits indefinitely
+		admitted <- s
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter queue on the old semaphore
+	rt.SetInflightLimit(4)            // swap while the waiter is queued
+	held.Release()                    // drains the old channel, admitting the waiter
+	select {
+	case s := <-admitted:
+		s.Release()
+	case <-timeout(t):
+		t.Fatal("waiter queued on the swapped-out semaphore was never admitted")
 	}
 }
 

@@ -29,7 +29,16 @@ type Scratch struct {
 type Buf[T any] struct {
 	S    []T
 	pool *sync.Pool
+	// ledger/token route Release through a call-scoped lease ledger (see
+	// LeaseBuf): after the call aborts, the release is suppressed and the
+	// buffer is discarded instead of re-pooled. Both are zero for plain
+	// GetBuf leases.
+	ledger *Ledger
+	token  uint64
 }
+
+// detach forgets the buffer's ledger (Ledger.Settle's straggler path).
+func (b *Buf[T]) detach() { b.ledger = nil }
 
 // poolFor returns the free list keyed by the given type, creating it once.
 func (s *Scratch) poolFor(key reflect.Type) *sync.Pool {
@@ -48,6 +57,7 @@ func GetBuf[T any](s *Scratch, n int) *Buf[T] {
 	if b == nil {
 		b = &Buf[T]{pool: p}
 	}
+	b.ledger = nil // pooled handles may carry a previous call's ledger
 	if cap(b.S) < n {
 		b.S = make([]T, ceilCap(n))
 	}
@@ -55,8 +65,18 @@ func GetBuf[T any](s *Scratch, n int) *Buf[T] {
 	return b
 }
 
-// Release returns the buffer to its arena.
+// Release returns the buffer to its arena. A ledger-tracked buffer (see
+// LeaseBuf) settles its lease first; once the call has aborted the release
+// is suppressed and the buffer is discarded — never re-pooled — so a
+// release running during a panic unwind cannot poison the pool.
 func (b *Buf[T]) Release() {
+	if lg := b.ledger; lg != nil {
+		tok := b.token
+		b.ledger = nil
+		if !lg.settle(tok) {
+			return
+		}
+	}
 	if b.pool != nil {
 		b.pool.Put(b)
 	}

@@ -47,13 +47,13 @@ func JoinCount[R, S, K any](a []R, inA *core.Plane[K], b []S, inB *core.Plane[K]
 	if inA != nil && inA.Hashes != nil {
 		hbA, hashedA = borrowedBuf[uint64]{S: inA.Hashes}, true
 	} else {
-		buf := parallel.GetBuf[uint64](sc, na)
+		buf := parallel.LeaseBuf[uint64](sc, dA.Ledger(), na)
 		hbA = borrowedBuf[uint64]{S: buf.S, owned: buf}
 	}
 	if inB != nil && inB.Hashes != nil {
 		hbB, hashedB = borrowedBuf[uint64]{S: inB.Hashes}, true
 	} else {
-		buf := parallel.GetBuf[uint64](sc, nb)
+		buf := parallel.LeaseBuf[uint64](sc, dB.Ledger(), nb)
 		hbB = borrowedBuf[uint64]{S: buf.S, owned: buf}
 	}
 	root := j.rec(a, hbA.S, b, hbB.S, hashedA, hashedB, 0, 0, hashutil.NewRNG(dA.Seed()))

@@ -80,7 +80,9 @@ func planeIn[R, K any](in *core.Plane[K], d *core.Driver[R, K], sc *parallel.Scr
 			return borrowedBuf[uint64]{S: in.Hashes}, true
 		}
 	}
-	b := parallel.GetBuf[uint64](sc, n)
+	// Ledger-tracked: the O(n) hash mirror is the call's biggest lease, and
+	// on a fault it must be discarded, not re-pooled (see parallel.Ledger).
+	b := parallel.LeaseBuf[uint64](sc, d.Ledger(), n)
 	return borrowedBuf[uint64]{S: b.S, owned: b}, false
 }
 

@@ -83,6 +83,12 @@ func JoinGrouped[R, S, K, T any](a []R, boundsA []int32, b []S, boundsB []int32,
 	}
 	offs[nP] = total
 	out := make([]T, total)
+	// The per-pair cross product is unbounded in the input sizes (|ga|*|gb|
+	// rows), so it checks for cancellation once per a-record, like the
+	// driver join's heavy broadcast. ctx/ledger are captured by value — a
+	// cfg.CheckCancel here would heap-box the whole Config per call.
+	ctx, ledger := cfg.Ctx, cfg.Ledger
+	cancelable := ctx != nil
 	rt.For(nP, 1, func(p int) {
 		pr := pairs.S[p]
 		ga, gb := pr[0], pr[1]
@@ -92,6 +98,9 @@ func JoinGrouped[R, S, K, T any](a []R, boundsA []int32, b []S, boundsB []int32,
 		o := offs[p]
 		bs := b[boundsB[gb]:boundsB[gb+1]]
 		for _, ra := range a[boundsA[ga]:boundsA[ga+1]] {
+			if cancelable {
+				core.CheckCancel(ctx, ledger)
+			}
 			for _, rb := range bs {
 				out[o] = joinF(ra, rb)
 				o++

@@ -109,13 +109,13 @@ func runJoin[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	if inA != nil && inA.Hashes != nil {
 		hbA, hashedA = borrowedBuf[uint64]{S: inA.Hashes}, true
 	} else {
-		buf := parallel.GetBuf[uint64](sc, na)
+		buf := parallel.LeaseBuf[uint64](sc, dA.Ledger(), na)
 		hbA = borrowedBuf[uint64]{S: buf.S, owned: buf}
 	}
 	if inB != nil && inB.Hashes != nil {
 		hbB, hashedB = borrowedBuf[uint64]{S: inB.Hashes}, true
 	} else {
-		buf := parallel.GetBuf[uint64](sc, nb)
+		buf := parallel.LeaseBuf[uint64](sc, dB.Ledger(), nb)
 		hbB = borrowedBuf[uint64]{S: buf.S, owned: buf}
 	}
 	root := j.rec(a, hbA.S, b, hbB.S, hashedA, hashedB, 0, 0, hashutil.NewRNG(dA.Seed()))
@@ -330,7 +330,17 @@ func (j *joiner[R, S, K, T]) emitHeavy(lv *core.Level[K], aLog, bLog *sideLog, c
 				}
 			}
 			bs := ib[sb[h]:sb[h+1]]
+			// The broadcast cross product is the join's only loop unbounded
+			// in the INPUT size — |a_k| * |b_k| rows for heavy key k can
+			// dwarf n — so it checks for cancellation once per a-record
+			// (every |b_k| rows), the one op-level checkpoint the driver's
+			// per-chunk checks cannot provide. The hoisted flag keeps the
+			// no-context path at one predicted-false branch per a-record.
+			cancelable := j.dA.Cancelable()
 			for _, ra := range ia[sa[h]:sa[h+1]] {
+				if cancelable {
+					j.dA.CheckCancel()
+				}
 				rec := curA[ra]
 				for _, rb := range bs {
 					out[o] = j.joinF(rec, curB[rb])
@@ -786,7 +796,11 @@ func (j *joiner[R, S, K, T]) buildA(curA []R, hA []uint64) *joinScratch {
 // each emitted row's key hash (the probe record's cached hash) in lockstep.
 func (j *joiner[R, S, K, T]) probeWithA(scr *joinScratch, curA []R, hA []uint64, curB []S, lo, hi int, out []T, hout []uint64) ([]T, []uint64) {
 	mask, shift := scr.mask, scr.shift
+	cancelable := j.dA.Cancelable()
 	for i := lo; i < hi; i++ {
+		if cancelable && (i-lo)&1023 == 0 {
+			j.dA.CheckCancel() // amortized: leaf probes between driver chunk checks
+		}
 		h := hA[i]
 		var k K
 		haveK := false
@@ -832,7 +846,11 @@ func (j *joiner[R, S, K, T]) probeWithA(scr *joinScratch, curA []R, hA []uint64,
 // probeWithA.
 func (j *joiner[R, S, K, T]) probeWithB(scr *joinScratch, curA []R, curB []S, hB []uint64, lo, hi int, out []T, hout []uint64) ([]T, []uint64) {
 	mask, shift := scr.mask, scr.shift
+	cancelable := j.dA.Cancelable()
 	for i := lo; i < hi; i++ {
+		if cancelable && (i-lo)&1023 == 0 {
+			j.dA.CheckCancel()
+		}
 		h := hB[i]
 		var k K
 		haveK := false

@@ -17,11 +17,38 @@ import "repro/internal/core"
 // so peak throughput is lower. Output is still deterministic for a fixed
 // seed. Use it when the extra footprint of SortEq is the bottleneck.
 func SortEqInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) {
-	core.SortEqInPlace(a, key, hash, eq, buildConfig(opts))
+	mustCall(SortEqInPlaceE(a, key, hash, eq, opts...))
+}
+
+// SortEqInPlaceE is SortEqInPlace with an error return for cancellable
+// calls; see SortEqE for the contract. On cancellation a is a valid but
+// unspecified permutation of its input.
+func SortEqInPlaceE[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return aerr
+	}
+	defer done(&err)
+	core.SortEqInPlace(a, key, hash, eq, cfg)
+	return nil
 }
 
 // SortLessInPlace is the space-efficient variant of SortLess; see
 // SortEqInPlace for the trade-offs.
 func SortLessInPlace[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) {
-	core.SortLessInPlace(a, key, hash, less, buildConfig(opts))
+	mustCall(SortLessInPlaceE(a, key, hash, less, opts...))
+}
+
+// SortLessInPlaceE is SortLessInPlace with an error return for cancellable
+// calls; see SortEqE for the contract.
+func SortLessInPlaceE[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) (err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return aerr
+	}
+	defer done(&err)
+	core.SortLessInPlace(a, key, hash, less, cfg)
+	return nil
 }

@@ -23,11 +23,24 @@ import (
 // joined row — per-key counts multiply instead.
 //
 // A pipeline is single-use: each stage consumes its receiver and each
-// terminal releases the pipeline's pooled state; reusing a consumed pipeline
-// panics. Stages never modify a (the first stage that needs to reorder
-// records copies once); intermediate results live in pipeline-owned slices.
-// Results are deterministic for a fixed seed; output order is deterministic
-// but unspecified, matching the non-pipelined ops.
+// terminal releases the pipeline's pooled state. Invoking any stage or
+// terminal after a terminal ended the pipeline panics with a
+// *PipelineConsumedError naming the offending call (errors.Is-matchable
+// against ErrPipelineConsumed); build a fresh Query per query instead of
+// caching pipeline values. Stages never modify a (the first stage that
+// needs to reorder records copies once); intermediate results live in
+// pipeline-owned slices. Results are deterministic for a fixed seed;
+// output order is deterministic but unspecified, matching the
+// non-pipelined ops.
+//
+// Failure containment matches the standalone ops: every stage and terminal
+// runs under the call guard, so a panic in a user callback surfaces as a
+// *PanicError and a WithContext cancellation is delivered by the
+// error-returning terminals (RunE, GroupsE, HistogramE, TopKE,
+// CountDistinctE). A faulted stage discards the pipeline's intermediate
+// state — never returning possibly half-mutated buffers to the arena — and
+// the fault rides the chain: later stages are no-ops and the terminal
+// reports it, so a fluent chain needs exactly one error check, at the end.
 //
 //	top := semisort.Query(orders, orderUser, hashU64, eqU64).
 //	    Dedup().
@@ -60,18 +73,18 @@ type Pipeline[R, K any] struct {
 // no hashing; otherwise the dedup runs on the driver with the input plane
 // (cached hashes, adopted heavy keys) and emits the output's hash plane for
 // the next stage.
-func (p *Pipeline[R, K]) Dedup() *Pipeline[R, K] { p.c.dedup(); return p }
+func (p *Pipeline[R, K]) Dedup() *Pipeline[R, K] { p.c.dedup("Dedup"); return p }
 
 // Sort groups equal-key records contiguously (semisort=) and records the
 // group boundaries, so every downstream stage sees grouped data. An upstream
 // hash plane is consumed in place of re-hashing: the sort issues zero user
 // hash calls then. The first Sort on caller-provided data copies it once;
 // pipeline-owned data sorts in place.
-func (p *Pipeline[R, K]) Sort() *Pipeline[R, K] { p.c.sort(); return p }
+func (p *Pipeline[R, K]) Sort() *Pipeline[R, K] { p.c.sort("Sort"); return p }
 
 // GroupBy is Sort under its relational name: group equal-key records
 // contiguously and carry the boundaries forward.
-func (p *Pipeline[R, K]) GroupBy() *Pipeline[R, K] { p.c.sort(); return p }
+func (p *Pipeline[R, K]) GroupBy() *Pipeline[R, K] { p.c.sort("GroupBy"); return p }
 
 // JoinEq stages the inner equi-join of the pipeline with relation b (joined
 // on eq(key(r), keyB(s)); both sides key into the same K). The join is
@@ -84,8 +97,11 @@ func (p *Pipeline[R, K]) GroupBy() *Pipeline[R, K] { p.c.sort(); return p }
 // forbid the unbounded Joined[Joined[...]] type growth a fluent re-join
 // would need); chain a fresh Query over its Run output instead.
 func (p *Pipeline[R, K]) JoinEq(b []R, keyB func(R) K) *JoinedPipeline[R, K] {
-	p.c.check()
-	p.c.settle()
+	p.c.check("JoinEq")
+	p.c.guarded(func() { p.c.settle() })
+	if p.c.fault != nil {
+		return faultedJoin(&p.c)
+	}
 	pj := &eqJoin[R, K]{
 		a: p.c.data, b: b,
 		keyA: p.c.key, keyB: keyB,
@@ -102,10 +118,19 @@ func (p *Pipeline[R, K]) JoinEq(b []R, keyB func(R) K) *JoinedPipeline[R, K] {
 // grouped the join skips the driver entirely and matches groups — one hash
 // call per group instead of one per record. Both pipelines are consumed.
 func (p *Pipeline[R, K]) JoinEqP(b *Pipeline[R, K]) *JoinedPipeline[R, K] {
-	p.c.check()
-	b.c.check()
-	p.c.settle()
-	b.c.settle()
+	p.c.check("JoinEqP")
+	b.c.check("JoinEqP")
+	p.c.guarded(func() { p.c.settle() })
+	b.c.guarded(func() { b.c.settle() })
+	if p.c.fault != nil || b.c.fault != nil {
+		// Either side's fault consumes both and rides into the join.
+		if p.c.fault == nil {
+			p.c.fault = b.c.fault
+		}
+		b.c.fault = nil
+		b.c.used = true
+		return faultedJoin(&p.c)
+	}
 	pj := &eqJoin[R, K]{
 		a: p.c.data, b: b.c.data,
 		keyA: p.c.key, keyB: b.c.key,
@@ -119,30 +144,74 @@ func (p *Pipeline[R, K]) JoinEqP(b *Pipeline[R, K]) *JoinedPipeline[R, K] {
 }
 
 // Run materializes the pipeline's records and ends it.
-func (p *Pipeline[R, K]) Run() []R { return p.c.run() }
+func (p *Pipeline[R, K]) Run() []R {
+	out, err := p.c.runE("Run")
+	mustCall(err)
+	return out
+}
+
+// RunE is Run with an error return for cancellable pipelines: combined with
+// WithContext on Query it returns ctx.Err() once the query has unwound and
+// its pooled state is discarded. A fault in an earlier stage is reported
+// here too — one error check covers the whole fluent chain.
+func (p *Pipeline[R, K]) RunE() ([]R, error) { return p.c.runE("RunE") }
 
 // Groups materializes the pipeline's records grouped by key (sorting first
 // if no upstream stage grouped them) and returns the records with their
 // group boundaries. It ends the pipeline.
-func (p *Pipeline[R, K]) Groups() ([]R, []Group) { return p.c.groups() }
+func (p *Pipeline[R, K]) Groups() ([]R, []Group) {
+	out, groups, err := p.c.groupsE("Groups")
+	mustCall(err)
+	return out, groups
+}
+
+// GroupsE is Groups with an error return for cancellable pipelines; see
+// RunE for the contract.
+func (p *Pipeline[R, K]) GroupsE() ([]R, []Group, error) { return p.c.groupsE("GroupsE") }
 
 // Histogram counts each distinct key's records and ends the pipeline. A
 // staged join counts without materializing rows; grouped data reads group
 // lengths; distinct data is all ones; otherwise the count-only driver runs
 // over the input plane.
-func (p *Pipeline[R, K]) Histogram() []KeyCount[K] { return p.c.histogram() }
+func (p *Pipeline[R, K]) Histogram() []KeyCount[K] {
+	out, err := p.c.histogramE("Histogram")
+	mustCall(err)
+	return out
+}
+
+// HistogramE is Histogram with an error return for cancellable pipelines;
+// see RunE for the contract.
+func (p *Pipeline[R, K]) HistogramE() ([]KeyCount[K], error) { return p.c.histogramE("HistogramE") }
 
 // TopK returns the k most frequent keys with their counts, ordered by
 // descending count (ties broken deterministically), and ends the pipeline.
 // The selection runs over the fused histogram — O(distinct) or O(matched
 // groups), never over materialized join rows.
-func (p *Pipeline[R, K]) TopK(k int) []KeyCount[K] { return p.c.topK(k) }
+func (p *Pipeline[R, K]) TopK(k int) []KeyCount[K] {
+	out, err := p.c.topKE("TopK", k)
+	mustCall(err)
+	return out
+}
+
+// TopKE is TopK with an error return for cancellable pipelines; see RunE
+// for the contract.
+func (p *Pipeline[R, K]) TopKE(k int) ([]KeyCount[K], error) { return p.c.topKE("TopKE", k) }
 
 // CountDistinct returns the number of distinct keys and ends the pipeline.
 // Distinct data is a length; grouped data a group count; a staged join the
 // number of matched keys; otherwise the count-only driver runs over the
 // input plane.
-func (p *Pipeline[R, K]) CountDistinct() int64 { return p.c.countDistinct() }
+func (p *Pipeline[R, K]) CountDistinct() int64 {
+	n, err := p.c.countDistinctE("CountDistinct")
+	mustCall(err)
+	return n
+}
+
+// CountDistinctE is CountDistinct with an error return for cancellable
+// pipelines; see RunE for the contract.
+func (p *Pipeline[R, K]) CountDistinctE() (int64, error) {
+	return p.c.countDistinctE("CountDistinctE")
+}
 
 // JoinedPipeline is a pipeline over the rows of a staged equi-join (see
 // Pipeline.JoinEq). It offers every stage and terminal except a further
@@ -165,33 +234,95 @@ func joinedPipeline[R, K any](c *pipeCore[R, K], pj *eqJoin[R, K]) *JoinedPipeli
 	}}
 }
 
+// faultedJoin builds the joined pipeline for a join whose input side
+// faulted while settling: the fault transfers to the new pipeline (the
+// receiver is left consumed), so the terminal at the end of the chain
+// still reports it.
+func faultedJoin[R, K any](c *pipeCore[R, K]) *JoinedPipeline[R, K] {
+	jp := &JoinedPipeline[R, K]{c: pipeCore[Joined[R], K]{
+		cfg:   c.cfg,
+		hash:  c.hash,
+		eq:    c.eq,
+		fault: c.fault,
+	}}
+	c.fault = nil
+	c.used = true
+	return jp
+}
+
 // Dedup keeps one joined row per distinct join key; see Pipeline.Dedup.
-func (p *JoinedPipeline[R, K]) Dedup() *JoinedPipeline[R, K] { p.c.dedup(); return p }
+func (p *JoinedPipeline[R, K]) Dedup() *JoinedPipeline[R, K] { p.c.dedup("Dedup"); return p }
 
 // Sort groups equal-key joined rows contiguously; see Pipeline.Sort.
-func (p *JoinedPipeline[R, K]) Sort() *JoinedPipeline[R, K] { p.c.sort(); return p }
+func (p *JoinedPipeline[R, K]) Sort() *JoinedPipeline[R, K] { p.c.sort("Sort"); return p }
 
 // GroupBy is Sort under its relational name.
-func (p *JoinedPipeline[R, K]) GroupBy() *JoinedPipeline[R, K] { p.c.sort(); return p }
+func (p *JoinedPipeline[R, K]) GroupBy() *JoinedPipeline[R, K] { p.c.sort("GroupBy"); return p }
 
 // Run materializes the joined rows and ends the pipeline.
-func (p *JoinedPipeline[R, K]) Run() []Joined[R] { return p.c.run() }
+func (p *JoinedPipeline[R, K]) Run() []Joined[R] {
+	out, err := p.c.runE("Run")
+	mustCall(err)
+	return out
+}
+
+// RunE is Run with an error return for cancellable pipelines; see
+// Pipeline.RunE for the contract.
+func (p *JoinedPipeline[R, K]) RunE() ([]Joined[R], error) { return p.c.runE("RunE") }
 
 // Groups materializes the joined rows grouped by join key; see
 // Pipeline.Groups.
-func (p *JoinedPipeline[R, K]) Groups() ([]Joined[R], []Group) { return p.c.groups() }
+func (p *JoinedPipeline[R, K]) Groups() ([]Joined[R], []Group) {
+	out, groups, err := p.c.groupsE("Groups")
+	mustCall(err)
+	return out, groups
+}
+
+// GroupsE is Groups with an error return for cancellable pipelines; see
+// Pipeline.RunE for the contract.
+func (p *JoinedPipeline[R, K]) GroupsE() ([]Joined[R], []Group, error) {
+	return p.c.groupsE("GroupsE")
+}
 
 // Histogram counts each join key's rows WITHOUT materializing them; see
 // Pipeline.Histogram.
-func (p *JoinedPipeline[R, K]) Histogram() []KeyCount[K] { return p.c.histogram() }
+func (p *JoinedPipeline[R, K]) Histogram() []KeyCount[K] {
+	out, err := p.c.histogramE("Histogram")
+	mustCall(err)
+	return out
+}
+
+// HistogramE is Histogram with an error return for cancellable pipelines;
+// see Pipeline.RunE for the contract.
+func (p *JoinedPipeline[R, K]) HistogramE() ([]KeyCount[K], error) {
+	return p.c.histogramE("HistogramE")
+}
 
 // TopK returns the k join keys with the most rows, counted without
 // materializing them; see Pipeline.TopK.
-func (p *JoinedPipeline[R, K]) TopK(k int) []KeyCount[K] { return p.c.topK(k) }
+func (p *JoinedPipeline[R, K]) TopK(k int) []KeyCount[K] {
+	out, err := p.c.topKE("TopK", k)
+	mustCall(err)
+	return out
+}
+
+// TopKE is TopK with an error return for cancellable pipelines; see
+// Pipeline.RunE for the contract.
+func (p *JoinedPipeline[R, K]) TopKE(k int) ([]KeyCount[K], error) { return p.c.topKE("TopKE", k) }
 
 // CountDistinct returns the number of join keys with at least one row,
 // counted without materializing rows; see Pipeline.CountDistinct.
-func (p *JoinedPipeline[R, K]) CountDistinct() int64 { return p.c.countDistinct() }
+func (p *JoinedPipeline[R, K]) CountDistinct() int64 {
+	n, err := p.c.countDistinctE("CountDistinct")
+	mustCall(err)
+	return n
+}
+
+// CountDistinctE is CountDistinct with an error return for cancellable
+// pipelines; see Pipeline.RunE for the contract.
+func (p *JoinedPipeline[R, K]) CountDistinctE() (int64, error) {
+	return p.c.countDistinctE("CountDistinctE")
+}
 
 // pipeCore is the pipeline machinery shared by Pipeline and JoinedPipeline:
 // the data with everything upstream already knows about it (plane), or a
@@ -208,6 +339,7 @@ type pipeCore[R, K any] struct {
 	pend  pendingJoin[R, K] // staged join; non-nil means data is not yet materialized
 	owned bool              // data is pipeline-owned (safe to reorder in place)
 	used  bool
+	fault error // a stage faulted; later stages no-op and the terminal reports it
 }
 
 // pendingJoin is a join whose materialization is deferred until a terminal
@@ -220,37 +352,87 @@ type pendingJoin[R, K any] interface {
 	release()
 }
 
-func (p *pipeCore[R, K]) dedup() {
-	p.check()
-	p.settle()
-	switch {
-	case p.plane.Distinct:
-		// Already one record per key: nothing to drop.
-	case p.plane.Grouped:
-		p.data = rel.FirstPerGroup(p.rt(), p.data, p.plane.Bounds)
-		p.plane.Release()
-		p.plane.Distinct = true
-		p.owned = true
-	default:
-		out, hout := rel.DedupPlane(p.data, &p.plane, true, p.key, p.hash, p.eq, p.cfg)
-		p.plane.Release()
-		p.data = out
-		p.plane.Distinct = true
-		// Distinct output makes the carried heavy keys singletons, so only
-		// the hash plane rides forward.
-		if hout != nil {
-			p.plane.Hashes, p.plane.HBuf = hout.S, hout
+func (p *pipeCore[R, K]) dedup(op string) {
+	p.check(op)
+	p.guarded(func() {
+		p.settle()
+		switch {
+		case p.plane.Distinct:
+			// Already one record per key: nothing to drop.
+		case p.plane.Grouped:
+			p.data = rel.FirstPerGroup(p.rt(), p.data, p.plane.Bounds)
+			p.plane.Release()
+			p.plane.Distinct = true
+			p.owned = true
+		default:
+			out, hout := rel.DedupPlane(p.data, &p.plane, true, p.key, p.hash, p.eq, p.cfg)
+			p.plane.Release()
+			p.data = out
+			p.plane.Distinct = true
+			// Distinct output makes the carried heavy keys singletons, so only
+			// the hash plane rides forward.
+			if hout != nil {
+				p.plane.Hashes, p.plane.HBuf = hout.S, hout
+			}
+			p.owned = true
 		}
-		p.owned = true
-	}
+	})
 }
 
-func (p *pipeCore[R, K]) sort() {
-	p.check()
-	p.settle()
-	if p.plane.Grouped {
-		return
+func (p *pipeCore[R, K]) sort(op string) {
+	p.check(op)
+	p.guarded(func() {
+		p.settle()
+		if !p.plane.Grouped {
+			p.sortInGuard()
+		}
+	})
+}
+
+func (p *pipeCore[R, K]) runE(op string) (out []R, err error) {
+	p.check(op)
+	if err = p.takeFault(); err != nil {
+		return nil, err
 	}
+	p.guarded(func() {
+		p.settle()
+		out = p.data
+		p.finish()
+	})
+	if err = p.takeFault(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *pipeCore[R, K]) groupsE(op string) (out []R, groups []Group, err error) {
+	p.check(op)
+	if err = p.takeFault(); err != nil {
+		return nil, nil, err
+	}
+	p.guarded(func() {
+		p.settle()
+		if !p.plane.Grouped {
+			p.sortInGuard()
+		}
+		bounds := p.plane.Bounds
+		groups = make([]Group, len(bounds)-1)
+		for g := range groups {
+			groups[g] = Group{Lo: int(bounds[g]), Hi: int(bounds[g+1])}
+		}
+		out = p.data
+		p.finish()
+	})
+	if err = p.takeFault(); err != nil {
+		return nil, nil, err
+	}
+	return out, groups, nil
+}
+
+// sortInGuard is the sort body shared by the Sort stage and the Groups
+// terminal's implicit sort; the caller holds the call guard and has settled
+// any staged join.
+func (p *pipeCore[R, K]) sortInGuard() {
 	if !p.owned {
 		p.data = append([]R(nil), p.data...)
 		p.owned = true
@@ -267,87 +449,68 @@ func (p *pipeCore[R, K]) sort() {
 	p.setBounds()
 }
 
-func (p *pipeCore[R, K]) run() []R {
-	p.check()
-	p.settle()
-	out := p.data
-	p.finish()
-	return out
-}
-
-func (p *pipeCore[R, K]) groups() ([]R, []Group) {
-	p.check()
-	p.settle()
-	if !p.plane.Grouped {
-		p.sortUnchecked()
+func (p *pipeCore[R, K]) histogramE(op string) (out []KeyCount[K], err error) {
+	p.check(op)
+	if err = p.takeFault(); err != nil {
+		return nil, err
 	}
-	bounds := p.plane.Bounds
-	groups := make([]Group, len(bounds)-1)
-	for g := range groups {
-		groups[g] = Group{Lo: int(bounds[g]), Hi: int(bounds[g+1])}
-	}
-	out := p.data
-	p.finish()
-	return out, groups
-}
-
-// sortUnchecked is sort for internal continuation (groups sorts after its
-// own check; re-checking would be fine but re-settling is not needed).
-func (p *pipeCore[R, K]) sortUnchecked() {
-	if !p.owned {
-		p.data = append([]R(nil), p.data...)
-		p.owned = true
-	}
-	if p.plane.Hashes != nil {
-		core.SortEqHashed(p.data, p.plane.Hashes, p.key, p.hash, p.eq, p.cfg)
-	} else {
-		core.SortEq(p.data, p.key, p.hash, p.eq, p.cfg)
-	}
-	distinct := p.plane.Distinct
-	p.plane.Release()
-	p.plane.Distinct = distinct
-	p.setBounds()
-}
-
-func (p *pipeCore[R, K]) histogram() []KeyCount[K] {
-	p.check()
-	kv := p.histKV()
-	p.finish()
-	out := make([]KeyCount[K], len(kv))
-	for i, e := range kv {
-		out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
-	}
-	return out
-}
-
-func (p *pipeCore[R, K]) topK(k int) []KeyCount[K] {
-	p.check()
-	kv := rel.SelectTopK(p.histKV(), k, p.cfg)
-	p.finish()
-	out := make([]KeyCount[K], len(kv))
-	for i, e := range kv {
-		out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
-	}
-	return out
-}
-
-func (p *pipeCore[R, K]) countDistinct() int64 {
-	p.check()
-	var n int64
-	switch {
-	case p.pend != nil:
-		n = int64(len(p.pend.counts(p.cfg)))
-	case p.plane.Grouped:
-		if g := len(p.plane.Bounds) - 1; g > 0 {
-			n = int64(g)
+	p.guarded(func() {
+		kv := p.histKV()
+		p.finish()
+		out = make([]KeyCount[K], len(kv))
+		for i, e := range kv {
+			out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
 		}
-	case p.plane.Distinct:
-		n = int64(len(p.data))
-	default:
-		n = rel.CountDistinctPlane(p.data, &p.plane, p.key, p.hash, p.eq, p.cfg)
+	})
+	if err = p.takeFault(); err != nil {
+		return nil, err
 	}
-	p.finish()
-	return n
+	return out, nil
+}
+
+func (p *pipeCore[R, K]) topKE(op string, k int) (out []KeyCount[K], err error) {
+	p.check(op)
+	if err = p.takeFault(); err != nil {
+		return nil, err
+	}
+	p.guarded(func() {
+		kv := rel.SelectTopK(p.histKV(), k, p.cfg)
+		p.finish()
+		out = make([]KeyCount[K], len(kv))
+		for i, e := range kv {
+			out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
+		}
+	})
+	if err = p.takeFault(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *pipeCore[R, K]) countDistinctE(op string) (n int64, err error) {
+	p.check(op)
+	if err = p.takeFault(); err != nil {
+		return 0, err
+	}
+	p.guarded(func() {
+		switch {
+		case p.pend != nil:
+			n = int64(len(p.pend.counts(p.cfg)))
+		case p.plane.Grouped:
+			if g := len(p.plane.Bounds) - 1; g > 0 {
+				n = int64(g)
+			}
+		case p.plane.Distinct:
+			n = int64(len(p.data))
+		default:
+			n = rel.CountDistinctPlane(p.data, &p.plane, p.key, p.hash, p.eq, p.cfg)
+		}
+		p.finish()
+	})
+	if err = p.takeFault(); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // histKV computes the fused per-key counts feeding histogram and topK.
@@ -402,10 +565,74 @@ func (p *pipeCore[R, K]) setBounds() {
 
 func (p *pipeCore[R, K]) rt() *parallel.Runtime { return parallel.Or(p.cfg.Runtime) }
 
-func (p *pipeCore[R, K]) check() {
-	if p.used {
-		panic("semisort: pipeline already consumed (pipelines are single-use)")
+// check guards against reuse of a consumed pipeline. A faulted pipeline is
+// not "reused" — its stages no-op and its terminal delivers the fault, so
+// the one error check at the end of a fluent chain suffices.
+func (p *pipeCore[R, K]) check(op string) {
+	if p.used && p.fault == nil {
+		panic(&PipelineConsumedError{Op: op})
 	}
+}
+
+// guarded runs one stage or terminal body under the call guard (admission,
+// a call-scoped lease ledger, panic containment). A faulted pipeline skips
+// the body — the fault rides to the terminal. A cancellation inside the
+// body records the fault and discards the pipeline's half-consumed state; a
+// user-callback panic discards state too and re-raises as *PanicError.
+func (p *pipeCore[R, K]) guarded(fn func()) {
+	if p.fault != nil {
+		return
+	}
+	saved := p.cfg
+	done, aerr := enterCall(&p.cfg)
+	if aerr != nil {
+		p.cfg = saved
+		p.fail(aerr)
+		return
+	}
+	var cerr error
+	completed := false
+	// LIFO: done runs first (settling or aborting the ledger, possibly
+	// re-panicking), then this restore/fail hook — which therefore runs even
+	// when a *PanicError is unwinding through.
+	defer func() {
+		p.cfg = saved
+		if cerr != nil {
+			p.fail(cerr)
+		} else if !completed {
+			p.fail(errPipelineFaulted)
+		}
+	}()
+	defer done(&cerr)
+	fn()
+	completed = true
+}
+
+// fail records the pipeline's fault and discards its intermediate state.
+// The plane's buffers and any staged join may be mid-mutation when a fault
+// unwinds through a stage, so nothing is released back to the arena — the
+// references are dropped for the GC to take.
+func (p *pipeCore[R, K]) fail(err error) {
+	if p.fault == nil {
+		p.fault = err
+	}
+	p.plane = core.Plane[K]{}
+	p.pend = nil
+	p.data = nil
+	p.used = true
+}
+
+// takeFault delivers a pending fault exactly once: the pipeline comes out
+// consumed, so touching it again raises the consumed panic rather than
+// re-reporting a stale error.
+func (p *pipeCore[R, K]) takeFault() error {
+	if p.fault == nil {
+		return nil
+	}
+	err := p.fault
+	p.fault = nil
+	p.used = true
+	return err
 }
 
 // finish releases the pipeline's pooled state and marks it consumed.

@@ -1,6 +1,7 @@
 package semisort_test
 
 import (
+	"errors"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -442,11 +443,22 @@ func TestPipelineSingleUse(t *testing.T) {
 	p := semisort.Query([]click{{User: 1}}, clickUser, semisort.Hash64, eqID)
 	_ = p.Run()
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("reusing a consumed pipeline did not panic")
 		}
+		ce, ok := r.(*semisort.PipelineConsumedError)
+		if !ok {
+			t.Fatalf("panic value = %T %v, want *PipelineConsumedError", r, r)
+		}
+		if ce.Op != "Histogram" {
+			t.Fatalf("Op = %q, want the offending terminal %q", ce.Op, "Histogram")
+		}
+		if !errors.Is(ce, semisort.ErrPipelineConsumed) {
+			t.Fatal("PipelineConsumedError does not wrap ErrPipelineConsumed")
+		}
 	}()
-	_ = p.Run()
+	_ = p.Histogram()
 }
 
 // FuzzPipelineJoin cross-checks the fused join pipeline against a map

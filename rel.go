@@ -13,13 +13,36 @@ import "repro/internal/rel"
 // first is dropped where it stands, never counted or moved, making the work
 // track the distinct-key count rather than the duplicate mass.
 func Dedup[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []R {
-	return rel.Dedup(a, key, hash, eq, buildConfig(opts))
+	out, err := DedupE(a, key, hash, eq, opts...)
+	mustCall(err)
+	return out
+}
+
+// DedupE is Dedup with an error return for cancellable calls; see SortEqE
+// for the contract. On cancellation it returns (nil, ctx.Err()) and the
+// input is untouched (Dedup never modifies it).
+func DedupE[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (out []R, err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
+	return rel.Dedup(a, key, hash, eq, cfg), nil
 }
 
 // Distinct is Dedup applied to bare keys: the distinct values of a, each
 // from its first occurrence, in a deterministic (unspecified) order.
 func Distinct[K any](a []K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []K {
-	return rel.Dedup(a, func(k K) K { return k }, hash, eq, buildConfig(opts))
+	out, err := DistinctE(a, hash, eq, opts...)
+	mustCall(err)
+	return out
+}
+
+// DistinctE is Distinct with an error return for cancellable calls; see
+// SortEqE for the contract.
+func DistinctE[K any](a []K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (out []K, err error) {
+	return DedupE(a, func(k K) K { return k }, hash, eq, opts...)
 }
 
 // JoinEq computes the inner equi-join of a and b: one join(r, s) row for
@@ -31,7 +54,25 @@ func Distinct[K any](a []K, hash func(K) uint64, eq func(K, K) bool, opts ...Opt
 // fixed seed but unspecified. Neither input is modified.
 func JoinEq[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	hash func(K) uint64, eq func(K, K) bool, join func(R, S) T, opts ...Option) []T {
-	return rel.Join(a, b, keyA, keyB, hash, eq, join, buildConfig(opts))
+	out, err := JoinEqE(a, b, keyA, keyB, hash, eq, join, opts...)
+	mustCall(err)
+	return out
+}
+
+// JoinEqE is JoinEq with an error return for cancellable calls; see
+// SortEqE for the contract. The broadcast loops check the context between
+// cross-product rows, so even a skewed join with huge heavy-key products
+// cancels promptly. On cancellation it returns (nil, ctx.Err()) and
+// neither input is modified.
+func JoinEqE[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
+	hash func(K) uint64, eq func(K, K) bool, join func(R, S) T, opts ...Option) (out []T, err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
+	return rel.Join(a, b, keyA, keyB, hash, eq, join, cfg), nil
 }
 
 // SemiJoinEq returns the records of a whose key appears in b — each
@@ -40,7 +81,22 @@ func JoinEq[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 // modified.
 func SemiJoinEq[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	hash func(K) uint64, eq func(K, K) bool, opts ...Option) []R {
-	return rel.SemiJoin(a, b, keyA, keyB, hash, eq, buildConfig(opts))
+	out, err := SemiJoinEqE(a, b, keyA, keyB, hash, eq, opts...)
+	mustCall(err)
+	return out
+}
+
+// SemiJoinEqE is SemiJoinEq with an error return for cancellable calls;
+// see SortEqE for the contract.
+func SemiJoinEqE[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
+	hash func(K) uint64, eq func(K, K) bool, opts ...Option) (out []R, err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
+	return rel.SemiJoin(a, b, keyA, keyB, hash, eq, cfg), nil
 }
 
 // AntiJoinEq returns the records of a whose key does not appear in b. Order
@@ -48,7 +104,22 @@ func SemiJoinEq[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 // modified.
 func AntiJoinEq[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	hash func(K) uint64, eq func(K, K) bool, opts ...Option) []R {
-	return rel.AntiJoin(a, b, keyA, keyB, hash, eq, buildConfig(opts))
+	out, err := AntiJoinEqE(a, b, keyA, keyB, hash, eq, opts...)
+	mustCall(err)
+	return out
+}
+
+// AntiJoinEqE is AntiJoinEq with an error return for cancellable calls;
+// see SortEqE for the contract.
+func AntiJoinEqE[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
+	hash func(K) uint64, eq func(K, K) bool, opts ...Option) (out []R, err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
+	return rel.AntiJoin(a, b, keyA, keyB, hash, eq, cfg), nil
 }
 
 // CountDistinct returns the number of distinct keys of a without
@@ -57,7 +128,22 @@ func AntiJoinEq[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 // hash-table insertions. hash is called exactly once per record. The input
 // is not modified.
 func CountDistinct[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) int64 {
-	return rel.CountDistinct(a, key, hash, eq, buildConfig(opts))
+	n, err := CountDistinctE(a, key, hash, eq, opts...)
+	mustCall(err)
+	return n
+}
+
+// CountDistinctE is CountDistinct with an error return for cancellable
+// calls; see SortEqE for the contract. On cancellation it returns
+// (0, ctx.Err()).
+func CountDistinctE[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (n int64, err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return 0, aerr
+	}
+	defer done(&err)
+	return rel.CountDistinct(a, key, hash, eq, cfg), nil
 }
 
 // TopK returns the k most frequent keys of a with their occurrence counts,
@@ -68,10 +154,24 @@ func CountDistinct[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(
 // selection. k exceeding the distinct count returns every key. The input is
 // not modified.
 func TopK[R, K any](a []R, k int, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) []KeyCount[K] {
-	kv := rel.TopK(a, k, key, hash, eq, buildConfig(opts))
-	out := make([]KeyCount[K], len(kv))
+	out, err := TopKE(a, k, key, hash, eq, opts...)
+	mustCall(err)
+	return out
+}
+
+// TopKE is TopK with an error return for cancellable calls; see SortEqE
+// for the contract.
+func TopKE[R, K any](a []R, k int, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (out []KeyCount[K], err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer done(&err)
+	kv := rel.TopK(a, k, key, hash, eq, cfg)
+	out = make([]KeyCount[K], len(kv))
 	for i, e := range kv {
 		out[i] = KeyCount[K]{Key: e.Key, Count: e.Value}
 	}
-	return out
+	return out, nil
 }

@@ -42,14 +42,44 @@ func Identity32(x uint32) uint64 { return uint64(x) }
 // with equal keys are contiguous. Only a hash function and an equality test
 // on keys are required. Stable and deterministic.
 func SortEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) {
-	core.SortEq(a, key, hash, eq, buildConfig(opts))
+	mustCall(SortEqE(a, key, hash, eq, opts...))
+}
+
+// SortEqE is SortEq with an error return for cancellable calls: combined
+// with WithContext it returns ctx.Err() — context.Canceled or
+// context.DeadlineExceeded — once the call has unwound. On cancellation a
+// is left in a valid but unspecified permutation of its input (the sort
+// was interrupted mid-distribution). Without a context it never returns a
+// non-nil error.
+func SortEqE[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) (err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return aerr
+	}
+	defer done(&err)
+	core.SortEq(a, key, hash, eq, cfg)
+	return nil
 }
 
 // SortLess is semisort<: like SortEq, but the key type additionally
 // supports a less-than test, which the base cases exploit with a
 // comparison sort (Section 3.3). Stable and deterministic.
 func SortLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) {
-	core.SortLess(a, key, hash, less, buildConfig(opts))
+	mustCall(SortLessE(a, key, hash, less, opts...))
+}
+
+// SortLessE is SortLess with an error return for cancellable calls; see
+// SortEqE for the contract.
+func SortLessE[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, opts ...Option) (err error) {
+	cfg := buildConfig(opts)
+	done, aerr := enterCall(&cfg)
+	if aerr != nil {
+		return aerr
+	}
+	defer done(&err)
+	core.SortLess(a, key, hash, less, cfg)
+	return nil
 }
 
 // Uint64s semisorts a slice of raw 64-bit keys with the identity hash (the
