@@ -23,10 +23,10 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detector pass on the runtime, the semisort core, and the
-## collect-reduce + relational terminal ops
+## race: race-detector pass on the runtime, the semisort core, the
+## collect-reduce + relational terminal ops, and the streaming front end
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect ./internal/rel ./internal/chaos .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect ./internal/rel ./internal/chaos ./internal/stream .
 
 ## bench-steady: steady-state allocation benchmark (see EXPERIMENTS.md)
 bench-steady:

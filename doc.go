@@ -126,6 +126,38 @@
 // instead of piling onto the pool. See examples/service for the full
 // service shape and DESIGN.md ("Failure semantics") for the mechanism.
 //
+// # Streaming ingestion
+//
+// The ops above are bulk calls; a service receives records one at a time.
+// The streaming front end coalesces concurrent Submits into driver-sized
+// batches (flushed at WithBatchSize records or after WithMaxWait) and
+// keeps cross-batch state — a dedup seen-set, a top-k count sketch, a
+// join build side — so the incremental answer equals the one-shot answer
+// on the concatenated input, whatever the batch boundaries:
+//
+//	s := semisort.NewDedupStream[event, uint64](eventID, semisort.Hash64, eqU64,
+//	    semisort.WithBatchSize(4096), semisort.WithMaxWait(10*time.Millisecond))
+//	// any number of producer goroutines:
+//	res := <-s.Submit(e)           // one StreamResult per record
+//	if res.Err == nil && res.Out.Kept { ... } // first occurrence across all batches
+//	n := s.Distinct()              // streaming CountDistinct, committed state only
+//	err := s.Close()               // drain, flush the tail, settle every channel
+//
+// NewTopKStream tracks per-key weights the same way (WithDecay gives an
+// exponentially-decayed window), and NewJoinStream joins streamed probe
+// records against a build side committed incrementally with AddBuild.
+//
+// State advances by epoch commit: a batch's delta is applied only after
+// its driver call returned cleanly, so a callback panic or cancellation
+// mid-batch fails exactly that batch's records — each result channel gets
+// a *BatchError wrapping the typed cause — and the state stays equal to a
+// replay of the committed batches. A full queue applies backpressure by
+// default; WithShedding fails fast with ErrQueueFull instead, and records
+// submitted after Close get ErrStreamClosed (both errors.Is-matchable).
+// See examples/stream for a multi-producer pipeline surviving a
+// mid-stream fault, and DESIGN.md ("Streaming ingestion & cross-batch
+// state") for the mechanism.
+//
 // See DESIGN.md for the algorithm internals and the runtime architecture,
 // and EXPERIMENTS.md for the reproduction of the paper's evaluation.
 package semisort

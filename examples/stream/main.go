@@ -1,0 +1,126 @@
+// Stream: resilient streaming ingestion. Many producer goroutines submit
+// events one at a time; the stream coalesces them into engine-sized
+// batches, deduplicates each batch against a persistent seen-set, and
+// commits state by epoch — so when a poisoned event's hash callback
+// panics mid-stream, exactly that batch's records fail with a typed
+// error, the cross-batch state stays equal to a replay of the committed
+// batches, and the same stream keeps ingesting. Re-submitting the failed
+// batch's clean records afterwards recovers them.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	semisort "repro"
+)
+
+type event struct {
+	ID     uint64
+	Source int
+}
+
+const poisoned = uint64(0xBAD)
+
+func id(e event) uint64      { return e.ID }
+func eqU64(a, b uint64) bool { return a == b }
+
+// fragileHash stands in for a callback with a data-dependent bug: it
+// panics on one specific key.
+func fragileHash(k uint64) uint64 {
+	if k == poisoned {
+		panic("corrupt record: unhashable id")
+	}
+	return semisort.Hash64(k)
+}
+
+func main() {
+	s := semisort.NewDedupStream[event, uint64](id, fragileHash, eqU64,
+		semisort.WithBatchSize(256),
+		semisort.WithMaxWait(-1), // size-only flushing keeps the demo deterministic
+	)
+
+	// Phase 1: four producers ingest 4 x 1024 events concurrently, ids
+	// drawn from a shared domain so producers duplicate each other. One
+	// producer slips the poisoned event in.
+	const perProducer = 1024
+	type outcome struct {
+		e  event
+		ch <-chan semisort.StreamResult[semisort.DedupKept]
+	}
+	outcomes := make([][]outcome, 4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				e := event{ID: uint64(p*perProducer+i) % 1500, Source: p}
+				if p == 2 && i == 700 {
+					e.ID = poisoned
+				}
+				outcomes[p] = append(outcomes[p], outcome{e, s.Submit(e)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		var be *semisort.BatchError
+		if errors.As(err, &be) {
+			fmt.Printf("one flush faulted, as intended: epoch %d, %d records\n", be.Epoch, be.Records)
+		}
+	}
+
+	// Tally: every record either resolved (kept or duplicate) or carries
+	// the faulted flush's typed error. The poisoned batch failed as a
+	// unit; every other batch committed.
+	var kept, dup int
+	var failed []event
+	for _, po := range outcomes {
+		for _, o := range po {
+			r := <-o.ch
+			switch {
+			case r.Err == nil && r.Out.Kept:
+				kept++
+			case r.Err == nil:
+				dup++
+			default:
+				var pe *semisort.PanicError
+				if !errors.As(r.Err, &pe) {
+					fmt.Println("unexpected error kind:", r.Err)
+					return
+				}
+				if o.e.ID != poisoned {
+					failed = append(failed, o.e) // clean records caught in the faulted batch
+				}
+			}
+		}
+	}
+	fmt.Printf("phase 1: %d kept, %d duplicates, %d clean records failed alongside the poisoned one\n",
+		kept, dup, len(failed))
+	fmt.Printf("distinct ids committed so far: %d\n", s.Distinct())
+
+	// Phase 2: recovery. Because the faulted flush committed nothing, the
+	// failed records can simply be resubmitted (here: a clean replay of
+	// every well-formed event on a fresh stream) and the result equals a
+	// run that never faulted — no record double-counted, none lost.
+	s2 := semisort.NewDedupStream[event, uint64](id, semisort.Hash64, eqU64,
+		semisort.WithBatchSize(256), semisort.WithMaxWait(-1))
+	for _, po := range outcomes {
+		for _, o := range po {
+			if o.e.ID != poisoned {
+				s2.Submit(o.e)
+			}
+		}
+	}
+	if err := s2.Close(); err != nil {
+		fmt.Println("clean replay faulted:", err)
+		return
+	}
+	fmt.Printf("phase 2: clean replay of all %d well-formed events: %d distinct ids\n",
+		4*perProducer-1, s2.Distinct())
+	if s.Distinct() <= s2.Distinct() {
+		fmt.Println("committed state is a consistent prefix of the full answer: ok")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/stream"
 )
 
 // Failure semantics of the public API (DESIGN.md "Failure semantics" has
@@ -64,6 +65,33 @@ func (e *PipelineConsumedError) Error() string {
 
 // Unwrap makes errors.Is(e, ErrPipelineConsumed) hold.
 func (e *PipelineConsumedError) Unwrap() error { return ErrPipelineConsumed }
+
+// Streaming sentinels, following the ErrPipelineConsumed pattern: the
+// canonical values live in internal/stream (the batcher delivers them on
+// result channels); these re-exports are the errors.Is targets.
+var (
+	// ErrQueueFull is delivered by a shedding stream (WithShedding) when
+	// the bounded submit queue is full: the record was dropped at the
+	// door, no flush ever saw it. Blocking streams (the default) apply
+	// backpressure instead and never produce it.
+	ErrQueueFull = stream.ErrQueueFull
+
+	// ErrStreamClosed is delivered for records submitted after a stream's
+	// Close began. Records enqueued before Close are drained and flushed,
+	// never rejected with it.
+	ErrStreamClosed = stream.ErrStreamClosed
+)
+
+// asStreamFault converts a panic recovered on a streaming staging path
+// (outside the engine's own call guard) into the same typed errors the
+// guard produces: the bare context error for a cancellation unwind, a
+// *PanicError for everything else.
+func asStreamFault(r any) error {
+	if cause := parallel.CancelCause(r); cause != nil {
+		return cause
+	}
+	return parallel.AsPanicError(r)
+}
 
 // WithContext threads ctx through the call: the engine checks it at every
 // recursion-level boundary, at every classify chunk, and between broadcast

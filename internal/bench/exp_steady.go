@@ -170,6 +170,52 @@ func SteadyReportFor(o Options) SteadyReport {
 			}, nil))
 	}
 
+	// Streaming ingestion cells: one producer pushing records through a
+	// DedupStream at a fixed batch size (deadline disabled: size-only
+	// flushing) with a bounded window of outstanding results. Throughput
+	// is submitted records/s end to end — queue handoff, per-flush DedupE,
+	// seen-set probe and commit. AllocsPerOp is reported PER FLUSH (total
+	// allocations divided by the flush count): each Submit allocates its
+	// 1-buffered result channel, and reporting per flush keeps the cell
+	// tracking the engine-call overhead rather than that fixed per-record
+	// cost. Stream cells run at n/4 — the single-producer handoff, not the
+	// engine, bounds them, and a quarter-size run sees the same per-record
+	// cost at a quarter of the suite's wall clock, rounded down to a batch
+	// multiple so every batch flushes by size and the result window never
+	// waits on a tail batch that only Close would flush.
+	const streamBatch = 4096
+	streamN := (o.N / 4) &^ (streamBatch - 1)
+	for _, shape := range []string{"uniform-distinct", "zipf-1.2"} {
+		if streamN == 0 { // tiny -n smoke runs: nothing to flush, skip the cells
+			break
+		}
+		spec := specs[shape]
+		data := Make64(streamN, spec, o.Seed)
+		run := func() {
+			s := semisort.NewDedupStream[P64, uint64](key, hashutil.Mix64, eq,
+				semisort.WithBatchSize(streamBatch), semisort.WithMaxWait(-1))
+			ring := make([]<-chan semisort.StreamResult[semisort.DedupKept], 2*streamBatch)
+			for i, p := range data {
+				if c := ring[i%len(ring)]; c != nil {
+					<-c
+				}
+				ring[i%len(ring)] = s.Submit(p)
+			}
+			for _, c := range ring {
+				if c != nil {
+					<-c
+				}
+			}
+			if err := s.Close(); err != nil {
+				panic(err)
+			}
+		}
+		cell := steadyCell(o, fmt.Sprintf("Stream/dedup/b%d/%s", streamBatch, shape),
+			streamN, spec, run, nil)
+		cell.AllocsPerOp /= float64(streamN / streamBatch)
+		rep.Results = append(rep.Results, cell)
+	}
+
 	// The fused pipeline (the public plane-threading API): dedup ->
 	// equi-join -> top-10 as one query, hashing each input record exactly
 	// once and counting join products instead of materializing rows. The

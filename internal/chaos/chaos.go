@@ -3,12 +3,16 @@
 // the k-th invocation — counted atomically across every worker goroutine —
 // fires a configured fault: a panic (exercising worker panic containment)
 // or an arbitrary action such as a context cancel (exercising cooperative
-// cancellation at the engine's checkpoints). The tests in this package
-// drive every public op and pipeline shape through injected faults and
-// assert the three containment invariants: faults surface as
-// *semisort.PanicError or ctx.Err() on the calling goroutine only, no
-// goroutine leaks, and a fault never poisons the runtime's pools (the next
-// call on the same runtime is byte-identical to a fresh one).
+// cancellation at the engine's checkpoints). Flush-gated injectors land
+// faults inside the k-th batch flush of a stream, pinning the epoch-commit
+// contract of the streaming front end. The tests in this package drive
+// every public op, pipeline shape, and stream kind through injected faults
+// and assert the containment invariants: faults surface as
+// *semisort.PanicError or ctx.Err() on the calling goroutine (or, for
+// streams, as typed per-item errors on exactly the faulted batch's result
+// channels), no goroutine leaks, cross-batch state equals a fresh replay
+// of the committed batches, and a fault never poisons the runtime's pools
+// (the next call on the same runtime is byte-identical to a fresh one).
 package chaos
 
 import "sync/atomic"
@@ -16,10 +20,20 @@ import "sync/atomic"
 // Injector fires a fault at the k-th tick. Ticks are counted atomically, so
 // callbacks running on any worker goroutine share one trigger; k <= 0 never
 // fires. The zero Injector is inert.
+//
+// A flush-gated injector (PanicAtFlush, CallAtFlush) counts differently:
+// it stays closed until the k-th batch flush of a stream opens its gate,
+// then fires exactly once on the next callback tick — landing the fault
+// INSIDE the k-th flush's driver call, the epoch-commit boundary the
+// streaming containment tests pin down.
 type Injector struct {
 	n    atomic.Int64
 	k    int64
 	fire func()
+
+	gated bool // flush-gated: fire once on the first tick after open
+	open  atomic.Bool
+	fired atomic.Bool
 }
 
 // PanicAt returns an injector that panics with v at the k-th tick.
@@ -33,9 +47,47 @@ func CallAt(k int64, f func()) *Injector {
 	return &Injector{k: k, fire: f}
 }
 
-// Tick counts one callback invocation, firing the fault on the k-th.
+// PanicAtFlush returns a flush-gated injector that panics with v on the
+// first wrapped-callback invocation of a stream's k-th flush, plus the
+// flush hook (install with semisort.WithFlushHook) that opens its gate.
+// Retries of the faulted flush run clean: the injector fires only once.
+func PanicAtFlush(k int64, v any) (*Injector, func(epoch int64, records int)) {
+	in := &Injector{gated: true, fire: func() { panic(v) }}
+	return in, in.gateAt(k)
+}
+
+// CallAtFlush is PanicAtFlush with an arbitrary action (typically a
+// context.CancelFunc, modeling cancellation landing mid-flush).
+func CallAtFlush(k int64, f func()) (*Injector, func(epoch int64, records int)) {
+	in := &Injector{gated: true, fire: f}
+	return in, in.gateAt(k)
+}
+
+// gateAt returns the flush hook that opens the gate at the k-th flush.
+// The batcher reports 1-based flush ordinals, so the hook needs no
+// counter of its own.
+func (in *Injector) gateAt(k int64) func(epoch int64, records int) {
+	return func(epoch int64, records int) {
+		if epoch == k {
+			in.open.Store(true)
+		}
+	}
+}
+
+// Tick counts one callback invocation, firing the fault on the k-th (or,
+// for a flush-gated injector, once the gate is open).
 func (in *Injector) Tick() {
-	if in.n.Add(1) == in.k && in.fire != nil {
+	t := in.n.Add(1)
+	if in.fire == nil {
+		return
+	}
+	if in.gated {
+		if in.open.Load() && in.fired.CompareAndSwap(false, true) {
+			in.fire()
+		}
+		return
+	}
+	if t == in.k {
 		in.fire()
 	}
 }

@@ -1,0 +1,383 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Typed sentinel errors of the streaming front end. They follow the
+// ErrPipelineConsumed pattern: the root package re-exports them, and the
+// concrete errors delivered on result channels wrap them (or the underlying
+// cause) for errors.Is matching.
+var (
+	// ErrQueueFull is returned (on the result channel) by a shedding
+	// stream when the bounded submit queue is full: the record was never
+	// enqueued and no flush will see it. Blocking streams never return it.
+	ErrQueueFull = errors.New("semisort: stream queue full, record shed")
+
+	// ErrStreamClosed is returned (on the result channel) for records
+	// submitted after Close began. Records enqueued before Close are never
+	// rejected with it — Close drains them.
+	ErrStreamClosed = errors.New("semisort: stream closed")
+)
+
+// BatchError is the error delivered to every item of a flush whose process
+// phase faulted (after retries, if configured). Cause is the underlying
+// fault — a *parallel.PanicError for a user-callback panic, or a context
+// error for a cancelled driver call — and is exposed via Unwrap, so
+// errors.Is(err, context.Canceled) and errors.As(err, &pe) both see
+// through it. The batch's epoch and size identify which flush died.
+type BatchError struct {
+	Epoch    int64 // 1-based flush ordinal within the stream
+	Records  int   // records in the failed batch
+	Attempts int   // process attempts made (1 + retries)
+	Cause    error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("semisort: stream flush %d (%d records, %d attempts) failed: %v",
+		e.Epoch, e.Records, e.Attempts, e.Cause)
+}
+
+func (e *BatchError) Unwrap() error { return e.Cause }
+
+// Result is the terminal outcome of one submitted record: exactly one
+// Result is delivered on the 1-buffered channel Submit returns, so a
+// producer may receive it at leisure or abandon the channel entirely
+// without leaking a goroutine.
+type Result[O any] struct {
+	Out O
+	Err error
+}
+
+// Config shapes a Batcher. The zero value gets usable defaults.
+type Config struct {
+	// BatchSize flushes a batch when it reaches this many records
+	// (default 1024).
+	BatchSize int
+
+	// MaxWait flushes a partial batch this long after its FIRST record was
+	// enqueued into it, bounding the latency a trickle of records can
+	// experience (default 50ms; <= 0 disables the deadline — only size and
+	// Close flush).
+	MaxWait time.Duration
+
+	// QueueDepth bounds the submit queue (default 4*BatchSize). A full
+	// queue blocks producers (backpressure) unless Shed is set.
+	QueueDepth int
+
+	// Shed makes Submit fail fast with ErrQueueFull when the queue is full
+	// instead of blocking the producer.
+	Shed bool
+
+	// Retries re-runs a failed process phase up to this many extra times
+	// before failing the batch, provided RetryIf accepts the error.
+	Retries int
+
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (default 1ms when Retries > 0).
+	Backoff time.Duration
+
+	// RetryIf classifies flush errors as transient. Nil defaults to
+	// cancellation errors (context.Canceled / context.DeadlineExceeded) —
+	// the shape a per-flush deadline or a briefly-cancelled runtime
+	// produces; a user-callback panic is assumed deterministic and is not
+	// retried by default.
+	RetryIf func(error) bool
+
+	// OnFlush, when non-nil, observes each flush: it runs on the flusher
+	// goroutine at the start of the flush's FIRST attempt (retries do not
+	// re-fire it), before the processor. epoch is the 1-based flush
+	// ordinal, records the batch size. It runs inside the flush's recovery
+	// scope: a panicking hook faults the batch like a panicking processor
+	// (the chaos harness relies on exactly that to land faults at the k-th
+	// flush).
+	OnFlush func(epoch int64, records int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1024
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 50 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.BatchSize
+	}
+	if c.Retries > 0 && c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	if c.RetryIf == nil {
+		c.RetryIf = func(err error) bool {
+			return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		}
+	}
+	return c
+}
+
+// item is one queued record with its result channel.
+type item[R, O any] struct {
+	rec R
+	res chan Result[O]
+}
+
+// Batcher coalesces records from any number of producer goroutines into
+// batches and hands them to a processor, delivering one Result per record.
+//
+// The processor returns per-item outputs, an optional commit closure, and
+// an error. The batcher invokes commit only when the processor returned
+// cleanly — the epoch-commit contract of the package doc — and recovers
+// processor panics into typed errors, so one poisoned batch never kills
+// the flusher. The processor must not retain the batch slice past its
+// return: a retry re-presents the same backing array.
+//
+// Exactly one flusher goroutine exists per Batcher; it is the only caller
+// of the processor, so processors may stage state deltas without internal
+// locking against each other. Close stops admission, drains the queue,
+// flushes the final partial batch, settles every outstanding result
+// channel, and joins the flusher — a closed Batcher holds no goroutines.
+type Batcher[R, O any] struct {
+	cfg  Config
+	proc func(batch []R) (outs []O, commit func(), err error)
+
+	in   chan item[R, O]
+	done chan struct{}
+
+	// mu serializes Submit's enqueue against Close's close(in): producers
+	// hold it shared for the duration of their send, so the channel is
+	// provably never closed under a sender. Close's exclusive acquisition
+	// waits out blocked producers — who make progress because the flusher
+	// keeps draining until the channel is closed AND empty.
+	mu     sync.RWMutex
+	closed bool
+
+	flushes atomic.Int64 // flush ordinals handed out (= epochs started)
+	faults  atomic.Int64 // flushes that failed after retries
+
+	errOnce  sync.Once
+	firstErr atomic.Pointer[BatchError]
+
+	// scratch for the flusher: records copied out of the batch items so
+	// the processor sees a plain []R; reused across flushes.
+	recs []R
+}
+
+// New creates a Batcher and starts its flusher goroutine.
+func New[R, O any](cfg Config, proc func(batch []R) ([]O, func(), error)) *Batcher[R, O] {
+	b := &Batcher[R, O]{
+		cfg:  cfg.withDefaults(),
+		proc: proc,
+	}
+	b.in = make(chan item[R, O], b.cfg.QueueDepth)
+	b.done = make(chan struct{})
+	b.recs = make([]R, 0, b.cfg.BatchSize)
+	go b.run()
+	return b
+}
+
+// Submit enqueues one record and returns its result channel. On a blocking
+// stream it waits for queue space (backpressure); on a shedding stream a
+// full queue delivers ErrQueueFull immediately. After Close has begun it
+// delivers ErrStreamClosed. The channel is 1-buffered and receives exactly
+// one Result; abandoning it leaks nothing.
+func (b *Batcher[R, O]) Submit(r R) <-chan Result[O] { return b.submit(nil, r) }
+
+// SubmitCtx is Submit with a context bounding the producer's wait for
+// queue space: if ctx fires first, the record is not enqueued and its
+// result channel delivers ctx.Err(). Shedding streams never wait, so ctx
+// only guards the enqueue of blocking streams.
+func (b *Batcher[R, O]) SubmitCtx(ctx context.Context, r R) <-chan Result[O] {
+	return b.submit(ctx, r)
+}
+
+func (b *Batcher[R, O]) submit(ctx context.Context, r R) <-chan Result[O] {
+	res := make(chan Result[O], 1)
+	it := item[R, O]{rec: r, res: res}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		res <- Result[O]{Err: ErrStreamClosed}
+		return res
+	}
+	switch {
+	case b.cfg.Shed:
+		select {
+		case b.in <- it:
+		default:
+			res <- Result[O]{Err: ErrQueueFull}
+		}
+	case ctx != nil:
+		select {
+		case b.in <- it:
+		case <-ctx.Done():
+			res <- Result[O]{Err: ctx.Err()}
+		}
+	default:
+		b.in <- it
+	}
+	b.mu.RUnlock()
+	return res
+}
+
+// Close stops admission (subsequent Submits deliver ErrStreamClosed),
+// drains every queued record, flushes the final partial batch, waits for
+// the flusher to settle every outstanding result channel and exit, and
+// returns the stream's first flush error (nil if every flush committed).
+// It is idempotent and safe to call concurrently; every caller blocks
+// until the drain completes.
+func (b *Batcher[R, O]) Close() error {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.in)
+	}
+	b.mu.Unlock()
+	<-b.done
+	if e := b.firstErr.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Flushes reports how many flushes have started (committed or not).
+func (b *Batcher[R, O]) Flushes() int64 { return b.flushes.Load() }
+
+// Faults reports how many flushes failed after exhausting retries.
+func (b *Batcher[R, O]) Faults() int64 { return b.faults.Load() }
+
+// Closed reports whether Close has begun.
+func (b *Batcher[R, O]) Closed() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.closed
+}
+
+// run is the flusher: it owns batch assembly (flush at BatchSize, at
+// MaxWait after a batch's first record, and at drain) and result delivery.
+func (b *Batcher[R, O]) run() {
+	defer close(b.done)
+	var timer *time.Timer
+	var timeC <-chan time.Time
+	batch := make([]item[R, O], 0, b.cfg.BatchSize)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeC = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		b.flush(batch)
+		clear(batch) // drop record/channel refs so the GC isn't held hostage
+		batch = batch[:0]
+	}
+	for {
+		if len(batch) == 0 {
+			// Empty batch: block for the first record; no deadline runs.
+			it, ok := <-b.in
+			if !ok {
+				return // drained and closed
+			}
+			batch = append(batch, it)
+			if len(batch) >= b.cfg.BatchSize {
+				flush()
+				continue
+			}
+			if b.cfg.MaxWait > 0 {
+				timer = time.NewTimer(b.cfg.MaxWait)
+				timeC = timer.C
+			}
+			continue
+		}
+		select {
+		case it, ok := <-b.in:
+			if !ok {
+				flush()  // final partial batch
+				continue // next <-b.in returns !ok immediately
+			}
+			batch = append(batch, it)
+			if len(batch) >= b.cfg.BatchSize {
+				flush()
+			}
+		case <-timeC:
+			timer, timeC = nil, nil
+			flush()
+		}
+	}
+}
+
+// flush runs one epoch: process (with bounded retries), then commit, then
+// result delivery. A fault after retries fails exactly this batch's items
+// with one shared *BatchError.
+func (b *Batcher[R, O]) flush(batch []item[R, O]) {
+	epoch := b.flushes.Add(1)
+	b.recs = b.recs[:0]
+	for _, it := range batch {
+		b.recs = append(b.recs, it.rec)
+	}
+	var outs []O
+	var err error
+	for attempt := 0; ; attempt++ {
+		outs, err = b.attempt(epoch, attempt)
+		if err == nil || attempt >= b.cfg.Retries || !b.cfg.RetryIf(err) {
+			if err != nil {
+				err = &BatchError{Epoch: epoch, Records: len(batch), Attempts: attempt + 1, Cause: err}
+			}
+			break
+		}
+		time.Sleep(b.cfg.Backoff << attempt)
+	}
+	if err == nil && len(outs) != len(batch) {
+		// A processor contract violation is a bug, not a data fault — but
+		// it must still fail the batch rather than mis-deliver results.
+		err = &BatchError{Epoch: epoch, Records: len(batch), Attempts: 1,
+			Cause: fmt.Errorf("semisort: stream processor returned %d outputs for %d records", len(outs), len(batch))}
+	}
+	if err != nil {
+		b.faults.Add(1)
+		be := err.(*BatchError)
+		b.errOnce.Do(func() { b.firstErr.Store(be) })
+		for _, it := range batch {
+			it.res <- Result[O]{Err: be}
+		}
+		return
+	}
+	for i, it := range batch {
+		it.res <- Result[O]{Out: outs[i]}
+	}
+}
+
+// attempt runs one process attempt under a recovery scope: a panic in the
+// flush hook, the driver call, a state probe, or the commit closure is
+// converted to a typed error — *parallel.PanicError, or the bare context
+// error when the panic was the engine's cancellation unwind — so the
+// flusher survives any fault a batch can throw at it.
+func (b *Batcher[R, O]) attempt(epoch int64, attempt int) (outs []O, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cause := parallel.CancelCause(r); cause != nil {
+				err = cause
+				return
+			}
+			err = parallel.AsPanicError(r)
+		}
+	}()
+	if attempt == 0 && b.cfg.OnFlush != nil {
+		b.cfg.OnFlush(epoch, len(b.recs))
+	}
+	outs, commit, perr := b.proc(b.recs)
+	if perr != nil {
+		return nil, perr
+	}
+	if commit != nil {
+		commit()
+	}
+	return outs, nil
+}

@@ -1,0 +1,369 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoProc is the trivial processor: out[i] = batch[i], no commit, no
+// error. commits counts clean flushes.
+func echoProc(commits *atomic.Int64) func([]int) ([]int, func(), error) {
+	return func(batch []int) ([]int, func(), error) {
+		outs := append([]int(nil), batch...)
+		return outs, func() { commits.Add(1) }, nil
+	}
+}
+
+func collect(t *testing.T, chans []<-chan Result[int]) []Result[int] {
+	t.Helper()
+	out := make([]Result[int], len(chans))
+	for i, c := range chans {
+		select {
+		case out[i] = <-c:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("result %d never delivered", i)
+		}
+	}
+	return out
+}
+
+// TestSizeFlush: exactly batchSize records per flush when producers keep
+// the queue fed; every record gets its own result back.
+func TestSizeFlush(t *testing.T) {
+	var commits atomic.Int64
+	b := New(Config{BatchSize: 8, MaxWait: -1}, echoProc(&commits))
+	var chans []<-chan Result[int]
+	for i := 0; i < 64; i++ {
+		chans = append(chans, b.Submit(i))
+	}
+	res := collect(t, chans)
+	for i, r := range res {
+		if r.Err != nil || r.Out != i {
+			t.Fatalf("record %d: got (%d, %v)", i, r.Out, r.Err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := b.Flushes(); got != 8 {
+		t.Fatalf("expected 8 size-triggered flushes, got %d", got)
+	}
+	if commits.Load() != 8 {
+		t.Fatalf("expected 8 commits, got %d", commits.Load())
+	}
+}
+
+// TestDeadlineFlush: a partial batch flushes MaxWait after its first
+// record, not at Close.
+func TestDeadlineFlush(t *testing.T) {
+	var commits atomic.Int64
+	b := New(Config{BatchSize: 1 << 20, MaxWait: 20 * time.Millisecond}, echoProc(&commits))
+	defer b.Close()
+	c := b.Submit(7)
+	select {
+	case r := <-c:
+		if r.Err != nil || r.Out != 7 {
+			t.Fatalf("got (%d, %v)", r.Out, r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline flush never fired")
+	}
+}
+
+// TestCloseDrains: records enqueued before Close are all flushed and
+// delivered; records submitted after Close get ErrStreamClosed.
+func TestCloseDrains(t *testing.T) {
+	var commits atomic.Int64
+	b := New(Config{BatchSize: 16, MaxWait: -1, QueueDepth: 256}, echoProc(&commits))
+	var chans []<-chan Result[int]
+	for i := 0; i < 100; i++ { // 6 full batches + a partial of 4
+		chans = append(chans, b.Submit(i))
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, r := range collect(t, chans) {
+		if r.Err != nil || r.Out != i {
+			t.Fatalf("record %d: got (%d, %v)", i, r.Out, r.Err)
+		}
+	}
+	if r := <-b.Submit(5); !errors.Is(r.Err, ErrStreamClosed) {
+		t.Fatalf("post-Close Submit: got %v, want ErrStreamClosed", r.Err)
+	}
+	// Close is idempotent and still reports the stream's health.
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestShed: with Shed set, a full queue fails fast with ErrQueueFull and
+// the record never reaches a flush.
+func TestShed(t *testing.T) {
+	block := make(chan struct{})
+	var processed atomic.Int64
+	b := New(Config{BatchSize: 1, MaxWait: -1, QueueDepth: 1, Shed: true},
+		func(batch []int) ([]int, func(), error) {
+			<-block
+			processed.Add(int64(len(batch)))
+			return append([]int(nil), batch...), nil, nil
+		})
+	// First record is picked up by the flusher and parks on `block`;
+	// second fills the 1-deep queue; the rest must shed.
+	c1 := b.Submit(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Flushes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never picked up the first record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c2 := b.Submit(2)
+	shed := 0
+	for i := 0; i < 50; i++ {
+		if r := <-b.Submit(100 + i); errors.Is(r.Err, ErrQueueFull) {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no record shed with a wedged flusher and a full queue")
+	}
+	close(block)
+	if r := <-c1; r.Err != nil {
+		t.Fatalf("record 1: %v", r.Err)
+	}
+	if r := <-c2; r.Err != nil {
+		t.Fatalf("record 2: %v", r.Err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := processed.Load(); got != 2 {
+		t.Fatalf("processed %d records, want exactly the 2 admitted", got)
+	}
+}
+
+// TestFaultedFlushFailsOnlyItsBatch: a processor error fails every item of
+// its own flush with one typed *BatchError (epoch, size, attempts, cause
+// all visible) and no other flush.
+func TestFaultedFlushFailsOnlyItsBatch(t *testing.T) {
+	boom := errors.New("boom")
+	var flush atomic.Int64
+	b := New(Config{BatchSize: 4, MaxWait: -1},
+		func(batch []int) ([]int, func(), error) {
+			if flush.Add(1) == 2 {
+				return nil, nil, boom
+			}
+			return append([]int(nil), batch...), nil, nil
+		})
+	var chans []<-chan Result[int]
+	for i := 0; i < 12; i++ {
+		chans = append(chans, b.Submit(i))
+	}
+	res := collect(t, chans)
+	for i, r := range res {
+		inFaulted := i >= 4 && i < 8
+		if inFaulted {
+			var be *BatchError
+			if !errors.As(r.Err, &be) {
+				t.Fatalf("record %d: got %v, want *BatchError", i, r.Err)
+			}
+			if be.Epoch != 2 || be.Records != 4 || be.Attempts != 1 || !errors.Is(r.Err, boom) {
+				t.Fatalf("record %d: bad BatchError %+v", i, be)
+			}
+		} else if r.Err != nil || r.Out != i {
+			t.Fatalf("record %d: got (%d, %v)", i, r.Out, r.Err)
+		}
+	}
+	if err := b.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close: got %v, want the sticky first flush error", err)
+	}
+	if b.Faults() != 1 {
+		t.Fatalf("Faults() = %d, want 1", b.Faults())
+	}
+}
+
+// TestProcessorPanicContained: a panicking processor (or commit) is
+// recovered into the batch's error; the flusher survives and later
+// batches commit.
+func TestProcessorPanicContained(t *testing.T) {
+	var flush atomic.Int64
+	b := New(Config{BatchSize: 2, MaxWait: -1},
+		func(batch []int) ([]int, func(), error) {
+			if flush.Add(1) == 1 {
+				panic("processor bug")
+			}
+			return append([]int(nil), batch...), nil, nil
+		})
+	c0 := b.Submit(0)
+	c1 := b.Submit(1)
+	c2 := b.Submit(2)
+	c3 := b.Submit(3)
+	if r := <-c0; r.Err == nil || fmt.Sprint(errorsCause(r.Err)) == "" {
+		t.Fatalf("faulted batch record: %+v", r)
+	}
+	if r := <-c1; r.Err == nil {
+		t.Fatal("second record of faulted batch must fail too")
+	}
+	if r := <-c2; r.Err != nil || r.Out != 2 {
+		t.Fatalf("post-fault batch: got (%d, %v)", r.Out, r.Err)
+	}
+	if r := <-c3; r.Err != nil {
+		t.Fatalf("post-fault batch: %v", r.Err)
+	}
+	b.Close()
+}
+
+func errorsCause(err error) error {
+	var be *BatchError
+	if errors.As(err, &be) {
+		return be.Cause
+	}
+	return err
+}
+
+// TestRetryTransient: a transiently-failing flush (per RetryIf) is retried
+// with backoff and commits on success; Attempts is visible on a terminal
+// failure.
+func TestRetryTransient(t *testing.T) {
+	var attempts atomic.Int64
+	b := New(Config{BatchSize: 2, MaxWait: -1, Retries: 2, Backoff: time.Microsecond},
+		func(batch []int) ([]int, func(), error) {
+			if attempts.Add(1) == 1 {
+				return nil, nil, context.DeadlineExceeded
+			}
+			return append([]int(nil), batch...), nil, nil
+		})
+	c0, c1 := b.Submit(0), b.Submit(1)
+	if r := <-c0; r.Err != nil {
+		t.Fatalf("retried flush should commit: %v", r.Err)
+	}
+	<-c1
+	if attempts.Load() != 2 {
+		t.Fatalf("made %d attempts, want 2", attempts.Load())
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close after successful retry: %v", err)
+	}
+
+	// Non-transient errors are not retried.
+	var n atomic.Int64
+	boom := errors.New("deterministic")
+	b2 := New(Config{BatchSize: 1, MaxWait: -1, Retries: 3, Backoff: time.Microsecond},
+		func(batch []int) ([]int, func(), error) { n.Add(1); return nil, nil, boom })
+	r := <-b2.Submit(1)
+	var be *BatchError
+	if !errors.As(r.Err, &be) || be.Attempts != 1 {
+		t.Fatalf("non-transient failure: %+v", r.Err)
+	}
+	if n.Load() != 1 {
+		t.Fatalf("non-transient error retried %d times", n.Load()-1)
+	}
+	b2.Close()
+
+	// Retries exhausted: Attempts reports 1+Retries.
+	b3 := New(Config{BatchSize: 1, MaxWait: -1, Retries: 2, Backoff: time.Microsecond,
+		RetryIf: func(error) bool { return true }},
+		func(batch []int) ([]int, func(), error) { return nil, nil, boom })
+	r = <-b3.Submit(1)
+	if !errors.As(r.Err, &be) || be.Attempts != 3 {
+		t.Fatalf("exhausted retries: %+v", r.Err)
+	}
+	b3.Close()
+}
+
+// TestSubmitCtx: a producer waiting on a full queue can bail via its
+// context without its record entering the stream.
+func TestSubmitCtx(t *testing.T) {
+	block := make(chan struct{})
+	b := New(Config{BatchSize: 1, MaxWait: -1, QueueDepth: 1},
+		func(batch []int) ([]int, func(), error) {
+			<-block
+			return append([]int(nil), batch...), nil, nil
+		})
+	defer b.Close()    // runs after close(block) (LIFO): the flusher
+	defer close(block) // must unpark before Close can join it
+
+	b.Submit(1) // flusher parks on block
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Flushes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Submit(2) // fills the queue
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if r := <-b.SubmitCtx(ctx, 3); !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("ctx-bounded submit on full queue: got %v", r.Err)
+	}
+}
+
+// TestConcurrentProducersAndCloseNoLeak: many producers race Close; every
+// result channel settles with either a real result or ErrStreamClosed,
+// and no goroutine outlives Close.
+func TestConcurrentProducersAndCloseNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 8; round++ {
+		var commits atomic.Int64
+		b := New(Config{BatchSize: 32, MaxWait: time.Millisecond, QueueDepth: 64}, echoProc(&commits))
+		var wg sync.WaitGroup
+		var delivered, closedErrs atomic.Int64
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					r := <-b.Submit(p*1000 + i)
+					switch {
+					case r.Err == nil:
+						delivered.Add(1)
+					case errors.Is(r.Err, ErrStreamClosed):
+						closedErrs.Add(1)
+					default:
+						t.Errorf("unexpected error: %v", r.Err)
+						return
+					}
+				}
+			}(p)
+		}
+		// Close while producers are mid-stream.
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		if err := b.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		wg.Wait()
+		if delivered.Load()+closedErrs.Load() != 2000 {
+			t.Fatalf("settled %d+%d results, want 2000", delivered.Load(), closedErrs.Load())
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("%d goroutines after Close, baseline %d: flusher leak", g, before)
+	}
+}
+
+// TestProcessorOutputContract: a processor returning the wrong output
+// count fails the batch instead of mis-delivering results.
+func TestProcessorOutputContract(t *testing.T) {
+	b := New(Config{BatchSize: 4, MaxWait: -1},
+		func(batch []int) ([]int, func(), error) { return batch[:1], nil, nil })
+	chans := []<-chan Result[int]{b.Submit(0), b.Submit(1), b.Submit(2), b.Submit(3)}
+	for _, c := range chans {
+		var be *BatchError
+		if r := <-c; !errors.As(r.Err, &be) {
+			t.Fatalf("contract violation must fail the batch, got %+v", r)
+		}
+	}
+	b.Close()
+}

@@ -1,0 +1,102 @@
+package stream
+
+import "repro/internal/hashutil"
+
+// BuildTable is the retained build side of an incremental streaming join:
+// committed build records stored append-only with their user hashes, plus
+// a chained hash index (slot -> first entry, per-entry next links) so
+// probe batches stream against it without re-classifying the build side —
+// the one-shot JoinEq re-partitions both relations per call; the stream
+// pays for the build side once per committed build batch.
+//
+// Epoch commit: the owning stream stages (records, hashes) in its
+// faultable process phase — hashing runs user callbacks — and Append then
+// installs them with stored-hash arithmetic only, so a clean staging
+// always commits completely. Probe is the read path (runs the user eq via
+// the match closure) and mutates nothing.
+//
+// Not internally synchronized: the owning stream serializes Append
+// against probes.
+type BuildTable[S any] struct {
+	recs  []S
+	hs    []uint64
+	next  []int32 // chain link per entry (index+1; 0 terminates)
+	head  []int32 // slot -> first entry index+1 (0 empty)
+	tail  []int32 // slot -> last entry index+1, for O(1) in-order appends
+	shift uint
+}
+
+// NewBuildTable returns an empty build table.
+func NewBuildTable[S any]() *BuildTable[S] { return &BuildTable[S]{} }
+
+// Len reports how many build records have been committed.
+func (t *BuildTable[S]) Len() int { return len(t.recs) }
+
+// Probe visits every committed build record whose stored hash equals h and
+// whose key matches (the match closure runs the user eq against the probe
+// key), in insertion order within the chain's slot. It mutates nothing.
+func (t *BuildTable[S]) Probe(h uint64, match func(S) bool, visit func(S)) {
+	if len(t.head) == 0 {
+		return
+	}
+	for e := t.head[hashutil.Slot(h, t.shift)]; e != 0; e = t.next[e-1] {
+		i := e - 1
+		if t.hs[i] == h && match(t.recs[i]) {
+			visit(t.recs[i])
+		}
+	}
+}
+
+// Append commits a staged build batch: records with their already-computed
+// user hashes. Only stored hashes are consumed — no user callback — so a
+// commit cannot fault midway. Duplicate keys are retained (a join build
+// side is a multiset).
+func (t *BuildTable[S]) Append(recs []S, hs []uint64) {
+	t.grow(len(t.recs) + len(recs))
+	for j, r := range recs {
+		t.recs = append(t.recs, r)
+		t.hs = append(t.hs, hs[j])
+		i := int32(len(t.recs)) // index+1 of the new entry
+		slot := hashutil.Slot(hs[j], t.shift)
+		// Chains append at the tail so Probe visits records in commit
+		// order — the deterministic order join outputs rely on — at O(1)
+		// per record even when one heavy key owns the whole chain.
+		t.next = append(t.next, 0)
+		if t.tail[slot] == 0 {
+			t.head[slot] = i
+		} else {
+			t.next[t.tail[slot]-1] = i
+		}
+		t.tail[slot] = i
+	}
+}
+
+// grow resizes the slot array to keep load <= 1/2, rebuilding chains from
+// stored hashes (entry order preserved, so Probe order is stable across
+// growth).
+func (t *BuildTable[S]) grow(want int) {
+	m := len(t.head)
+	if m >= 2*want && m > 0 {
+		return
+	}
+	nm := 256
+	for nm < 2*want {
+		nm <<= 1
+	}
+	t.head = make([]int32, nm)
+	t.tail = make([]int32, nm)
+	t.shift = hashutil.SlotShift(nm)
+	for i := range t.next {
+		t.next[i] = 0
+	}
+	for i, h := range t.hs {
+		slot := hashutil.Slot(h, t.shift)
+		e := int32(i + 1)
+		if t.tail[slot] == 0 {
+			t.head[slot] = e
+		} else {
+			t.next[t.tail[slot]-1] = e
+		}
+		t.tail[slot] = e
+	}
+}

@@ -1,0 +1,98 @@
+package stream
+
+import "repro/internal/hashutil"
+
+// SeenSet is the persistent cross-batch seen-set: the distinct keys of
+// every committed batch, stored with their full 64-bit user hashes in an
+// open-addressing table (Fibonacci slot indexing, like every other table
+// fed by user hashes — see hashutil.Slot).
+//
+// It follows the process/commit split of the package doc: Contains is the
+// read-only probe the process phase uses (it runs the user eq and may
+// fault — harmlessly, nothing is mutated), and Insert applies a staged
+// delta comparing stored hashes only, so commit can never run a user
+// callback. Growth rehashes by stored hash for the same reason.
+//
+// Not internally synchronized: the owning stream serializes the flusher's
+// probes/commits against reader queries.
+type SeenSet[K any] struct {
+	hs    []uint64
+	keys  []K
+	used  []bool
+	n     int
+	shift uint
+}
+
+// NewSeenSet returns an empty seen-set.
+func NewSeenSet[K any]() *SeenSet[K] { return &SeenSet[K]{} }
+
+// Len reports how many distinct keys have been committed.
+func (s *SeenSet[K]) Len() int64 { return int64(s.n) }
+
+// Contains reports whether key k with user hash h has been committed. eq
+// is the user equality test; it runs only here, never in Insert.
+func (s *SeenSet[K]) Contains(h uint64, k K, eq func(K, K) bool) bool {
+	if s.n == 0 {
+		return false
+	}
+	m := uint64(len(s.hs))
+	for i := hashutil.Slot(h, s.shift); ; i = (i + 1) & (m - 1) {
+		if !s.used[i] {
+			return false
+		}
+		if s.hs[i] == h && eq(s.keys[i], k) {
+			return true
+		}
+	}
+}
+
+// Insert commits a staged delta: keys known (from process-phase Contains
+// probes) to be absent from the set and mutually distinct. Only stored
+// hashes are compared — no user callback runs — so Insert cannot fault
+// midway and a clean driver call always commits completely.
+func (s *SeenSet[K]) Insert(hs []uint64, ks []K) {
+	s.grow(s.n + len(ks))
+	m := uint64(len(s.hs))
+	for j, h := range hs {
+		i := hashutil.Slot(h, s.shift)
+		for s.used[i] {
+			i = (i + 1) & (m - 1)
+		}
+		s.used[i] = true
+		s.hs[i] = h
+		s.keys[i] = ks[j]
+	}
+	s.n += len(ks)
+}
+
+// grow ensures capacity for want live keys at load factor <= 1/2,
+// rehashing existing entries by their stored hashes.
+func (s *SeenSet[K]) grow(want int) {
+	m := len(s.hs)
+	if m >= 2*want && m > 0 {
+		return
+	}
+	nm := 256
+	for nm < 2*want {
+		nm <<= 1
+	}
+	ohs, okeys, oused := s.hs, s.keys, s.used
+	s.hs = make([]uint64, nm)
+	s.keys = make([]K, nm)
+	s.used = make([]bool, nm)
+	s.shift = hashutil.SlotShift(nm)
+	mm := uint64(nm)
+	for i, u := range oused {
+		if !u {
+			continue
+		}
+		h := ohs[i]
+		j := hashutil.Slot(h, s.shift)
+		for s.used[j] {
+			j = (j + 1) & (mm - 1)
+		}
+		s.used[j] = true
+		s.hs[j] = h
+		s.keys[j] = okeys[i]
+	}
+}

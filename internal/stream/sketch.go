@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"sort"
+
+	"repro/internal/hashutil"
+)
+
+// CountSketch is the persistent windowed/decayed frequency state behind a
+// streaming top-k: per-key weights that each epoch commit first scales by
+// a decay factor and then increments with the batch's histogram counts.
+// Decay 1 makes it an exact running histogram (weights equal the one-shot
+// counts over the concatenated committed batches); decay < 1 makes it an
+// exponentially-decayed window in units of epochs, with entries whose
+// weight sinks below the prune threshold dropped so the table tracks the
+// working set, not history. Only counts are retained, never records — the
+// SpComm3D principle of moving hashes and counts where a count suffices.
+//
+// Fault isolation follows the process/commit split (package doc), with the
+// extra twist that merging a histogram needs the user eq to match existing
+// keys. That probe happens in the faultable PROCESS phase via Resolve,
+// which records slot indices; Commit then applies the whole epoch — scale,
+// add at resolved slots, insert new keys, prune — using stored hashes
+// only. The resolved indices stay valid because the single flusher is the
+// only writer and Commit performs the slot-moving steps (growth, prune
+// compaction) strictly after the slot-addressed additions.
+//
+// Not internally synchronized: the owning stream serializes flusher
+// against queries.
+type CountSketch[K any] struct {
+	hs    []uint64
+	keys  []K
+	w     []float64
+	ord   []int64 // first-insertion ordinal: the deterministic tiebreak
+	used  []bool
+	n     int
+	next  int64
+	shift uint
+
+	decay float64 // per-epoch multiplier applied to existing weights
+	prune float64 // post-decay weights below this are dropped (0: never)
+}
+
+// NewCountSketch returns an empty sketch. decay <= 0 or >= 1 means no
+// decay (exact running counts); prune <= 0 never drops entries.
+func NewCountSketch[K any](decay, prune float64) *CountSketch[K] {
+	if decay <= 0 || decay >= 1 {
+		decay = 1
+	}
+	if prune < 0 {
+		prune = 0
+	}
+	return &CountSketch[K]{decay: decay, prune: prune}
+}
+
+// Len reports how many keys the sketch currently tracks.
+func (s *CountSketch[K]) Len() int { return s.n }
+
+// Resolve finds the slot of key k (user hash h) in the current table, or
+// -1 if the key is new. It is the process phase's read-only probe: eq (a
+// user callback) runs only here. The returned slot is valid for the next
+// Commit provided no other Commit intervenes — guaranteed by the single
+// flusher.
+func (s *CountSketch[K]) Resolve(h uint64, k K, eq func(K, K) bool) int {
+	if s.n == 0 {
+		return -1
+	}
+	m := uint64(len(s.hs))
+	for i := hashutil.Slot(h, s.shift); ; i = (i + 1) & (m - 1) {
+		if !s.used[i] {
+			return -1
+		}
+		if s.hs[i] == h && eq(s.keys[i], k) {
+			return int(i)
+		}
+	}
+}
+
+// Commit applies one epoch delta: slots/adds pair resolved existing keys
+// with their batch counts (slot >= 0) or mark new keys (slot -1, taking
+// their hash and key from hs/ks at the same position). The order —
+// decay-scale, slot-addressed adds, then inserts (which may grow), then
+// prune (which compacts) — keeps the resolved slots valid exactly as long
+// as they are needed. No user callback runs anywhere in Commit.
+func (s *CountSketch[K]) Commit(slots []int, hs []uint64, ks []K, adds []float64) {
+	if s.decay < 1 {
+		for i := range s.w {
+			if s.used[i] {
+				s.w[i] *= s.decay
+			}
+		}
+	}
+	newKeys := 0
+	for j, slot := range slots {
+		if slot >= 0 {
+			s.w[slot] += adds[j]
+		} else {
+			newKeys++
+		}
+	}
+	if newKeys > 0 {
+		s.grow(s.n + newKeys)
+		m := uint64(len(s.hs))
+		for j, slot := range slots {
+			if slot >= 0 {
+				continue
+			}
+			h := hs[j]
+			i := hashutil.Slot(h, s.shift)
+			for s.used[i] {
+				i = (i + 1) & (m - 1)
+			}
+			s.used[i] = true
+			s.hs[i] = h
+			s.keys[i] = ks[j]
+			s.w[i] = adds[j]
+			s.ord[i] = s.next
+			s.next++
+		}
+		s.n += newKeys
+	}
+	if s.prune > 0 {
+		s.compact()
+	}
+}
+
+// Entry is one tracked key with its current (possibly decayed) weight.
+type Entry[K any] struct {
+	Key    K
+	Weight float64
+	ord    int64
+}
+
+// Top returns the k heaviest tracked keys, weight descending, ties broken
+// by first-insertion order (deterministic for a deterministic batch
+// sequence). k exceeding the tracked count returns every key.
+func (s *CountSketch[K]) Top(k int) []Entry[K] {
+	if k > s.n {
+		k = s.n
+	}
+	if k <= 0 {
+		return nil
+	}
+	all := make([]Entry[K], 0, s.n)
+	for i, u := range s.used {
+		if u {
+			all = append(all, Entry[K]{Key: s.keys[i], Weight: s.w[i], ord: s.ord[i]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Weight != all[j].Weight {
+			return all[i].Weight > all[j].Weight
+		}
+		return all[i].ord < all[j].ord
+	})
+	return all[:k:k]
+}
+
+// Weight returns the current weight of key k (0 if untracked). Read-only;
+// runs the user eq like Resolve.
+func (s *CountSketch[K]) Weight(h uint64, k K, eq func(K, K) bool) float64 {
+	if i := s.Resolve(h, k, eq); i >= 0 {
+		return s.w[i]
+	}
+	return 0
+}
+
+// grow ensures capacity for want live keys at load <= 1/2, rehashing by
+// stored hash.
+func (s *CountSketch[K]) grow(want int) {
+	m := len(s.hs)
+	if m >= 2*want && m > 0 {
+		return
+	}
+	nm := 256
+	for nm < 2*want {
+		nm <<= 1
+	}
+	s.rebuild(nm, 0)
+}
+
+// compact drops entries below the prune threshold, shrinking the table if
+// the survivor count allows. Placement is by stored hash only.
+func (s *CountSketch[K]) compact() {
+	live := 0
+	for i, u := range s.used {
+		if u && s.w[i] >= s.prune {
+			live++
+		}
+	}
+	if live == s.n {
+		return
+	}
+	nm := 256
+	for nm < 2*live {
+		nm <<= 1
+	}
+	s.rebuild(nm, s.prune)
+}
+
+// rebuild re-places every entry with weight >= minW into a fresh nm-slot
+// table.
+func (s *CountSketch[K]) rebuild(nm int, minW float64) {
+	ohs, okeys, ow, oord, oused := s.hs, s.keys, s.w, s.ord, s.used
+	s.hs = make([]uint64, nm)
+	s.keys = make([]K, nm)
+	s.w = make([]float64, nm)
+	s.ord = make([]int64, nm)
+	s.used = make([]bool, nm)
+	s.shift = hashutil.SlotShift(nm)
+	mm := uint64(nm)
+	s.n = 0
+	for i, u := range oused {
+		if !u || (minW > 0 && ow[i] < minW) {
+			continue
+		}
+		h := ohs[i]
+		j := hashutil.Slot(h, s.shift)
+		for s.used[j] {
+			j = (j + 1) & (mm - 1)
+		}
+		s.used[j] = true
+		s.hs[j] = h
+		s.keys[j] = okeys[i]
+		s.w[j] = ow[i]
+		s.ord[j] = oord[i]
+		s.n++
+	}
+}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashutil"
+)
+
+func eqU(a, b uint64) bool { return a == b }
+
+// TestSeenSet: reference-map equivalence through interleaved probe/commit
+// epochs and growth.
+func TestSeenSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSeenSet[uint64]()
+	ref := map[uint64]bool{}
+	for epoch := 0; epoch < 50; epoch++ {
+		// Process phase: probe a random batch, stage the unseen keys.
+		var dh []uint64
+		var dk []uint64
+		staged := map[uint64]bool{}
+		for i := 0; i < 100; i++ {
+			k := uint64(rng.Intn(1500)) // collisions with prior epochs guaranteed
+			h := hashutil.Mix64(k)
+			if s.Contains(h, k, eqU) != ref[k] {
+				t.Fatalf("epoch %d: Contains(%d) = %v, ref %v", epoch, k, !ref[k], ref[k])
+			}
+			if !ref[k] && !staged[k] {
+				staged[k] = true
+				dh = append(dh, h)
+				dk = append(dk, k)
+			}
+		}
+		// Commit.
+		s.Insert(dh, dk)
+		for _, k := range dk {
+			ref[k] = true
+		}
+		if int(s.Len()) != len(ref) {
+			t.Fatalf("epoch %d: Len %d, ref %d", epoch, s.Len(), len(ref))
+		}
+	}
+}
+
+// TestSeenSetZeroHash: a key whose user hash is zero (or any constant) is
+// still stored and found — occupancy is explicit, not hash-sentinel based.
+func TestSeenSetZeroHash(t *testing.T) {
+	s := NewSeenSet[uint64]()
+	s.Insert([]uint64{0, 0}, []uint64{1, 2}) // same (zero) hash, distinct keys
+	for _, k := range []uint64{1, 2} {
+		if !s.Contains(0, k, eqU) {
+			t.Fatalf("key %d with zero hash lost", k)
+		}
+	}
+	if s.Contains(0, 3, eqU) {
+		t.Fatal("absent key reported present")
+	}
+}
+
+// TestCountSketchExact: with decay 1 the sketch is an exact running
+// histogram, whatever the batch splits.
+func TestCountSketchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewCountSketch[uint64](1, 0)
+	ref := map[uint64]float64{}
+	for epoch := 0; epoch < 40; epoch++ {
+		// Batch histogram (what HistogramE would hand the stream).
+		counts := map[uint64]float64{}
+		for i := 0; i < 200; i++ {
+			counts[uint64(rng.Intn(300))]++
+		}
+		var slots []int
+		var hs, adds = []uint64{}, []float64{}
+		var ks []uint64
+		for k, c := range counts {
+			h := hashutil.Mix64(k)
+			slots = append(slots, s.Resolve(h, k, eqU))
+			hs = append(hs, h)
+			ks = append(ks, k)
+			adds = append(adds, c)
+		}
+		s.Commit(slots, hs, ks, adds)
+		for k, c := range counts {
+			ref[k] += c
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("tracked %d keys, ref %d", s.Len(), len(ref))
+	}
+	for k, w := range ref {
+		if got := s.Weight(hashutil.Mix64(k), k, eqU); got != w {
+			t.Fatalf("key %d: weight %v, ref %v", k, got, w)
+		}
+	}
+	// Top order: weight descending.
+	top := s.Top(10)
+	for i := 1; i < len(top); i++ {
+		if top[i].Weight > top[i-1].Weight {
+			t.Fatalf("Top not sorted: %v", top)
+		}
+	}
+	if len(top) != 10 {
+		t.Fatalf("Top(10) returned %d entries", len(top))
+	}
+}
+
+// TestCountSketchDecayPrune: decay scales existing weights per epoch
+// before the new counts land; prune drops entries that sink below the
+// threshold (and only those).
+func TestCountSketchDecayPrune(t *testing.T) {
+	s := NewCountSketch[uint64](0.5, 0.3)
+	commit := func(k uint64, c float64) {
+		h := hashutil.Mix64(k)
+		s.Commit([]int{s.Resolve(h, k, eqU)}, []uint64{h}, []uint64{k}, []float64{c})
+	}
+	commit(1, 1) // epoch 1: w(1)=1
+	commit(2, 4) // epoch 2: w(1)=0.5, w(2)=4
+	if got := s.Weight(hashutil.Mix64(1), 1, eqU); got != 0.5 {
+		t.Fatalf("w(1) after one decay = %v, want 0.5", got)
+	}
+	commit(3, 1) // epoch 3: w(1)=0.25 < 0.3 -> pruned; w(2)=2; w(3)=1
+	if s.Weight(hashutil.Mix64(1), 1, eqU) != 0 {
+		t.Fatal("key 1 should have been pruned")
+	}
+	if got := s.Weight(hashutil.Mix64(2), 2, eqU); got != 2 {
+		t.Fatalf("w(2) = %v, want 2", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("tracked %d keys after prune, want 2", s.Len())
+	}
+	// A pruned key can come back as a fresh entry.
+	commit(1, 5)
+	if got := s.Weight(hashutil.Mix64(1), 1, eqU); got != 5 {
+		t.Fatalf("re-inserted key 1 weight = %v, want 5", got)
+	}
+}
+
+// TestBuildTable: multiset probe equivalence against a reference, heavy
+// keys (duplicates) retained, order stable across growth.
+func TestBuildTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bt := NewBuildTable[[2]uint64]() // {key, payload}
+	ref := map[uint64][][2]uint64{}
+	payload := uint64(0)
+	for epoch := 0; epoch < 30; epoch++ {
+		var recs [][2]uint64
+		var hs []uint64
+		for i := 0; i < 64; i++ {
+			k := uint64(rng.Intn(100)) // heavy: ~19 copies per key by the end
+			recs = append(recs, [2]uint64{k, payload})
+			hs = append(hs, hashutil.Mix64(k))
+			payload++
+		}
+		bt.Append(recs, hs)
+		for _, r := range recs {
+			ref[r[0]] = append(ref[r[0]], r)
+		}
+		// Probe every key after every epoch: contents AND commit order.
+		for k, want := range ref {
+			var got [][2]uint64
+			bt.Probe(hashutil.Mix64(k),
+				func(s [2]uint64) bool { return s[0] == k },
+				func(s [2]uint64) { got = append(got, s) })
+			if len(got) != len(want) {
+				t.Fatalf("epoch %d key %d: %d matches, want %d", epoch, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("epoch %d key %d: match %d = %v, want %v (commit order)", epoch, k, i, got[i], want[i])
+				}
+			}
+		}
+		var absent int
+		bt.Probe(hashutil.Mix64(10_000),
+			func(s [2]uint64) bool { return s[0] == 10_000 },
+			func(s [2]uint64) { absent++ })
+		if absent != 0 {
+			t.Fatalf("absent key matched %d records", absent)
+		}
+	}
+	if bt.Len() != 30*64 {
+		t.Fatalf("Len %d, want %d", bt.Len(), 30*64)
+	}
+}

@@ -1,0 +1,37 @@
+// Package stream is the continuous-ingestion front end of the engine: a
+// size+deadline batcher that coalesces records submitted by many producer
+// goroutines into driver-sized batches, plus the persistent cross-batch
+// state (seen-set, decayed count sketch, retained join build side) that
+// makes the batch-only relational ops incremental.
+//
+// The layering mirrors internal/collect and internal/rel: this package owns
+// the mechanism (bounded queue, flush scheduling, per-item result delivery,
+// epoch commit, drain/shutdown) and is operator-agnostic — the root package
+// wires operator-specific processors (built from its own error-returning
+// entry points, so every flush passes through admission control and the
+// lease ledger) into a Batcher and pairs them with the state structures
+// here.
+//
+// # Fault isolation: the process/commit split
+//
+// Every structure that survives between batches is updated in two phases:
+//
+//   - process (faultable): runs the driver call and any user callbacks
+//     (key, hash, eq) — including read-only probes of persistent state —
+//     and STAGES a delta. It never mutates persistent state, so a panic or
+//     cancellation anywhere in it leaves the state bit-identical.
+//   - commit (fault-free): applies the staged delta using only stored
+//     hashes and memmoves — no user callback runs, so once a batch's
+//     driver call has returned cleanly its commit cannot fault halfway.
+//
+// The Batcher runs commit only after process returns without error, so a
+// faulted batch fails exactly its own submitted items (each result channel
+// carries a typed *BatchError) and every other batch — before or after —
+// observes state equal to a fresh replay of the committed batches.
+//
+// Between a batch's process and its commit the state is guaranteed
+// unchanged because a stream has exactly one flusher goroutine: it is the
+// only writer, so slot indices resolved during process stay valid at
+// commit. Concurrent readers (queries like Distinct or TopK) are
+// serialized by the owning stream's RWMutex.
+package stream
