@@ -23,10 +23,11 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detector pass on the runtime, the semisort core, the
-## collect-reduce + relational terminal ops, and the streaming front end
+## race: race-detector pass on the runtime, the semisort core, sampling +
+## distribution, the collect-reduce + relational terminal ops, the arena
+## key plane, and the streaming front end
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/collect ./internal/rel ./internal/chaos ./internal/stream .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/sampling ./internal/dist ./internal/collect ./internal/rel ./internal/strkey ./internal/chaos ./internal/stream .
 
 ## bench-steady: steady-state allocation benchmark (see EXPERIMENTS.md)
 bench-steady:

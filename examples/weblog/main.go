@@ -1,0 +1,125 @@
+// Variable-length keys at scale: the web-log workload the string-keyed API
+// (strkeys.go) exists for. Keys here are URLs and request ids — short
+// strings with long shared prefixes — where a map pipeline pays a header
+// chase plus a byte-wise compare on every probe, and the arena key plane
+// moves 8-byte digests instead (each key's bytes are materialized and
+// hashed exactly once per call; full comparisons only after digest
+// equality). This example runs the same access-log rollup two ways —
+// idiomatic single-threaded Go maps and the semisort string ops — and
+// compares wall-clock time and results:
+//
+//  1. deduplicate the log by request id (proxy retries duplicate lines;
+//     the FIRST occurrence must win so the original status survives),
+//  2. semi-join the deduplicated lines against a watchlist of monitored
+//     paths (string equi-join on the URL),
+//  3. count distinct URLs seen and list the top-5 hottest monitored paths.
+//
+// Every step is deterministic for a fixed seed at any parallelism, and the
+// string ops accept composite keys without per-record allocation via the
+// append-style Keyed forms.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	semisort "repro"
+	"repro/internal/dist"
+)
+
+type logLine struct {
+	ReqID  string // request id: duplicated by proxy retries
+	URL    string // request path: zipfian (a few hot endpoints)
+	Status int    // first occurrence carries the true status
+}
+
+type pathInfo struct {
+	URL   string
+	Owner int // stand-in for routing/team metadata
+}
+
+type monitored struct {
+	Line  logLine
+	Owner int
+}
+
+func main() {
+	const n = 2_000_000
+	const nPaths = 4_000
+
+	// Build an access log where ~1/4 of the lines are retry duplicates
+	// (same request id, later status) and path popularity is zipfian. The
+	// key populations carry the realistic shape: a shared service prefix
+	// with a random tail.
+	idSpec := dist.StrSpec{
+		Spec:   dist.Spec{Kind: dist.Uniform, Param: float64(3 * n / 4)},
+		MinLen: 8, MaxLen: 24, Prefix: 4,
+	}
+	ids := dist.KeysStr(n, idSpec, 7)
+	hot := dist.Keys64(n, dist.Spec{Kind: dist.Zipfian, Param: 1.1}, 8)
+	lines := make([]logLine, n)
+	for i := range lines {
+		lines[i] = logLine{
+			ReqID:  ids[i],
+			URL:    fmt.Sprintf("/api/v2/resource/%d", hot[i]%nPaths),
+			Status: 200 + i%3,
+		}
+	}
+	watch := make([]pathInfo, 0, nPaths/4)
+	for p := 0; p < nPaths; p += 4 { // every fourth path is monitored
+		watch = append(watch, pathInfo{URL: fmt.Sprintf("/api/v2/resource/%d", p), Owner: p % 17})
+	}
+	lineID := func(l logLine) string { return l.ReqID }
+	lineURL := func(l logLine) string { return l.URL }
+	pathURL := func(p pathInfo) string { return p.URL }
+
+	// Map pipeline: dedup keep-first, index the watchlist, probe, count, rank.
+	start := time.Now()
+	firstSeen := make(map[string]bool, 1024)
+	mapDeduped := make([]logLine, 0, 1024)
+	for _, l := range lines {
+		if !firstSeen[l.ReqID] {
+			firstSeen[l.ReqID] = true
+			mapDeduped = append(mapDeduped, l)
+		}
+	}
+	watchIdx := make(map[string]pathInfo, len(watch))
+	for _, p := range watch {
+		watchIdx[p.URL] = p
+	}
+	mapRows := make([]monitored, 0, 1024)
+	mapHits := make(map[string]int64, 1024)
+	mapURLs := make(map[string]bool, 1024)
+	for _, l := range mapDeduped {
+		mapURLs[l.URL] = true
+		if p, ok := watchIdx[l.URL]; ok {
+			mapRows = append(mapRows, monitored{Line: l, Owner: p.Owner})
+			mapHits[l.URL]++
+		}
+	}
+	tMap := time.Since(start)
+
+	// String-keyed relational pipeline on the shared semisort runtime.
+	start = time.Now()
+	deduped := semisort.DedupStr(lines, lineID)
+	rows := semisort.JoinEqStr(deduped, watch, lineURL, pathURL,
+		func(l logLine, p pathInfo) monitored { return monitored{Line: l, Owner: p.Owner} })
+	distinctURLs := semisort.CountDistinctStr(deduped, lineURL)
+	top := semisort.TopKStr(rows, 5, func(m monitored) string { return m.Line.URL })
+	tRel := time.Since(start)
+
+	fmt.Printf("lines %d -> deduped %d -> monitored rows %d, %d distinct URLs\n",
+		n, len(deduped), len(rows), distinctURLs)
+	if len(deduped) != len(mapDeduped) || len(rows) != len(mapRows) ||
+		int(distinctURLs) != len(mapURLs) {
+		panic("string pipeline disagrees with the map pipeline")
+	}
+	for _, kc := range top {
+		if mapHits[kc.Key] != kc.Count {
+			panic("top-k count disagrees with the map pipeline")
+		}
+		fmt.Printf("  %-24s %d deduplicated hits\n", kc.Key, kc.Count)
+	}
+	fmt.Printf("map pipeline:    %8.1f ms\n", tMap.Seconds()*1e3)
+	fmt.Printf("string pipeline: %8.1f ms\n", tRel.Seconds()*1e3)
+}

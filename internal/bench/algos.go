@@ -25,6 +25,13 @@ type P32 struct{ K, V uint32 }
 // P128 is the 128-bit record of Figures 6 and 19-24.
 type P128 struct{ K, V dist.U128 }
 
+// PStr is the variable-width record of the string-keyed cells: a string key
+// plus a 64-bit payload.
+type PStr struct {
+	K string
+	V uint64
+}
+
 // AlgoNames lists the algorithms of Table 2 in its column order.
 var AlgoNames = []string{
 	"Ours=", "Ours<", "PLSS", "IPS4o", // any key type
@@ -191,6 +198,18 @@ func Make128(n int, spec dist.Spec, seed uint64) []P128 {
 	out := make([]P128, n)
 	for i, k := range keys {
 		out[i] = P128{K: k, V: k}
+	}
+	return out
+}
+
+// MakeStr builds string-keyed benchmark records; see dist.StrSpec for the
+// rendering contract (identities shared across seeds render identically, so
+// two MakeStr relations join on their common identities).
+func MakeStr(n int, spec dist.StrSpec, seed uint64) []PStr {
+	keys := dist.KeysStr(n, spec, seed)
+	out := make([]PStr, n)
+	for i, k := range keys {
+		out[i] = PStr{K: k, V: uint64(i)}
 	}
 	return out
 }

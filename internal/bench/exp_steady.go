@@ -23,11 +23,15 @@ import (
 // `semibench -json` and `make bench`) so successive PRs can be compared
 // number against number.
 
-// SteadyResult is one steady-state measurement.
+// SteadyResult is one steady-state measurement. KeyWidth records the cell's
+// key shape ("u64", "u128", "str") so width regressions are attributable at
+// a glance; cells from reports written before the field parse as "" and
+// compare by (name, n) as always.
 type SteadyResult struct {
 	Name        string  `json:"name"`
 	N           int     `json:"n"`
 	Dist        string  `json:"dist"`
+	KeyWidth    string  `json:"key_width,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	MRecsPerSec float64 `json:"mrecs_per_sec"`
@@ -86,10 +90,21 @@ func steadyCell(o Options, name string, n int, spec dist.Spec, run, overhead fun
 		Name:        name,
 		N:           n,
 		Dist:        spec.String(),
+		KeyWidth:    "u64", // the suite's default record; wider cells override
 		NsPerOp:     float64(t.Nanoseconds()),
 		AllocsPerOp: testing.AllocsPerRun(2, run),
 		MRecsPerSec: float64(n) / t.Seconds() / 1e6,
 	}
+}
+
+// atWidth restamps a cell's key width (and, for string cells, the richer
+// dist label carrying the length distribution).
+func atWidth(r SteadyResult, width, distLabel string) SteadyResult {
+	r.KeyWidth = width
+	if distLabel != "" {
+		r.Dist = distLabel
+	}
+	return r
 }
 
 // SteadyReportFor measures the steady-state suite: repeated SortEq,
@@ -168,6 +183,60 @@ func SteadyReportFor(o Options) SteadyReport {
 			steadyCell(o, "TopK/"+shape, o.N, spec, func() {
 				rel.TopK(data, 10, key, hashutil.Mix64, eq, core.Config{})
 			}, nil))
+	}
+
+	// Variable-width key cells: the same SortEq/Dedup/JoinEq trio at 128-bit
+	// and string key widths, so the width-specific paths — Mix128 hashing and
+	// 32-byte records at u128, the arena key plane (strkeys.go) behind the
+	// string forms — sit under the same regression gate as the 64-bit cells.
+	// The string workload embeds a 12-byte shared prefix and 4..28-byte
+	// random tails (plus the 16-hex-char identity), the realistic
+	// URL/identifier shape where header-chasing comparisons hurt most.
+	key128 := func(p P128) dist.U128 { return p.K }
+	eq128 := func(x, y dist.U128) bool { return x == y }
+	hash128 := func(k dist.U128) uint64 { return hashutil.Mix128(k.Hi, k.Lo) }
+	keyStr := func(p PStr) string { return p.K }
+	for _, shape := range []string{"uniform-distinct", "zipf-1.2"} {
+		spec := specs[shape]
+		strSpec := dist.StrSpec{Spec: spec, MinLen: 4, MaxLen: 28, Prefix: 12}
+		dimSpec := dist.Spec{Kind: dist.Uniform, Param: float64(o.N)}
+
+		d128 := Make128(o.N, spec, o.Seed)
+		dim128 := Make128(o.N/8, dimSpec, o.Seed+1)
+		w128 := make([]P128, o.N)
+		run128 := func() {
+			parallel.Copy(w128, d128)
+			core.SortEq(w128, key128, hash128, eq128, core.Config{})
+		}
+		rep.Results = append(rep.Results,
+			atWidth(steadyCell(o, "SortEq/u128/"+shape, o.N, spec, run128,
+				func() { parallel.Copy(w128, d128) }), "u128", ""),
+			atWidth(steadyCell(o, "Dedup/u128/"+shape, o.N, spec, func() {
+				rel.Dedup(d128, key128, hash128, eq128, core.Config{})
+			}, nil), "u128", ""),
+			atWidth(steadyCell(o, "JoinEq/u128/"+shape, o.N, spec, func() {
+				rel.Join(d128, dim128, key128, key128, hash128, eq128,
+					func(a, b P128) P128 { return P128{K: a.K, V: b.V} }, core.Config{})
+			}, nil), "u128", ""))
+
+		dstr := MakeStr(o.N, strSpec, o.Seed)
+		dimStr := MakeStr(o.N/8, dist.StrSpec{Spec: dimSpec, MinLen: strSpec.MinLen,
+			MaxLen: strSpec.MaxLen, Prefix: strSpec.Prefix}, o.Seed+1)
+		wstr := make([]PStr, o.N)
+		runStr := func() {
+			parallel.Copy(wstr, dstr)
+			semisort.SortEqStr(wstr, keyStr)
+		}
+		rep.Results = append(rep.Results,
+			atWidth(steadyCell(o, "SortEq/str/"+shape, o.N, spec, runStr,
+				func() { parallel.Copy(wstr, dstr) }), "str", strSpec.String()),
+			atWidth(steadyCell(o, "Dedup/str/"+shape, o.N, spec, func() {
+				semisort.DedupStr(dstr, keyStr)
+			}, nil), "str", strSpec.String()),
+			atWidth(steadyCell(o, "JoinEq/str/"+shape, o.N, spec, func() {
+				semisort.JoinEqStr(dstr, dimStr, keyStr, keyStr,
+					func(a, b PStr) PStr { return PStr{K: a.K, V: a.V + b.V} })
+			}, nil), "str", strSpec.String()))
 	}
 
 	// Streaming ingestion cells: one producer pushing records through a
@@ -255,9 +324,9 @@ func measureMin(rounds int, fn func()) time.Duration {
 
 // Print writes the report as an aligned table.
 func (rep SteadyReport) Print(w io.Writer) {
-	t := NewTable("benchmark", "n", "dist", "ns/op", "allocs/op", "Mrec/s")
+	t := NewTable("benchmark", "n", "dist", "width", "ns/op", "allocs/op", "Mrec/s")
 	for _, r := range rep.Results {
-		t.Add(r.Name, r.N, r.Dist,
+		t.Add(r.Name, r.N, r.Dist, r.KeyWidth,
 			fmt.Sprintf("%.0f", r.NsPerOp),
 			fmt.Sprintf("%.0f", r.AllocsPerOp),
 			fmt.Sprintf("%.1f", r.MRecsPerSec))

@@ -81,6 +81,7 @@ func reduce[R, K, E any](a []R, in *core.Plane[K], rd Reducer[R, K, E], cfg core
 	d := core.NewDriver(n, rd.Key, rd.Hash, rd.Eq, cfg)
 	sc := d.Scratch()
 	s := parallel.GetObj[reducer[R, K, E]](sc)
+	rd.Eq = d.Eq() // counted under the eq-count contract when armed
 	s.Reducer = rd
 	s.d = d
 	s.countOnly = countOnly

@@ -75,6 +75,15 @@ type Config struct {
 	// pin "at most one probe per record per level"); the hot path pays
 	// nothing for it when nil.
 	probeCounter *atomic.Int64
+
+	// eqCounter, when non-nil, counts every full key comparison the call
+	// issues: the driver wraps the user eq closure once at init, so every
+	// digest-gated fallthrough — heavy-table resolve, sampling build, the
+	// leaf groupers and chained-hash join probes — is counted through one
+	// hook. The contract tests pin "full comparisons <= 1 per record per
+	// level on collision-free inputs" with it, the eq-side twin of the
+	// probe-once contract. The hot path pays nothing for it when nil.
+	eqCounter *atomic.Int64
 }
 
 // WithProbeCounter returns a copy of c whose heavy-table probes are counted
@@ -85,6 +94,23 @@ func (c Config) WithProbeCounter(pc *atomic.Int64) Config {
 	c.probeCounter = pc
 	return c
 }
+
+// WithEqCounter returns a copy of c whose full key comparisons are counted
+// into ec. Every eq call that survives the 64-bit digest gate — and only
+// those; hash-equality pre-checks are free — increments the counter, so the
+// contract tests can pin "full comparisons <= 1 per record per level on
+// collision-free inputs" the way WithProbeCounter pins probe-at-most-once.
+// The hot path pays nothing for it when unset.
+func (c Config) WithEqCounter(ec *atomic.Int64) Config {
+	c.eqCounter = ec
+	return c
+}
+
+// EqCounter returns the armed eq-counter, nil when none. Terminal ops that
+// issue digest-gated comparisons outside the driver's wrapped closure (the
+// arena key plane's bucketed grouper compares segments inline) count through
+// it so the eq-count contract stays observable on every path.
+func (c Config) EqCounter() *atomic.Int64 { return c.eqCounter }
 
 // CheckCancel is a cancellation checkpoint: when the config carries a
 // context that has fired, it aborts the lease ledger (so every tracked

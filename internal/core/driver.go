@@ -106,6 +106,13 @@ func (d *Driver[R, K]) init(n int, key func(R) K, hash func(K) uint64, eq func(K
 	if n > dist.MaxLen {
 		panic("semisort: input longer than 2^31-1 records")
 	}
+	if cfg.eqCounter != nil {
+		// Wrap once here so every digest-gated eq fallthrough in the call —
+		// driver, sampling, and any terminal op that takes its eq from
+		// Driver.Eq — funnels through one counted closure.
+		counter, inner := cfg.eqCounter, eq
+		eq = func(x, y K) bool { counter.Add(1); return inner(x, y) }
+	}
 	*d = Driver[R, K]{
 		key:          key,
 		hash:         hash,
@@ -138,6 +145,13 @@ func (d *Driver[R, K]) Release() {
 	*d = Driver[R, K]{}
 	parallel.PutObj(sc, d)
 }
+
+// Eq is the call's key-equality closure — the user's eq, wrapped by the
+// eq-counter when Config.WithEqCounter armed one. Terminal ops that keep
+// their own copy of eq (the relational base cases, collect's combine
+// tables) must read it from here rather than from the raw user argument,
+// so their digest-gated fallthroughs are counted under the same contract.
+func (d *Driver[R, K]) Eq() func(K, K) bool { return d.eq }
 
 // Alpha is the base-case threshold (records per sequentially solved bucket).
 func (d *Driver[R, K]) Alpha() int { return d.alpha }

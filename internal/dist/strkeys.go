@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/hashutil"
+	"repro/internal/parallel"
+)
+
+// StrSpec describes a variable-length string-key workload: key IDENTITIES
+// are drawn from Spec (so the frequency structure — uniform, exponential,
+// Zipfian — carries over unchanged from the 64-bit workloads), and each
+// identity renders deterministically as a string:
+//
+//	key(id) = shared prefix (Prefix bytes) | 16 hex chars of id | tail
+//
+// where the tail is MinLen..MaxLen pseudo-random lowercase bytes seeded by
+// the identity alone. Equal identities therefore render as equal strings in
+// EVERY call with the same StrSpec — two relations generated with different
+// seeds still join on their shared identities — and distinct identities
+// render as distinct strings (the embedded hex). Prefix stresses
+// shared-prefix discrimination (the first Prefix+several bytes of every key
+// agree), MinLen/MaxLen control the length distribution, and EmptyEvery
+// maps every EmptyEvery-th identity to the empty string (0 disables),
+// covering the empty-key edge in bulk workloads.
+type StrSpec struct {
+	Spec           Spec
+	MinLen, MaxLen int // bounds of the per-key random tail length
+	Prefix         int // shared prefix bytes prepended to every key
+	EmptyEvery     int // render every k-th identity as ""; 0 disables
+}
+
+// String labels the workload for tables, e.g. "zipfian-1.2/str8..32+p16".
+func (s StrSpec) String() string {
+	lab := fmt.Sprintf("%s/str%d..%d", s.Spec, s.MinLen, s.MaxLen)
+	if s.Prefix > 0 {
+		lab += fmt.Sprintf("+p%d", s.Prefix)
+	}
+	if s.EmptyEvery > 0 {
+		lab += fmt.Sprintf("+e%d", s.EmptyEvery)
+	}
+	return lab
+}
+
+const hexDigits = "0123456789abcdef"
+
+// KeysStr generates n string keys drawn from spec, deterministically from
+// seed (which drives identity sampling only; rendering is a pure function
+// of identity and spec, see StrSpec).
+func KeysStr(n int, spec StrSpec, seed uint64) []string {
+	ids := Keys64(n, spec.Spec, seed)
+	out := make([]string, n)
+	maxLen := spec.MaxLen
+	if maxLen < spec.MinLen {
+		maxLen = spec.MinLen
+	}
+	// The shared prefix is fixed by the spec, not the seed: relations
+	// generated with different seeds must still agree byte-for-byte on
+	// shared identities.
+	prefix := make([]byte, spec.Prefix)
+	prng := hashutil.NewRNG(0x9d5f_c0de)
+	for i := range prefix {
+		prefix[i] = byte('a' + prng.Intn(26))
+	}
+	parallel.ForRange(n, 1<<12, func(lo, hi int) {
+		buf := make([]byte, 0, spec.Prefix+16+maxLen)
+		for i := lo; i < hi; i++ {
+			id := ids[i]
+			if spec.EmptyEvery > 0 && id%uint64(spec.EmptyEvery) == 0 {
+				out[i] = ""
+				continue
+			}
+			buf = append(buf[:0], prefix...)
+			for s := 60; s >= 0; s -= 4 {
+				buf = append(buf, hexDigits[(id>>s)&0xf])
+			}
+			rng := hashutil.NewRNG(hashutil.Seeded(id, 0x57f))
+			tail := spec.MinLen
+			if maxLen > spec.MinLen {
+				tail += rng.Intn(maxLen - spec.MinLen + 1)
+			}
+			for j := 0; j < tail; j++ {
+				buf = append(buf, byte('a'+rng.Intn(26)))
+			}
+			out[i] = string(buf)
+		}
+	})
+	return out
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKeysStrDeterministicAndFaithful(t *testing.T) {
+	spec := StrSpec{Spec: Spec{Kind: Uniform, Param: 500}, MinLen: 3, MaxLen: 24, Prefix: 10}
+	n := 40000
+	a := KeysStr(n, spec, 7)
+	b := KeysStr(n, spec, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("KeysStr not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+
+	// Rendering is injective on identities: distinct strings == distinct ids.
+	ids := Keys64(n, spec.Spec, 7)
+	idSet := make(map[uint64]bool)
+	for _, id := range ids {
+		idSet[id] = true
+	}
+	strSet := make(map[string]bool)
+	var prefix string
+	for i, s := range a {
+		strSet[s] = true
+		if len(s) < spec.Prefix+16+spec.MinLen || len(s) > spec.Prefix+16+spec.MaxLen {
+			t.Fatalf("key %d length %d outside [%d, %d]", i, len(s),
+				spec.Prefix+16+spec.MinLen, spec.Prefix+16+spec.MaxLen)
+		}
+		if prefix == "" {
+			prefix = s[:spec.Prefix]
+		} else if !strings.HasPrefix(s, prefix) {
+			t.Fatalf("key %d does not share the prefix: %q vs %q", i, s[:spec.Prefix], prefix)
+		}
+	}
+	if len(strSet) != len(idSet) {
+		t.Fatalf("%d distinct strings for %d distinct identities", len(strSet), len(idSet))
+	}
+}
+
+func TestKeysStrCrossSeedJoinability(t *testing.T) {
+	// Two relations drawn with different seeds over the same identity domain
+	// must agree byte-for-byte on shared identities: a small uniform domain
+	// is covered by both draws, so the distinct-key SETS must be equal.
+	spec := StrSpec{Spec: Spec{Kind: Uniform, Param: 64}, MinLen: 0, MaxLen: 12, Prefix: 4}
+	setOf := func(keys []string) map[string]bool {
+		m := make(map[string]bool)
+		for _, k := range keys {
+			m[k] = true
+		}
+		return m
+	}
+	a := setOf(KeysStr(20000, spec, 1))
+	b := setOf(KeysStr(20000, spec, 2))
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatalf("domain not covered: %d and %d distinct keys, want 64", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("identity rendered differently across seeds: %q missing from b", k)
+		}
+	}
+}
+
+func TestKeysStrEmptyEvery(t *testing.T) {
+	spec := StrSpec{Spec: Spec{Kind: Uniform, Param: 100}, MinLen: 1, MaxLen: 8, EmptyEvery: 3}
+	keys := KeysStr(30000, spec, 9)
+	empties := 0
+	for _, k := range keys {
+		if k == "" {
+			empties++
+		}
+	}
+	// Identities are uniform over [0, 100); about a third divide by 3.
+	if empties == 0 || empties > len(keys)/2 {
+		t.Fatalf("EmptyEvery=3 produced %d empties out of %d", empties, len(keys))
+	}
+}

@@ -4,7 +4,10 @@
 // pure and allocation-free so it can sit on the hot path of the algorithms.
 package hashutil
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Mix64 is the splitmix64 finalizer: a strong, invertible mixing of a 64-bit
 // value. It is the default user hash function for integer keys.
@@ -77,6 +80,59 @@ func Bytes(b []byte) uint64 {
 		h *= prime
 	}
 	return Mix64(h)
+}
+
+// WideBytes hashes a byte slice word-at-a-time: 8-byte little-endian lanes
+// folded by a 128-bit multiply (mum), one dependent multiply per 8 bytes
+// instead of FNV's one per byte, with a splitmix64 finalization for the
+// bit-window consumers. It is the arena key plane's canonical digest
+// (strkey.Bytes): key bytes there live in contiguous arena segments, so the
+// wide loads stream and never cross an allocation.
+// Two independent lanes halve the latency chain: the multiplies of lane 1
+// and lane 2 overlap, so throughput is one mum per 8 bytes at half the
+// dependent-chain depth of a single-lane fold.
+func WideBytes(b []byte) uint64 {
+	const (
+		s0 = 0xa0761d6478bd642f
+		s1 = 0xe7037ed1a0b428db
+		s2 = 0x8ebc6af09c88c6e3
+		s3 = 0x589965cc75374cc3
+	)
+	n := uint64(len(b))
+	h1 := n*s0 ^ s1
+	h2 := n*s2 ^ s3
+	for len(b) >= 16 {
+		h1 = mum(binary.LittleEndian.Uint64(b)^s1, h1^s0)
+		h2 = mum(binary.LittleEndian.Uint64(b[8:])^s3, h2^s2)
+		b = b[16:]
+	}
+	if len(b) >= 8 {
+		h1 = mum(binary.LittleEndian.Uint64(b)^s1, h1^s0)
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var t uint64
+		if cap(b) >= 8 {
+			// The residue sits in an allocation with at least 8 readable
+			// bytes from here (true for arena blocks and append-grown
+			// scratch): one wide load with the bytes past len masked off
+			// replaces the byte loop. Same value, same allocation — reads
+			// within cap are memory-safe.
+			t = binary.LittleEndian.Uint64(b[:8]) & (1<<(8*uint(len(b))) - 1)
+		} else {
+			for i, c := range b {
+				t |= uint64(c) << (8 * uint(i))
+			}
+		}
+		h2 = mum(t^s3, h2^s2)
+	}
+	return Mix64(h1 ^ h2)
+}
+
+// mum is the 128-bit multiply fold at the heart of WideBytes.
+func mum(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return hi ^ lo
 }
 
 // RNG is a splitmix64 pseudo-random generator. The zero value is a valid

@@ -154,3 +154,21 @@ func TestIntnPanicsOnNonPositive(t *testing.T) {
 	rng := NewRNG(1)
 	rng.Intn(0)
 }
+
+func TestWideBytesTailSlackInvariance(t *testing.T) {
+	// The wide-load tail fast path (taken when the slice has >= 8 bytes of
+	// cap slack) must produce exactly the digest of the byte-loop tail.
+	rng := NewRNG(7)
+	for l := 0; l <= 40; l++ {
+		raw := make([]byte, l+16)
+		for i := range raw {
+			raw[i] = byte(rng.Next())
+		}
+		slack := raw[:l] // cap slack: fast tail
+		exact := append([]byte{}, raw[:l]...)
+		exact = exact[:l:l] // zero slack: byte-loop tail
+		if g, w := WideBytes(slack), WideBytes(exact); g != w {
+			t.Fatalf("len %d: slack digest %#x != exact digest %#x", l, g, w)
+		}
+	}
+}

@@ -32,7 +32,7 @@ func CountDistinctPlane[R, K any](a []R, in *core.Plane[K],
 	d := core.NewDriver(n, key, hash, eq, cfg)
 	sc := d.Scratch()
 	s := parallel.GetObj[counter[R, K]](sc)
-	s.key, s.eq, s.d = key, eq, d
+	s.key, s.eq, s.d = key, d.Eq(), d
 	hcur, hashed := planeIn(in, d, sc, n)
 	total := s.rec(a, hcur.S, hashed, 0, 0, hashutil.NewRNG(d.Seed()))
 	hcur.Release()

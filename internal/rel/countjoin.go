@@ -39,7 +39,7 @@ func JoinCount[R, S, K any](a []R, inA *core.Plane[K], b []S, inB *core.Plane[K]
 	dB := core.NewDriver(nb, keyB, hash, eq, cfg)
 	sc := dA.Scratch()
 	j := parallel.GetObj[countJoiner[R, S, K]](sc)
-	j.keyA, j.keyB, j.eq = keyA, keyB, eq
+	j.keyA, j.keyB, j.eq = keyA, keyB, dA.Eq()
 	j.dA, j.dB = dA, dB
 
 	var hbA, hbB borrowedBuf[uint64]

@@ -43,7 +43,7 @@ func DedupPlane[R, K any](a []R, in *core.Plane[K], emit bool,
 	d := core.NewDriver(n, key, hash, eq, cfg)
 	sc := d.Scratch()
 	s := parallel.GetObj[deduper[R, K]](sc)
-	s.key, s.eq, s.d = key, eq, d
+	s.key, s.eq, s.d = key, d.Eq(), d
 	s.emit = emit
 
 	// No working copy: the absorbing distribution never writes its source,

@@ -60,6 +60,14 @@ func SemiJoin[R, S, K any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinSemi, cfg, nil, nil, nil)
 }
 
+// SemiJoinPlane is SemiJoin fused into a pipeline: inA/inB, when non-nil,
+// supply the two sides' cached hash planes, exactly as in JoinPlane. A
+// semi-join emits a-records, not rows, so there is no output plane.
+func SemiJoinPlane[R, S, K any](a []R, inA *core.Plane[K], b []S, inB *core.Plane[K],
+	keyA func(R) K, keyB func(S) K, hash func(K) uint64, eq func(K, K) bool, cfg core.Config) []R {
+	return runJoin[R, S, K, R](a, b, keyA, keyB, hash, eq, nil, identity[R], joinSemi, cfg, inA, inB, nil)
+}
+
 // AntiJoin returns the records of a whose key does NOT appear in b. Order is
 // deterministic for a fixed seed but unspecified. See Join for the
 // partitioning scheme.
@@ -96,7 +104,7 @@ func runJoin[R, S, K, T any](a []R, b []S, keyA func(R) K, keyB func(S) K,
 	dB := core.NewDriver(nb, keyB, hash, eq, cfg)
 	sc := dA.Scratch()
 	j := parallel.GetObj[joiner[R, S, K, T]](sc)
-	j.keyA, j.keyB, j.eq = keyA, keyB, eq
+	j.keyA, j.keyB, j.eq = keyA, keyB, dA.Eq()
 	j.joinF, j.fromA, j.kind = joinF, fromA, kind
 	j.dA, j.dB = dA, dB
 	j.emit = plOut != nil

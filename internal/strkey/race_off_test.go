@@ -1,0 +1,5 @@
+//go:build !race
+
+package strkey
+
+const raceEnabled = false

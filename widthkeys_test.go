@@ -1,0 +1,118 @@
+package semisort_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	semisort "repro"
+	"repro/internal/dist"
+	"repro/internal/hashutil"
+)
+
+// 128-bit keys through the generic public API: the widest fixed-width record
+// type of the paper's model (dist.U128, Mix128 digests, 32-byte records on
+// the move plane). Same property battery as the string suite: map
+// references, duplicate-heavy inputs, worker-count determinism.
+
+type rec128 struct {
+	K   dist.U128
+	Seq int
+}
+
+func rec128Key(r rec128) dist.U128 { return r.K }
+func hash128(k dist.U128) uint64   { return hashutil.Mix128(k.Hi, k.Lo) }
+func eq128(x, y dist.U128) bool    { return x == y }
+func corpus128(n, distinct int, seed int64) []rec128 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := dist.Keys128(distinct, dist.Spec{Kind: dist.Uniform, Param: float64(distinct)}, uint64(seed))
+	a := make([]rec128, n)
+	for i := range a {
+		a[i] = rec128{K: keys[rng.Intn(distinct)], Seq: i}
+	}
+	return a
+}
+
+func TestU128KeyedPublicAPI(t *testing.T) {
+	const n, distinct = 120000, 900
+	evs := corpus128(n, distinct, 21)
+
+	first := make(map[dist.U128]int)
+	counts := make(map[dist.U128]int64)
+	for _, e := range evs {
+		if _, ok := first[e.K]; !ok {
+			first[e.K] = e.Seq
+		}
+		counts[e.K]++
+	}
+
+	sorted := append([]rec128(nil), evs...)
+	semisort.SortEq(sorted, rec128Key, hash128, eq128)
+	seen := make(map[dist.U128]bool)
+	got := make(map[dist.U128]int64)
+	for i := 0; i < len(sorted); {
+		k := sorted[i].K
+		if seen[k] {
+			t.Fatalf("SortEq: u128 key %v appears in two separate runs", k)
+		}
+		seen[k] = true
+		prev := -1
+		for i < len(sorted) && sorted[i].K == k {
+			if sorted[i].Seq <= prev {
+				t.Fatalf("SortEq: group %v not in input order", k)
+			}
+			prev = sorted[i].Seq
+			got[k]++
+			i++
+		}
+	}
+	if !reflect.DeepEqual(got, counts) {
+		t.Fatalf("SortEq changed the u128 key multiset")
+	}
+
+	deduped := semisort.Dedup(evs, rec128Key, hash128, eq128)
+	if len(deduped) != len(first) {
+		t.Fatalf("Dedup: %d records, want %d", len(deduped), len(first))
+	}
+	for _, e := range deduped {
+		if first[e.K] != e.Seq {
+			t.Fatalf("Dedup kept Seq %d of %v, want first %d", e.Seq, e.K, first[e.K])
+		}
+	}
+
+	if got := semisort.CountDistinct(evs, rec128Key, hash128, eq128); got != int64(len(first)) {
+		t.Fatalf("CountDistinct: %d, want %d", got, len(first))
+	}
+
+	dims := corpus128(700, 1100, 22)
+	dimCount := make(map[dist.U128]int)
+	for _, d := range dims {
+		dimCount[d.K]++
+	}
+	joined := semisort.JoinEq(evs, dims, rec128Key, rec128Key, hash128, eq128,
+		func(e, d rec128) [2]int { return [2]int{e.Seq, d.Seq} })
+	wantRows := 0
+	for _, e := range evs {
+		wantRows += dimCount[e.K]
+	}
+	if len(joined) != wantRows {
+		t.Fatalf("JoinEq: %d rows, want %d", len(joined), wantRows)
+	}
+}
+
+func TestU128DeterministicAcrossWorkers(t *testing.T) {
+	evs := corpus128(80000, 600, 23)
+	run := func(workers int) []rec128 {
+		rt := semisort.NewRuntime(workers)
+		defer rt.Close()
+		s := append([]rec128(nil), evs...)
+		semisort.SortEq(s, rec128Key, hash128, eq128, semisort.WithRuntime(rt))
+		return s
+	}
+	want := run(1)
+	for _, w := range []int{3, 7} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("u128 SortEq output differs between 1 and %d workers", w)
+		}
+	}
+}
