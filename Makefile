@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench-steady bench bench-paper
+.PHONY: all check fmt vet build test race bench-steady bench bench-stats bench-paper
 
 all: check
 
@@ -25,9 +25,9 @@ test:
 
 ## race: race-detector pass on the runtime, the semisort core, sampling +
 ## distribution, the collect-reduce + relational terminal ops, the arena
-## key plane, and the streaming front end
+## key plane, the streaming front end, and the stats plane
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/sampling ./internal/dist ./internal/collect ./internal/rel ./internal/strkey ./internal/chaos ./internal/stream .
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/sampling ./internal/dist ./internal/collect ./internal/rel ./internal/strkey ./internal/chaos ./internal/stream ./internal/obs .
 
 ## bench-steady: steady-state allocation benchmark (see EXPERIMENTS.md)
 bench-steady:
@@ -40,6 +40,12 @@ bench-steady:
 ## file is rewritten).
 bench:
 	$(GO) run ./cmd/semibench -json BENCH_steady.json -compare BENCH_steady.json -n 10000000
+	$(GO) run ./cmd/semibench -stats -n 1000000 -out BENCH_stats.txt
+
+## bench-stats: per-cell engine counters (levels, volumes, hash/probe/eq)
+## at the full trajectory size — the qualitative companion to `make bench`
+bench-stats:
+	$(GO) run ./cmd/semibench -stats -n 10000000
 
 ## bench-paper: representative cells of every table/figure
 bench-paper:

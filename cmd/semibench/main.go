@@ -36,6 +36,7 @@ func main() {
 		jsonFlag    = flag.String("json", "", "run the steady-state suite and write it as JSON to this file")
 		compareFlag = flag.String("compare", "", "with -json: fail (exit 1) if any cell regresses vs this baseline JSON")
 		tolFlag     = flag.Float64("tolerance", 25, "allowed Mrec/s drop in percent for -compare")
+		statsFlag   = flag.Bool("stats", false, "run each steady cell once instrumented and print its per-call engine stats table")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 		bench.List(os.Stdout)
 		return
 	}
-	if *expFlag == "" && *jsonFlag == "" {
+	if *expFlag == "" && *jsonFlag == "" && !*statsFlag {
 		fmt.Fprintln(os.Stderr, "semibench: use -exp <ids>, -json <file>, or -list; e.g. -exp table3")
 		os.Exit(2)
 	}
@@ -157,9 +158,17 @@ func main() {
 				fmt.Fprintf(w, "[no cell regressed more than %g%% vs %s]\n", *tolFlag, *compareFlag)
 			}
 		}
+		if *expFlag == "" && !*statsFlag {
+			return
+		}
+	}
+
+	if *statsFlag {
+		bench.StatsTable(w, opts)
 		if *expFlag == "" {
 			return
 		}
+		fmt.Fprintln(w)
 	}
 
 	ids := strings.Split(*expFlag, ",")

@@ -158,6 +158,39 @@
 // mid-stream fault, and DESIGN.md ("Streaming ingestion & cross-batch
 // state") for the mechanism.
 //
+// # Observability
+//
+// Every layer reports without being asked to pay for it: per-call stats,
+// runtime/stream gauges, and an HTTP/expvar debug surface are all
+// branch-on-nil when off and allocation-free in steady state when on.
+// WithStats fills a CallStats with one call's counters — levels planned,
+// records classified/scattered/absorbed, bytes moved, the hash/probe/eq
+// contract counts, the leaf mix, per-phase wall time — and on a pipeline
+// additionally records per-stage stats:
+//
+//	var s semisort.CallStats
+//	p := semisort.Query(clicks, clickUser, semisort.Hash64, eqU64,
+//	    semisort.WithStats(&s))
+//	out := p.Dedup().Sort().Run()
+//	for _, st := range p.Stats() { ... }   // per-stage CallStats, sums to s
+//
+// The runtime and every stream expose lifetime gauges via a lock-free
+// Metrics() snapshot (jobs and chunk stealing, contained panics,
+// cancellations, admission waits and inflight; queue depth and high water,
+// per-reason flush counts, batch-size and commit-latency histograms).
+// Publish mounts it all as one JSON debug page plus expvars:
+//
+//	m := rt.Metrics()                      // e.g. m.Inflight, m.Cancellations
+//	reg := semisort.Publish(rt)            // expvar + http.Handler
+//	reg.Add("ingest", func() any { return s.Metrics() })
+//	mux.Handle("/debug/semisort", reg)
+//
+// SetProfileLabels(true) additionally tags the engine's hot phases with
+// pprof labels (op, phase, level), so CPU profiles split by pipeline
+// phase. See examples/service for the debug surface mounted next to
+// net/http/pprof, and DESIGN.md ("Observability") for counter semantics
+// and snapshot consistency rules.
+//
 // See DESIGN.md for the algorithm internals and the runtime architecture,
 // and EXPERIMENTS.md for the reproduction of the paper's evaluation.
 package semisort

@@ -142,10 +142,16 @@ func enterCall(cfg *core.Config) (done func(errp *error), err error) {
 		// waiters on the old semaphore.
 		lg.Abort()
 		slot.Release()
+		// Fault metrics are counted here — the public API boundary, once per
+		// faulted call after every sibling worker drained — not per job or
+		// per chunk, so nested jobs and multi-worker aborts never inflate
+		// them (see RuntimeMetrics).
 		if cause := parallel.CancelCause(r); cause != nil {
+			rt.CountCancellation()
 			*errp = cause
 			return
 		}
+		rt.CountContainedPanic()
 		panic(parallel.AsPanicError(r))
 	}, nil
 }

@@ -1,0 +1,102 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	semisort "repro"
+	"repro/internal/chaos"
+)
+
+// The fault gauges' exactly-once contract, asserted through the same
+// injectors the containment tests use: one injected panic increments
+// PanicsContained by exactly one (however many workers the abort crossed),
+// one injected cancel increments Cancellations by exactly one, and either
+// way the inflight gauge returns to zero once the call has unwound.
+
+func TestMetricsPanicCountedOnce(t *testing.T) {
+	data := pairData(60_000, 512, 7)
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+
+	before := rt.Metrics()
+	pe := recoverPanicError(t, func() {
+		semisort.SortEq(clone(data), keyOf, chaos.Hash(chaos.PanicAt(100, "boom"), semisort.Hash64),
+			eqU, semisort.WithRuntime(rt), semisort.WithSeed(1))
+	})
+	if pe == nil {
+		t.Fatal("op completed despite an injected panic")
+	}
+
+	m := rt.Metrics()
+	if got := m.PanicsContained - before.PanicsContained; got != 1 {
+		t.Fatalf("PanicsContained advanced by %d across one faulted call, want exactly 1", got)
+	}
+	if got := m.Cancellations - before.Cancellations; got != 0 {
+		t.Fatalf("Cancellations advanced by %d on a panic fault, want 0", got)
+	}
+	if m.Inflight != 0 {
+		t.Fatalf("Inflight = %d after the fault unwound, want 0", m.Inflight)
+	}
+
+	// The runtime stays usable and the next clean call leaves the gauges
+	// where the fault put them.
+	semisort.SortEq(clone(data), keyOf, semisort.Hash64, eqU, semisort.WithRuntime(rt))
+	if m2 := rt.Metrics(); m2.PanicsContained != m.PanicsContained || m2.Inflight != 0 {
+		t.Fatalf("clean call moved fault gauges: %+v -> %+v", m, m2)
+	}
+}
+
+func TestMetricsCancelCountedOnce(t *testing.T) {
+	data := pairData(60_000, 512, 7)
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+
+	before := rt.Metrics()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := semisort.SortEqE(clone(data), keyOf, chaos.Hash(chaos.CallAt(1, cancel), semisort.Hash64),
+		eqU, semisort.WithRuntime(rt), semisort.WithSeed(1), semisort.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	m := rt.Metrics()
+	if got := m.Cancellations - before.Cancellations; got != 1 {
+		t.Fatalf("Cancellations advanced by %d across one cancelled call, want exactly 1", got)
+	}
+	if got := m.PanicsContained - before.PanicsContained; got != 0 {
+		t.Fatalf("PanicsContained advanced by %d on a cancel, want 0", got)
+	}
+	if m.Inflight != 0 {
+		t.Fatalf("Inflight = %d after the cancel unwound, want 0", m.Inflight)
+	}
+}
+
+func TestMetricsPipelineFaultCountedOnce(t *testing.T) {
+	// A pipeline runs each stage under its own call guard; the fault fires
+	// in the first stage, and the consumed-pipeline unwind that follows
+	// must not count a second fault.
+	data := pairData(40_000, 256, 11)
+	rt := semisort.NewRuntime(4)
+	defer rt.Close()
+
+	before := rt.Metrics()
+	pe := recoverPanicError(t, func() {
+		semisort.Query(data, keyOf, chaos.Hash(chaos.PanicAt(50, "boom"), semisort.Hash64), eqU,
+			semisort.WithRuntime(rt), semisort.WithSeed(1)).
+			Dedup().
+			Run()
+	})
+	if pe == nil {
+		t.Fatal("pipeline completed despite an injected panic")
+	}
+	m := rt.Metrics()
+	if got := m.PanicsContained - before.PanicsContained; got != 1 {
+		t.Fatalf("PanicsContained advanced by %d across one faulted pipeline, want exactly 1", got)
+	}
+	if m.Inflight != 0 {
+		t.Fatalf("Inflight = %d after the pipeline fault, want 0", m.Inflight)
+	}
+}

@@ -29,6 +29,8 @@
 package collect
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
@@ -344,11 +346,23 @@ type crScratch struct {
 	order  []uint64
 }
 
-// base reduces one cache-resident bucket sequentially with a hash table
+// base runs baseImpl under the stats plane's leaf accounting
+// (branch-on-nil when stats are disabled).
+func (s *reducer[R, K, E]) base(cur []R, hcur []uint64) *node[K, E] {
+	if !s.d.StatsArmed() {
+		return s.baseImpl(cur, hcur)
+	}
+	t0 := time.Now()
+	nd := s.baseImpl(cur, hcur)
+	s.d.StatLeaf(len(cur), time.Since(t0).Nanoseconds())
+	return nd
+}
+
+// baseImpl reduces one cache-resident bucket sequentially with a hash table
 // that combines values in place, consuming the cached hash plane (the user
 // hash is never re-run here). Keys are emitted into a pooled chunk in
 // first-appearance order, values combined in record order.
-func (s *reducer[R, K, E]) base(cur []R, hcur []uint64) *node[K, E] {
+func (s *reducer[R, K, E]) baseImpl(cur []R, hcur []uint64) *node[K, E] {
 	n := len(cur)
 	sc := s.d.Scratch()
 	m := sampling.CeilPow2(2 * n)

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/dist"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -141,6 +142,11 @@ func (s *sorter[R, K]) tinyGroupEq(a []R, ha []uint64, b []R, intoB bool, scr *e
 	n := len(a)
 	if n == 0 {
 		return
+	}
+	if s.sink != nil {
+		// The leaf-mix counter: how many of the base case's sub-problems
+		// bottomed out in the linear-scan grouper (vs. being split further).
+		s.sink.AddLocal(obs.CtrLeafTiny, 1)
 	}
 	scr.grow(n)
 	nd := int32(0)

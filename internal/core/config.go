@@ -11,6 +11,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -62,6 +63,17 @@ type Config struct {
 	// translate back into ctx.Err(). Semisort levels are O(n) sweeps, so
 	// cancellation latency is one chunk of one sweep, not one call.
 	Ctx context.Context
+
+	// Stats, when non-nil, receives the call's observability counters
+	// (levels planned, records classified/scattered/absorbed, bytes moved,
+	// hash/probe/eq call counts, leaf mix, per-phase wall time — see
+	// obs.CallStats). The driver leases a padded counter-shard sink from the
+	// runtime arena, hot paths flush chunk-local tallies into it with a few
+	// atomic adds per chunk (never per record), and the shards merge into
+	// Stats exactly once when the call's driver is released. Disabled cost
+	// is one nil check per flush point; enabled steady-state cost is
+	// alloc-free. The public option is semisort.WithStats.
+	Stats *obs.CallStats
 
 	// Ledger, when non-nil, is the call-scoped lease ledger fault recovery
 	// aborts: buffers leased through it are discarded (never re-pooled)

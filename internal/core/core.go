@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -16,10 +19,15 @@ import (
 // The result is stable and deterministic for a fixed cfg.Seed.
 func SortEq[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) {
 	s := newSorter(a, key, hash, eq, nil, cfg)
-	if s != nil {
-		s.run(a)
-		s.release()
+	if s == nil {
+		return
 	}
+	if obs.ProfileLabelsOn() {
+		obs.Labeled("sortEq", "", "", func() { s.run(a) })
+	} else {
+		s.run(a)
+	}
+	s.release()
 }
 
 // SortEqHashed is SortEq consuming a pre-computed hash plane (hs[i] =
@@ -33,10 +41,15 @@ func SortEqHashed[R, K any](a []R, hs []uint64, key func(R) K, hash func(K) uint
 		panic("semisort: hash plane length does not match input")
 	}
 	s := newSorter(a, key, hash, eq, nil, cfg)
-	if s != nil {
-		s.runHashed(a, hs)
-		s.release()
+	if s == nil {
+		return
 	}
+	if obs.ProfileLabelsOn() {
+		obs.Labeled("sortEqHashed", "", "", func() { s.runHashed(a, hs) })
+	} else {
+		s.runHashed(a, hs)
+	}
+	s.release()
 }
 
 // SortLess is semisort<: like SortEq but additionally uses a less-than test,
@@ -45,10 +58,15 @@ func SortEqHashed[R, K any](a []R, hs []uint64, key func(R) K, hash func(K) uint
 func SortLess[R, K any](a []R, key func(R) K, hash func(K) uint64, less func(K, K) bool, cfg Config) {
 	eq := func(x, y K) bool { return !less(x, y) && !less(y, x) }
 	s := newSorter(a, key, hash, eq, less, cfg)
-	if s != nil {
-		s.run(a)
-		s.release()
+	if s == nil {
+		return
 	}
+	if obs.ProfileLabelsOn() {
+		obs.Labeled("sortLess", "", "", func() { s.run(a) })
+	} else {
+		s.run(a)
+	}
+	s.release()
 }
 
 // sorter is the semisort terminal op: the shared distribution driver plus
@@ -75,8 +93,11 @@ func newSorter[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K
 }
 
 // release returns the sorter to the arena. The closures it captured are
-// dropped so pooled sorters do not pin caller state between calls.
+// dropped so pooled sorters do not pin caller state between calls. The
+// sorter pools its whole embedding object instead of calling
+// Driver.Release, so the stats merge happens here.
 func (s *sorter[R, K]) release() {
+	s.finishStats()
 	sc := s.sc
 	*s = sorter[R, K]{}
 	parallel.PutObj(sc, s)
@@ -230,8 +251,32 @@ func (s *sorter[R, K]) rec(cur, other []R, hcur, hother []uint64, curIsA, hashed
 
 // base solves one bucket sequentially and leaves the result on the A side.
 // bitDepth tells the semisort= splitter which cached-hash windows the
-// recursion above has already consumed.
+// recursion above has already consumed. When the stats plane (or profile
+// labeling) is armed it wraps the body with leaf accounting; the disabled
+// path is one branch.
 func (s *sorter[R, K]) base(cur, other []R, hcur, hother []uint64, curIsA bool, bitDepth int) {
+	if s.sink == nil && !obs.ProfileLabelsOn() {
+		s.baseImpl(cur, other, hcur, hother, curIsA, bitDepth)
+		return
+	}
+	var t0 time.Time
+	if s.sink != nil {
+		t0 = time.Now()
+	}
+	if obs.ProfileLabelsOn() {
+		obs.Labeled("", "leaf", obs.LevelLabel(bitDepth), func() {
+			s.baseImpl(cur, other, hcur, hother, curIsA, bitDepth)
+		})
+	} else {
+		s.baseImpl(cur, other, hcur, hother, curIsA, bitDepth)
+	}
+	if s.sink != nil {
+		s.sink.Leaf(len(cur), time.Since(t0).Nanoseconds())
+	}
+}
+
+// baseImpl is the uninstrumented base-case body.
+func (s *sorter[R, K]) baseImpl(cur, other []R, hcur, hother []uint64, curIsA bool, bitDepth int) {
 	if len(cur) <= 1 {
 		if !curIsA {
 			copy(other, cur)

@@ -4,9 +4,12 @@ import (
 	"context"
 	"sort"
 	"sync/atomic"
+	"time"
+	"unsafe"
 
 	"repro/internal/dist"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sampling"
 )
@@ -70,6 +73,17 @@ type Driver[R, K any] struct {
 	// classify chunk, so the hot loop never touches the atomic.
 	probeCount *atomic.Int64
 
+	// sink/stats are the call's observability plane (Config.Stats): a
+	// pooled padded counter-shard sink the hot paths flush chunk-local
+	// tallies into, merged into stats once at release (finishStats). Both
+	// nil when stats are disabled — every instrumentation point is
+	// branch-on-nil. recBytes caches unsafe.Sizeof(R) for sweep byte
+	// accounting.
+	sink     *obs.Sink
+	stats    *obs.CallStats
+	eqTap    *eqTap[K]
+	recBytes int64
+
 	// adoptKeys/adoptHashes, when non-nil, are a pipeline plane's carried
 	// heavy keys (see Adopt): the next PlanLevel builds its heavy table from
 	// them directly and skips the sampling round.
@@ -90,6 +104,28 @@ type Driver[R, K any] struct {
 	sc *parallel.Scratch
 }
 
+// eqTap is the pooled capture behind the counted eq wrapper: fn is a
+// method value over the tap itself, built on the object's first lease and
+// kept across pooling, so arming the eq-counter hook or the stats plane
+// costs no allocation in steady state. counter/snk/inner are per-call and
+// cleared at release.
+type eqTap[K any] struct {
+	counter *atomic.Int64
+	snk     *obs.Sink
+	inner   func(K, K) bool
+	fn      func(K, K) bool
+}
+
+func (t *eqTap[K]) call(x, y K) bool {
+	if t.counter != nil {
+		t.counter.Add(1)
+	}
+	if t.snk != nil {
+		t.snk.CountEq()
+	}
+	return t.inner(x, y)
+}
+
 // NewDriver takes a pooled driver for an n-record call from the configured
 // runtime's arena. cfg defaults are applied here.
 func NewDriver[R, K any](n int, key func(R) K, hash func(K) uint64, eq func(K, K) bool, cfg Config) *Driver[R, K] {
@@ -106,12 +142,29 @@ func (d *Driver[R, K]) init(n int, key func(R) K, hash func(K) uint64, eq func(K
 	if n > dist.MaxLen {
 		panic("semisort: input longer than 2^31-1 records")
 	}
-	if cfg.eqCounter != nil {
+	var sink *obs.Sink
+	if cfg.Stats != nil {
+		// The sink is leased from the arena like every other per-call
+		// object: steady-state stats-enabled calls allocate nothing. Shards
+		// scale with the pool so concurrent flushers spread out.
+		sink = parallel.GetObj[obs.Sink](rt.Scratch())
+		sink.Grow(rt.MaxSlots())
+	}
+	var tap *eqTap[K]
+	if cfg.eqCounter != nil || sink != nil {
 		// Wrap once here so every digest-gated eq fallthrough in the call —
 		// driver, sampling, and any terminal op that takes its eq from
-		// Driver.Eq — funnels through one counted closure.
-		counter, inner := cfg.eqCounter, eq
-		eq = func(x, y K) bool { counter.Add(1); return inner(x, y) }
+		// Driver.Eq — funnels through one counted closure (shared by the
+		// eq-counter test hook and the stats plane, so the two always
+		// agree). The capture is a pooled eqTap rather than a closure
+		// literal: the func value is built once per pooled object and
+		// reused, keeping armed steady-state calls alloc-free.
+		tap = parallel.GetObj[eqTap[K]](rt.Scratch())
+		tap.counter, tap.snk, tap.inner = cfg.eqCounter, sink, eq
+		if tap.fn == nil {
+			tap.fn = tap.call
+		}
+		eq = tap.fn
 	}
 	*d = Driver[R, K]{
 		key:          key,
@@ -124,6 +177,10 @@ func (d *Driver[R, K]) init(n int, key func(R) K, hash func(K) uint64, eq func(K
 		seed:         cfg.Seed,
 		disableHeavy: cfg.DisableHeavy,
 		probeCount:   cfg.probeCounter,
+		sink:         sink,
+		stats:        cfg.Stats,
+		eqTap:        tap,
+		recBytes:     int64(unsafe.Sizeof(*new(R))),
 		ctx:          cfg.Ctx,
 		ledger:       cfg.Ledger,
 		rt:           rt,
@@ -141,9 +198,46 @@ func (d *Driver[R, K]) init(n int, key func(R) K, hash func(K) uint64, eq func(K
 // Release returns the driver to the arena. The closures it captured are
 // dropped so pooled drivers do not pin caller state between calls.
 func (d *Driver[R, K]) Release() {
+	d.finishStats()
 	sc := d.sc
 	*d = Driver[R, K]{}
 	parallel.PutObj(sc, d)
+}
+
+// finishStats is the stats plane's merge point: the sink's shards drain
+// into the caller's CallStats exactly once, and the (now zeroed) sink pools
+// back. Call end is the barrier — every level and leaf of the call has
+// completed before a terminal op releases its driver. Terminal ops that
+// pool their embedding object without Driver.Release (the sorter) call it
+// directly.
+func (d *Driver[R, K]) finishStats() {
+	if t := d.eqTap; t != nil {
+		// Drop the captured closures (never pin caller state in the pool)
+		// but keep t.fn — it references only t, and reusing it is what
+		// makes the armed path alloc-free.
+		t.counter, t.snk, t.inner = nil, nil, nil
+		parallel.PutObj(d.sc, t)
+		d.eqTap = nil
+	}
+	if d.sink == nil {
+		return
+	}
+	d.sink.Drain(d.stats)
+	parallel.PutObj(d.sc, d.sink)
+	d.sink, d.stats = nil, nil
+}
+
+// StatsArmed reports whether the call carries a stats sink, so terminal ops
+// can skip their leaf timing reads when disabled.
+func (d *Driver[R, K]) StatsArmed() bool { return d.sink != nil }
+
+// StatLeaf records one sequentially solved base-case bucket into the stats
+// plane (no-op when disabled). Terminal ops call it once per base-case
+// bucket with the bucket's record count and elapsed nanoseconds.
+func (d *Driver[R, K]) StatLeaf(records int, ns int64) {
+	if d.sink != nil {
+		d.sink.Leaf(records, ns)
+	}
 }
 
 // Eq is the call's key-equality closure — the user's eq, wrapped by the
@@ -226,6 +320,9 @@ func (d *Driver[R, K]) HashAll(a []R, h []uint64) {
 	for i := range a {
 		h[i] = d.hash(d.key(a[i]))
 	}
+	if d.sink != nil {
+		d.sink.AddLocal(obs.CtrHashCalls, int64(len(a)))
+	}
 }
 
 // levelBits returns the window of hash bits that determines light bucket
@@ -303,6 +400,35 @@ func (d *Driver[R, K]) Adopt(keys []K, hashes []uint64) {
 // the sampling round and leaves rng untouched.
 func (d *Driver[R, K]) PlanLevel(cur []R, hcur []uint64, hashed, allowCollapse bool, bitDepth int, rng *hashutil.RNG) Level[K] {
 	d.CheckCancel()
+	if d.sink == nil && !obs.ProfileLabelsOn() {
+		return d.planLevel(cur, hcur, hashed, allowCollapse, bitDepth, rng)
+	}
+	var t0 time.Time
+	if d.sink != nil {
+		t0 = time.Now()
+	}
+	var lv Level[K]
+	adopted := d.adoptKeys != nil
+	if obs.ProfileLabelsOn() {
+		obs.Labeled("", "plan", obs.LevelLabel(bitDepth), func() {
+			lv = d.planLevel(cur, hcur, hashed, allowCollapse, bitDepth, rng)
+		})
+	} else {
+		lv = d.planLevel(cur, hcur, hashed, allowCollapse, bitDepth, rng)
+	}
+	if d.sink != nil {
+		// len(lv.sampled) is the fused build's fresh hash computations,
+		// memoized into the plane; classify's skip cursor reads them back
+		// instead of re-hashing, so counting them here never double counts.
+		d.sink.Level(lv.Serial, lv.Collapsed, adopted, lv.NH, len(lv.sampled),
+			time.Since(t0).Nanoseconds())
+	}
+	return lv
+}
+
+// planLevel is PlanLevel's body, split out so the instrumented wrapper can
+// time and label it without touching the uninstrumented fast path.
+func (d *Driver[R, K]) planLevel(cur []R, hcur []uint64, hashed, allowCollapse bool, bitDepth int, rng *hashutil.RNG) Level[K] {
 	var lv Level[K]
 	if d.adoptKeys != nil {
 		keys, hs := d.adoptKeys, d.adoptHashes
@@ -480,7 +606,7 @@ func (d *Driver[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []i
 	if absorb != nil {
 		sub = lo / d.l
 	}
-	probes := 0
+	probes, freshN := 0, 0
 	// Position the sampled-index skip cursor at this chunk: records the
 	// sampling round already hashed are read back from the plane instead
 	// of re-running the user hash.
@@ -513,6 +639,7 @@ func (d *Driver[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []i
 		} else {
 			h = d.hash(d.key(curW[j]))
 			fresh = true
+			freshN++
 		}
 		id := -1
 		if ht != nil {
@@ -543,6 +670,9 @@ func (d *Driver[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []i
 	if d.probeCount != nil && probes > 0 {
 		d.probeCount.Add(int64(probes))
 	}
+	if d.sink != nil {
+		d.sink.Classify(int64(hi-lo), int64(freshN), int64(probes))
+	}
 }
 
 // DistributeLevel runs the sorter's Blocked Distributing step (cur ->
@@ -553,6 +683,36 @@ func (d *Driver[R, K]) classify(cur []R, hcur []uint64, ids []uint16, counts []i
 // plane is carried for light buckets only (heavy buckets are final and
 // never re-read their hashes: the hLive dead suffix).
 func (d *Driver[R, K]) DistributeLevel(lv *Level[K], cur, other []R, hcur, hother []uint64,
+	hashed bool, bitDepth int, starts []int) []int {
+	if d.sink == nil && !obs.ProfileLabelsOn() {
+		return d.distributeLevel(lv, cur, other, hcur, hother, hashed, bitDepth, starts)
+	}
+	var t0 time.Time
+	if d.sink != nil {
+		t0 = time.Now()
+	}
+	var out []int
+	if obs.ProfileLabelsOn() {
+		obs.Labeled("", "distribute", obs.LevelLabel(bitDepth), func() {
+			out = d.distributeLevel(lv, cur, other, hcur, hother, hashed, bitDepth, starts)
+		})
+	} else {
+		out = d.distributeLevel(lv, cur, other, hcur, hother, hashed, bitDepth, starts)
+	}
+	if d.sink != nil {
+		// Derived from the prefix array, never counted per record: every
+		// record scattered; the hash plane is carried for the light prefix
+		// only (heavy buckets are final — the hLive dead suffix).
+		n := int64(len(cur))
+		d.sink.Sweep(n, 0, dist.SweepBytes(d.recBytes, n, int64(out[lv.NLight])),
+			time.Since(t0).Nanoseconds())
+	}
+	return out
+}
+
+// distributeLevel is DistributeLevel's body, split out so the instrumented
+// wrapper can time and label it without touching the uninstrumented path.
+func (d *Driver[R, K]) distributeLevel(lv *Level[K], cur, other []R, hcur, hother []uint64,
 	hashed bool, bitDepth int, starts []int) []int {
 	n := len(cur)
 	ht, sampled, collapsed := lv.ht, lv.sampled, lv.Collapsed
@@ -579,6 +739,36 @@ func (d *Driver[R, K]) DistributeLevel(lv *Level[K], cur, other []R, hcur, hothe
 // survivor count is exact (see dist.StableAbsorbInto): under heavy skew the
 // level's scatter buffer is O(survivors), not O(n).
 func (d *Driver[R, K]) AbsorbLevel(lv *Level[K], cur []R, hcur []uint64,
+	hashed bool, bitDepth int, starts []int,
+	absorb func(sub, hid, j int), dest func(kept int) ([]R, []uint64)) []int {
+	if d.sink == nil && !obs.ProfileLabelsOn() {
+		return d.absorbLevel(lv, cur, hcur, hashed, bitDepth, starts, absorb, dest)
+	}
+	var t0 time.Time
+	if d.sink != nil {
+		t0 = time.Now()
+	}
+	var out []int
+	if obs.ProfileLabelsOn() {
+		obs.Labeled("", "absorb", obs.LevelLabel(bitDepth), func() {
+			out = d.absorbLevel(lv, cur, hcur, hashed, bitDepth, starts, absorb, dest)
+		})
+	} else {
+		out = d.absorbLevel(lv, cur, hcur, hashed, bitDepth, starts, absorb, dest)
+	}
+	if d.sink != nil {
+		// kept light survivors scattered (records + carried hashes); the
+		// rest were consumed in place by the absorb sink.
+		kept := int64(out[lv.NLight])
+		d.sink.Sweep(kept, int64(len(cur))-kept, dist.SweepBytes(d.recBytes, kept, kept),
+			time.Since(t0).Nanoseconds())
+	}
+	return out
+}
+
+// absorbLevel is AbsorbLevel's body, split out so the instrumented wrapper
+// can time and label it without touching the uninstrumented path.
+func (d *Driver[R, K]) absorbLevel(lv *Level[K], cur []R, hcur []uint64,
 	hashed bool, bitDepth int, starts []int,
 	absorb func(sub, hid, j int), dest func(kept int) ([]R, []uint64)) []int {
 	n := len(cur)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"time"
+
+	"repro/internal/dist"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
 	"repro/internal/seqsort"
@@ -67,7 +70,13 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 		if !hashed && s.less == nil {
 			s.HashAll(a, hs)
 		}
+		if s.sink == nil {
+			s.baseInPlace(a, hs, bitDepth)
+			return
+		}
+		t0 := time.Now()
 		s.baseInPlace(a, hs, bitDepth)
+		s.sink.Leaf(n, time.Since(t0).Nanoseconds())
 		return
 	}
 
@@ -86,6 +95,10 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 	// bucket histogram (parallel over chunks), then an in-place
 	// cycle-chasing permutation carries each record's hash and cached id
 	// with it. Extra space is the O(n_B) counters plus the 2-byte plane.
+	var t0 time.Time
+	if s.sink != nil {
+		t0 = time.Now()
+	}
 	idsBuf := parallel.GetBuf[uint16](s.sc, n)
 	countsBuf := parallel.GetBuf[int32](s.sc, nB)
 	ids, counts := idsBuf.S, countsBuf.S
@@ -149,6 +162,12 @@ func (s *sorter[R, K]) inPlaceRec(a []R, hs []uint64, hashed bool, depth, bitDep
 	}
 	headsBuf.Release()
 	idsBuf.Release()
+	if s.sink != nil {
+		// The cycle chase moves every record once, carrying its 8-byte hash
+		// and 2-byte id with it (scattered = n; nothing is absorbed).
+		s.sink.Sweep(int64(n), 0, dist.SweepBytes(s.recBytes+2, int64(n), int64(n)),
+			time.Since(t0).Nanoseconds())
+	}
 
 	// Step 3: heavy buckets are final; recurse on light buckets in place.
 	s.ForBuckets(lv.Serial, s.nL, func(j int) {

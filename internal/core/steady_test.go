@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -128,5 +129,41 @@ func TestInPlaceSteadyStateAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(20, run); allocs > 8 {
 		t.Fatalf("steady-state SortEqInPlace allocates %.0f objects/call, want <= 8", allocs)
+	}
+}
+
+func TestStatsSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	// The stats plane's two-sided allocation contract: with WithStats
+	// absent every touch point is a nil check, so the disabled path adds
+	// exactly zero allocations over the pinned steady-state bounds above —
+	// asserted differentially here — and the ARMED path is itself
+	// alloc-free in steady state (the sink and its shards pool through the
+	// arena; the drain writes into the caller's struct).
+	n := 1 << 16
+	in := makeRecs(n, 50, 3) // heavy keys: the most instrumented path
+	work := make([]rec, n)
+	var s obs.CallStats
+	runOff := func() {
+		copy(work, in)
+		SortEq(work, keyOf, hashMix, eqU64, Config{})
+	}
+	runOn := func() {
+		copy(work, in)
+		SortEq(work, keyOf, hashMix, eqU64, Config{Stats: &s})
+	}
+	for i := 0; i < 5; i++ {
+		runOff()
+		runOn()
+	}
+	off := testing.AllocsPerRun(20, runOff)
+	on := testing.AllocsPerRun(20, runOn)
+	if on > off {
+		t.Errorf("stats-armed SortEq allocates %.0f objects/call vs %.0f disabled; the armed path must be alloc-free in steady state", on, off)
+	}
+	if s.HashCalls == 0 {
+		t.Error("armed runs drained no counters")
 	}
 }

@@ -517,3 +517,15 @@ func serialFinish[R any, I uint8 | uint16](src, dst []R, hsrc, hdst []uint64, id
 		}
 	}
 }
+
+// SweepBytes is the byte volume one blocked-distribution sweep writes, for
+// the observability plane's bytes-moved accounting (obs.CtrBytesMoved):
+// every scattered record plus one 8-byte hash-plane word per record whose
+// cached hash is carried. The carried count is the driver's to derive from
+// the level's prefix array — the scatter carries hashes only for buckets
+// below hLive (light buckets; heavy buckets are final and their hashes are
+// dead — see the hLive dead-suffix contract above), so a sorting sweep
+// carries the light prefix and an absorbing sweep carries every survivor.
+func SweepBytes(recBytes, scattered, hashCarried int64) int64 {
+	return scattered*recBytes + hashCarried*8
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of the log2 histograms: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// 48 buckets cover everything from 0 up to ~2.8e14 (78 hours in
+// nanoseconds, 256 tera-records in batch sizes) — far beyond any value the
+// engine observes — with zero allocation per Observe.
+const HistBuckets = 48
+
+// LogHist is a fixed-bucket log2 histogram snapshot: plain counters, no
+// atomics. It is the value AtomicLogHist.Snapshot returns and what Metrics
+// copies hand to callers.
+type LogHist struct {
+	Counts [HistBuckets]int64
+}
+
+// Observe adds one observation (single-writer use; the live multi-writer
+// form is AtomicLogHist).
+func (h *LogHist) Observe(v int64) {
+	h.Counts[logBucket(v)]++
+}
+
+// Count is the total number of observations.
+func (h *LogHist) Count() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// String renders the non-empty buckets compactly, e.g. "2^10:17 2^11:3"
+// (bucket i covers [2^(i-1), 2^i); bucket 0 is the zero value).
+func (h *LogHist) String() string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "2^%d:%d", i, c)
+	}
+	if b.Len() == 0 {
+		return "empty"
+	}
+	return b.String()
+}
+
+// AtomicLogHist is the live, lock-free form: fixed atomic buckets, no
+// allocation per Observe, snapshot by copying. Embed it zero-valued.
+type AtomicLogHist struct {
+	c [HistBuckets]atomic.Int64
+}
+
+// Observe adds one observation with a single atomic add.
+func (h *AtomicLogHist) Observe(v int64) {
+	h.c[logBucket(v)].Add(1)
+}
+
+// Snapshot copies the live buckets into a plain LogHist. Concurrent
+// observers may land either side of the copy — the snapshot is a consistent
+// monotone read per bucket, not a global instant (see DESIGN.md "snapshot
+// consistency").
+func (h *AtomicLogHist) Snapshot() LogHist {
+	var out LogHist
+	for i := range h.c {
+		out.Counts[i] = h.c[i].Load()
+	}
+	return out
+}
+
+// logBucket maps v to its bucket: bits.Len64 clamped into the fixed range
+// (negative values land in bucket 0 rather than indexing wild).
+func logBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+)
+
+// Goroutine labeling for CPU profiles: when enabled, the engine tags its
+// phase executions with pprof labels (op, phase, level) so a profile
+// attributes time to "distribute at level 3" instead of a wall of
+// closures. Labeling is OFF by default and gated behind one atomic flag:
+// pprof label sets allocate, so the steady-state 0-alloc contract only
+// holds with labels disabled — callers flip them on around a profiling
+// window, not permanently. Call sites guard with ProfileLabelsOn() BEFORE
+// building the closure they hand to Labeled, so the disabled path does not
+// even allocate the closure.
+
+var labelsOn atomic.Bool
+
+// SetProfileLabels enables or disables engine pprof labels, returning the
+// previous setting.
+func SetProfileLabels(on bool) bool { return labelsOn.Swap(on) }
+
+// ProfileLabelsOn reports whether engine pprof labels are enabled.
+func ProfileLabelsOn() bool { return labelsOn.Load() }
+
+// Labeled runs f on the calling goroutine under pprof labels. Empty values
+// are omitted. It allocates (label sets always do) — call only behind a
+// ProfileLabelsOn() check.
+func Labeled(op, phase, level string, f func()) {
+	kv := make([]string, 0, 6)
+	if op != "" {
+		kv = append(kv, "op", op)
+	}
+	if phase != "" {
+		kv = append(kv, "phase", phase)
+	}
+	if level != "" {
+		kv = append(kv, "level", level)
+	}
+	pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) { f() })
+}
+
+// levelLabels pre-renders the level strings the driver tags with, so a
+// deep recursion never formats integers in the hot path.
+var levelLabels = func() [33]string {
+	var t [33]string
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return t
+}()
+
+// LevelLabel returns the label string for a hash-window depth.
+func LevelLabel(bitDepth int) string {
+	if bitDepth < 0 {
+		bitDepth = 0
+	}
+	if bitDepth >= len(levelLabels) {
+		bitDepth = len(levelLabels) - 1
+	}
+	return levelLabels[bitDepth]
+}

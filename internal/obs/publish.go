@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// Registry is the export surface: a named set of snapshot closures (each
+// returning a JSON-marshalable value — a RuntimeMetrics, a stream Metrics,
+// a CallStats accumulator) that renders as one JSON document over HTTP and
+// registers each entry as an expvar. The closures are called at read time,
+// so the page is always a fresh snapshot; each underlying Metrics() is a
+// lock-free copy, so hitting the endpoint never stalls the engine.
+//
+// Mount it wherever the service serves debug traffic:
+//
+//	reg := obs.NewRegistry()
+//	reg.Add("runtime", func() any { return rt.Metrics() })
+//	reg.PublishExpvar("semisort")
+//	mux.Handle("/debug/semisort", reg)
+type Registry struct {
+	mu    sync.RWMutex
+	names []string
+	snaps map[string]func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{snaps: make(map[string]func() any)}
+}
+
+// Add registers (or replaces) a named snapshot source.
+func (r *Registry) Add(name string, snap func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.snaps[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.snaps[name] = snap
+}
+
+// Snapshot materializes every source once, in registration order under the
+// hood of a plain map (JSON object keys sort on encode anyway).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.names))
+	for _, n := range r.names {
+		out[n] = r.snaps[n]()
+	}
+	return out
+}
+
+// ServeHTTP renders the registry as an indented JSON document — the
+// /debug/semisort page.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar registers every current source as an expvar under
+// prefix.name (e.g. "semisort.runtime"). expvar panics on duplicate names,
+// so a name already present — this registry published twice, or a second
+// registry reusing the prefix — is skipped: the existing var keeps serving
+// and, for vars this registry published, already reads through the shared
+// snapshot map (Add replaces the closure in place).
+func (r *Registry) PublishExpvar(prefix string) {
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	for _, n := range names {
+		full := prefix + "." + n
+		if expvar.Get(full) != nil {
+			continue
+		}
+		name := n
+		expvar.Publish(full, expvar.Func(func() any {
+			r.mu.RLock()
+			snap := r.snaps[name]
+			r.mu.RUnlock()
+			if snap == nil {
+				return nil
+			}
+			return snap()
+		}))
+	}
+}

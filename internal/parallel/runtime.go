@@ -3,6 +3,7 @@ package parallel
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -45,6 +46,10 @@ type Runtime struct {
 	// a swap drain the OLD channel — waiters queued on it make progress, and
 	// no release can consume a slot another call took from the new channel.
 	admit atomic.Pointer[chan struct{}]
+	// m is the runtime's lifetime metrics bank (see metrics.go): jobs,
+	// chunk ownership, contained faults, admission decisions. Updated only
+	// at coarse boundaries, snapshot lock-free by Metrics.
+	m rtMetrics
 }
 
 // job is one parallel loop in flight.
@@ -168,28 +173,37 @@ func (rt *Runtime) MaxSlots() int { return rt.pool + 1 }
 // (the job already finished); help then claims nothing and returns. A nil
 // job is Close's shutdown sentinel.
 func (rt *Runtime) worker() {
+	// Label the goroutine once for its lifetime, so CPU profiles attribute
+	// stolen-chunk work to the pool rather than an anonymous goroutine.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("semisort", "pool-worker")))
 	for j := range rt.queue {
 		if j == nil {
 			return
 		}
-		j.help()
+		if ran := j.help(); ran > 0 {
+			rt.m.chunksStole.Add(ran)
+		}
 	}
 }
 
-// help claims and runs chunks until none are left. The first claimed chunk
-// lazily assigns this participant a dense slot id for bodyW. Once the job
-// is aborting (a sibling chunk panicked) the participant stops running
-// bodies and drains instead.
-func (j *job) help() {
-	slot := int64(-1)
+// help claims and runs chunks until none are left, returning how many this
+// participant ran (drained chunks of an aborting job are not "run"). The
+// first claimed chunk lazily assigns this participant a dense slot id for
+// bodyW. Once the job is aborting (a sibling chunk panicked) the
+// participant stops running bodies and drains instead. The count flushes to
+// the runtime's chunk-ownership metrics once per participation, so the
+// steal loop itself touches no shared counter.
+func (j *job) help() int64 {
+	slot, ran := int64(-1), int64(0)
 	for {
 		if j.abort.Load() {
 			j.drain()
-			return
+			return ran
 		}
 		c := j.next.Add(1) - 1
 		if c >= j.chunks {
-			return
+			return ran
 		}
 		lo := int(c) * j.grain
 		hi := min(lo+j.grain, j.hi)
@@ -197,6 +211,7 @@ func (j *job) help() {
 			slot = j.slots.Add(1) - 1
 		}
 		j.runChunk(int(slot), lo, hi)
+		ran++
 	}
 }
 
@@ -266,9 +281,12 @@ func chunkCount(n, grain int) int64 {
 // job's first recorded panic is re-raised here — on the calling goroutine,
 // after every sibling has drained — wrapped as a *PanicError.
 func (rt *Runtime) run(j *job) {
+	rt.m.jobs.Add(1)
 	j.wg.Add(int(j.chunks))
 	rt.announce(j, min(int(j.chunks)-1, rt.pool))
-	j.help()
+	if ran := j.help(); ran > 0 {
+		rt.m.chunksOwner.Add(ran)
+	}
 	j.wg.Wait()
 	if pe := j.pan.Load(); pe != nil {
 		panic(pe)
@@ -397,15 +415,22 @@ func (rt *Runtime) SetInflightLimit(n int) {
 // the old limit drains the old channel (unblocking waiters queued on it)
 // instead of consuming a slot some other call took from the new one. The
 // zero AdmitSlot (no limit installed at Acquire time) releases nothing.
+// The slot also carries the admitting runtime so Release can retire the
+// call from the inflight gauge; the zero slot skips that too.
 type AdmitSlot struct {
 	ch chan struct{}
+	rt *Runtime
 }
 
-// Release returns the slot to the semaphore it came from. Call it exactly
-// once per successful Acquire; on the zero slot it is a no-op.
+// Release returns the slot to the semaphore it came from and retires the
+// call from the inflight gauge. Call it exactly once per successful
+// Acquire; on the zero slot it is a no-op.
 func (s AdmitSlot) Release() {
 	if s.ch != nil {
 		<-s.ch
+	}
+	if s.rt != nil {
+		s.rt.m.inflight.Add(-1)
 	}
 }
 
@@ -418,22 +443,43 @@ func (s AdmitSlot) Release() {
 func (rt *Runtime) Acquire(ctx context.Context) (AdmitSlot, error) {
 	p := rt.admit.Load()
 	if p == nil {
-		return AdmitSlot{}, nil
+		rt.m.admitted.Add(1)
+		rt.m.inflight.Add(1)
+		return AdmitSlot{rt: rt}, nil
 	}
 	ch := *p
 	if ctx == nil {
-		ch <- struct{}{}
-		return AdmitSlot{ch: ch}, nil
+		// A failed non-blocking try means this call actually queued; the
+		// try costs nothing when the gate has room, so the common path
+		// stays one channel send.
+		select {
+		case ch <- struct{}{}:
+		default:
+			rt.m.waits.Add(1)
+			ch <- struct{}{}
+		}
+		rt.m.admitted.Add(1)
+		rt.m.inflight.Add(1)
+		return AdmitSlot{ch: ch, rt: rt}, nil
 	}
 	if err := ctx.Err(); err != nil {
+		rt.m.sheds.Add(1)
 		return AdmitSlot{}, err
 	}
 	select {
 	case ch <- struct{}{}:
-		return AdmitSlot{ch: ch}, nil
-	case <-ctx.Done():
-		return AdmitSlot{}, ctx.Err()
+	default:
+		rt.m.waits.Add(1)
+		select {
+		case ch <- struct{}{}:
+		case <-ctx.Done():
+			rt.m.sheds.Add(1)
+			return AdmitSlot{}, ctx.Err()
+		}
 	}
+	rt.m.admitted.Add(1)
+	rt.m.inflight.Add(1)
+	return AdmitSlot{ch: ch, rt: rt}, nil
 }
 
 // Blocks splits [0, n) into nBlocks nearly equal contiguous blocks and runs

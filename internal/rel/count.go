@@ -1,6 +1,8 @@
 package rel
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
@@ -109,11 +111,23 @@ func (s *counter[R, K]) rec(cur []R, hcur []uint64, hashed bool, depth, bitDepth
 	return total
 }
 
-// base counts the distinct keys of one cache-resident bucket sequentially,
-// consuming the cached hash plane. Slots store the first record index of
-// their key so equality runs against the original records; nothing is
-// emitted.
+// base runs baseImpl under the stats plane's leaf accounting
+// (branch-on-nil when stats are disabled).
 func (s *counter[R, K]) base(cur []R, hcur []uint64) int64 {
+	if !s.d.StatsArmed() {
+		return s.baseImpl(cur, hcur)
+	}
+	t0 := time.Now()
+	out := s.baseImpl(cur, hcur)
+	s.d.StatLeaf(len(cur), time.Since(t0).Nanoseconds())
+	return out
+}
+
+// baseImpl counts the distinct keys of one cache-resident bucket
+// sequentially, consuming the cached hash plane. Slots store the first
+// record index of their key so equality runs against the original records;
+// nothing is emitted.
+func (s *counter[R, K]) baseImpl(cur []R, hcur []uint64) int64 {
 	n := len(cur)
 	sc := s.d.Scratch()
 	scr := parallel.GetObj[tblScratch](sc)

@@ -1,6 +1,8 @@
 package rel
 
 import (
+	"time"
+
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/hashutil"
@@ -200,12 +202,25 @@ func (j *countJoiner[R, S, K]) rec(curA []R, hA []uint64, curB []S, hB []uint64,
 	return nd
 }
 
-// base counts one cache-resident bucket pair: build a per-key counter over
-// the smaller side (a pure function of the two lengths, so the emission
-// order is deterministic), probe with the other, multiply. Probing is a
-// read-mostly counting sweep, so it stays serial even when the min-side
-// cutoff fired with a large probe side.
+// base runs baseImpl under the stats plane's leaf accounting (both sides
+// of the pair count as leaf records; branch-on-nil when stats are
+// disabled).
 func (j *countJoiner[R, S, K]) base(curA []R, hA []uint64, curB []S, hB []uint64) *node[collect.KV[K, int64]] {
+	if !j.dA.StatsArmed() {
+		return j.baseImpl(curA, hA, curB, hB)
+	}
+	t0 := time.Now()
+	nd := j.baseImpl(curA, hA, curB, hB)
+	j.dA.StatLeaf(len(curA)+len(curB), time.Since(t0).Nanoseconds())
+	return nd
+}
+
+// baseImpl counts one cache-resident bucket pair: build a per-key counter
+// over the smaller side (a pure function of the two lengths, so the
+// emission order is deterministic), probe with the other, multiply. Probing
+// is a read-mostly counting sweep, so it stays serial even when the
+// min-side cutoff fired with a large probe side.
+func (j *countJoiner[R, S, K]) baseImpl(curA []R, hA []uint64, curB []S, hB []uint64) *node[collect.KV[K, int64]] {
 	sc := j.dA.Scratch()
 	var own *parallel.Buf[collect.KV[K, int64]]
 	if len(curA) <= len(curB) {

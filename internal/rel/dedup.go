@@ -1,6 +1,8 @@
 package rel
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/hashutil"
@@ -227,10 +229,22 @@ func (t *tblScratch) reset() {
 	t.order = t.order[:0]
 }
 
-// base deduplicates one cache-resident bucket sequentially with a keep-first
-// hash table consuming the cached hash plane; kept records are emitted into
-// a pooled chunk in first-appearance (= input) order.
+// base runs baseImpl under the stats plane's leaf accounting
+// (branch-on-nil when stats are disabled).
 func (s *deduper[R, K]) base(cur []R, hcur []uint64) *node[R] {
+	if !s.d.StatsArmed() {
+		return s.baseImpl(cur, hcur)
+	}
+	t0 := time.Now()
+	nd := s.baseImpl(cur, hcur)
+	s.d.StatLeaf(len(cur), time.Since(t0).Nanoseconds())
+	return nd
+}
+
+// baseImpl deduplicates one cache-resident bucket sequentially with a
+// keep-first hash table consuming the cached hash plane; kept records are
+// emitted into a pooled chunk in first-appearance (= input) order.
+func (s *deduper[R, K]) baseImpl(cur []R, hcur []uint64) *node[R] {
 	n := len(cur)
 	sc := s.d.Scratch()
 	scr := parallel.GetObj[tblScratch](sc)

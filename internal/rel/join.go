@@ -1,6 +1,8 @@
 package rel
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/hashutil"
 	"repro/internal/parallel"
@@ -636,7 +638,20 @@ func (t *joinScratch) reset() {
 	t.order = t.order[:0]
 }
 
-// base joins one cache-resident bucket pair with a classic hash join
+// base runs baseImpl under the stats plane's leaf accounting (both sides
+// of the pair count as leaf records; branch-on-nil when stats are
+// disabled).
+func (j *joiner[R, S, K, T]) base(curA []R, hA []uint64, curB []S, hB []uint64) *node[T] {
+	if !j.dA.StatsArmed() {
+		return j.baseImpl(curA, hA, curB, hB)
+	}
+	t0 := time.Now()
+	nd := j.baseImpl(curA, hA, curB, hB)
+	j.dA.StatLeaf(len(curA)+len(curB), time.Since(t0).Nanoseconds())
+	return nd
+}
+
+// baseImpl joins one cache-resident bucket pair with a classic hash join
 // consuming the cached hash planes: build a chained table over one side in
 // input order, probe with the other in input order. The inner join builds
 // on the smaller side (ties to b); semi and anti always build on b (their
@@ -644,7 +659,7 @@ func (t *joinScratch) reset() {
 // large — the min-side cutoff fires long before the pair is cache-resident
 // — probing parallelizes over contiguous blocks, each emitting into its own
 // chunk, packed in block order.
-func (j *joiner[R, S, K, T]) base(curA []R, hA []uint64, curB []S, hB []uint64) *node[T] {
+func (j *joiner[R, S, K, T]) baseImpl(curA []R, hA []uint64, curB []S, hB []uint64) *node[T] {
 	na, nb := len(curA), len(curB)
 	sc := j.dA.Scratch()
 	// probeB: build on a, probe with b — rows come out in (b-probe,

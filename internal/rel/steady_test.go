@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The relational ops inherit the driver's arena discipline: hash planes, id
@@ -77,5 +78,35 @@ func TestJoinSteadyAllocsSizeIndependent(t *testing.T) {
 		steadyAllocBound(t, "Join/zipf-1.2", func() {
 			Join(zipf, bs, recKey, recKey, hashMix, eqU64, pair, core.Config{})
 		}, 90)
+	}
+}
+
+func TestRelStatsSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation bounds are meaningless under -race instrumentation")
+	}
+	// Differential form of the stats plane's allocation contract for the
+	// relational terminals: arming WithStats must add zero steady-state
+	// allocations over the bounds pinned above (sink, shards and the eq
+	// tap all pool through the arena), and leaving it off is pure nil
+	// checks — also zero.
+	n := 1 << 17
+	zipf := zipfRecs(n, 1.2, 57)
+	var s obs.CallStats
+	runOff := func() { Dedup(zipf, recKey, hashMix, eqU64, core.Config{}) }
+	runOn := func() { Dedup(zipf, recKey, hashMix, eqU64, core.Config{Stats: &s}) }
+	for i := 0; i < 3; i++ {
+		runOff()
+		runOn()
+	}
+	off := testing.AllocsPerRun(5, runOff)
+	on := testing.AllocsPerRun(5, runOn)
+	// GC passes during a run evict pool contents and refills count as
+	// allocations, so allow the same small jitter the absolute bounds do.
+	if on > off+4 {
+		t.Errorf("stats-armed Dedup allocates %.0f objects/call vs %.0f disabled, want equal", on, off)
+	}
+	if s.Leaves == 0 || s.HashCalls == 0 {
+		t.Error("armed runs drained no counters")
 	}
 }

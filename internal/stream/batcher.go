@@ -34,15 +34,16 @@ var (
 // errors.Is(err, context.Canceled) and errors.As(err, &pe) both see
 // through it. The batch's epoch and size identify which flush died.
 type BatchError struct {
-	Epoch    int64 // 1-based flush ordinal within the stream
-	Records  int   // records in the failed batch
-	Attempts int   // process attempts made (1 + retries)
+	Epoch    int64       // 1-based flush ordinal within the stream
+	Records  int         // records in the failed batch
+	Attempts int         // process attempts made (1 + retries)
+	Reason   FlushReason // what triggered the doomed flush (size, deadline, drain)
 	Cause    error
 }
 
 func (e *BatchError) Error() string {
-	return fmt.Sprintf("semisort: stream flush %d (%d records, %d attempts) failed: %v",
-		e.Epoch, e.Records, e.Attempts, e.Cause)
+	return fmt.Sprintf("semisort: stream flush %d (%d records, %d attempts, %s-triggered) failed: %v",
+		e.Epoch, e.Records, e.Attempts, e.Reason, e.Cause)
 }
 
 func (e *BatchError) Unwrap() error { return e.Cause }
@@ -160,6 +161,7 @@ type Batcher[R, O any] struct {
 
 	flushes atomic.Int64 // flush ordinals handed out (= epochs started)
 	faults  atomic.Int64 // flushes that failed after retries
+	m       bMetrics     // submit/flush metrics bank (see metrics.go)
 
 	errOnce  sync.Once
 	firstErr atomic.Pointer[BatchError]
@@ -206,21 +208,32 @@ func (b *Batcher[R, O]) submit(ctx context.Context, r R) <-chan Result[O] {
 		res <- Result[O]{Err: ErrStreamClosed}
 		return res
 	}
+	enqueued := true
 	switch {
 	case b.cfg.Shed:
 		select {
 		case b.in <- it:
 		default:
+			enqueued = false
+			b.m.shed.Add(1)
 			res <- Result[O]{Err: ErrQueueFull}
 		}
 	case ctx != nil:
 		select {
 		case b.in <- it:
 		case <-ctx.Done():
+			enqueued = false
 			res <- Result[O]{Err: ctx.Err()}
 		}
 	default:
 		b.in <- it
+	}
+	if enqueued {
+		b.m.submitted.Add(1)
+		// The depth read races other producers and the flusher's drain; any
+		// value it sees was a real depth at some instant, which is all a
+		// high-water mark claims.
+		casMax(&b.m.queueHighWater, int64(len(b.in)))
 	}
 	b.mu.RUnlock()
 	return res
@@ -266,7 +279,7 @@ func (b *Batcher[R, O]) run() {
 	var timer *time.Timer
 	var timeC <-chan time.Time
 	batch := make([]item[R, O], 0, b.cfg.BatchSize)
-	flush := func() {
+	flush := func(reason FlushReason) {
 		if timer != nil {
 			timer.Stop()
 			timer, timeC = nil, nil
@@ -274,7 +287,7 @@ func (b *Batcher[R, O]) run() {
 		if len(batch) == 0 {
 			return
 		}
-		b.flush(batch)
+		b.flush(batch, reason)
 		clear(batch) // drop record/channel refs so the GC isn't held hostage
 		batch = batch[:0]
 	}
@@ -287,7 +300,7 @@ func (b *Batcher[R, O]) run() {
 			}
 			batch = append(batch, it)
 			if len(batch) >= b.cfg.BatchSize {
-				flush()
+				flush(FlushBySize)
 				continue
 			}
 			if b.cfg.MaxWait > 0 {
@@ -299,16 +312,16 @@ func (b *Batcher[R, O]) run() {
 		select {
 		case it, ok := <-b.in:
 			if !ok {
-				flush()  // final partial batch
-				continue // next <-b.in returns !ok immediately
+				flush(FlushByDrain) // final partial batch
+				continue            // next <-b.in returns !ok immediately
 			}
 			batch = append(batch, it)
 			if len(batch) >= b.cfg.BatchSize {
-				flush()
+				flush(FlushBySize)
 			}
 		case <-timeC:
 			timer, timeC = nil, nil
-			flush()
+			flush(FlushByDeadline)
 		}
 	}
 }
@@ -316,29 +329,46 @@ func (b *Batcher[R, O]) run() {
 // flush runs one epoch: process (with bounded retries), then commit, then
 // result delivery. A fault after retries fails exactly this batch's items
 // with one shared *BatchError.
-func (b *Batcher[R, O]) flush(batch []item[R, O]) {
+func (b *Batcher[R, O]) flush(batch []item[R, O], reason FlushReason) {
 	epoch := b.flushes.Add(1)
+	switch reason {
+	case FlushBySize:
+		b.m.flushSize.Add(1)
+	case FlushByDeadline:
+		b.m.flushDeadline.Add(1)
+	case FlushByDrain:
+		b.m.flushDrain.Add(1)
+	}
+	b.m.flushRecords.Observe(int64(len(batch)))
 	b.recs = b.recs[:0]
 	for _, it := range batch {
 		b.recs = append(b.recs, it.rec)
 	}
+	t0 := time.Now()
 	var outs []O
 	var err error
 	for attempt := 0; ; attempt++ {
 		outs, err = b.attempt(epoch, attempt)
 		if err == nil || attempt >= b.cfg.Retries || !b.cfg.RetryIf(err) {
 			if err != nil {
-				err = &BatchError{Epoch: epoch, Records: len(batch), Attempts: attempt + 1, Cause: err}
+				err = &BatchError{Epoch: epoch, Records: len(batch), Attempts: attempt + 1,
+					Reason: reason, Cause: err}
 			}
 			break
 		}
+		b.m.retries.Add(1)
 		time.Sleep(b.cfg.Backoff << attempt)
 	}
 	if err == nil && len(outs) != len(batch) {
 		// A processor contract violation is a bug, not a data fault — but
 		// it must still fail the batch rather than mis-deliver results.
-		err = &BatchError{Epoch: epoch, Records: len(batch), Attempts: 1,
+		err = &BatchError{Epoch: epoch, Records: len(batch), Attempts: 1, Reason: reason,
 			Cause: fmt.Errorf("semisort: stream processor returned %d outputs for %d records", len(outs), len(batch))}
+	}
+	if err == nil {
+		// Commit latency: first attempt start through commit return, the
+		// epoch's end-to-end cost as the stream saw it.
+		b.m.commitNS.Observe(time.Since(t0).Nanoseconds())
 	}
 	if err != nil {
 		b.faults.Add(1)

@@ -1,0 +1,7 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports that this binary was built with -race, whose shadow
+// instrumentation allocates and would fail the steady-state alloc bounds.
+const raceEnabled = true

@@ -47,12 +47,18 @@ import (
 //	    JoinEq(clicks, clickUser).
 //	    TopK(10)
 func Query[R, K any](a []R, key func(R) K, hash func(K) uint64, eq func(K, K) bool, opts ...Option) *Pipeline[R, K] {
+	cfg := buildConfig(opts)
+	var stages *[]StageStats
+	if cfg.Stats != nil {
+		stages = new([]StageStats)
+	}
 	return &Pipeline[R, K]{c: pipeCore[R, K]{
-		cfg:  buildConfig(opts),
-		data: a,
-		key:  key,
-		hash: hash,
-		eq:   eq,
+		cfg:    cfg,
+		data:   a,
+		key:    key,
+		hash:   hash,
+		eq:     eq,
+		stages: stages,
 	}}
 }
 
@@ -98,7 +104,7 @@ func (p *Pipeline[R, K]) GroupBy() *Pipeline[R, K] { p.c.sort("GroupBy"); return
 // would need); chain a fresh Query over its Run output instead.
 func (p *Pipeline[R, K]) JoinEq(b []R, keyB func(R) K) *JoinedPipeline[R, K] {
 	p.c.check("JoinEq")
-	p.c.guarded(func() { p.c.settle() })
+	p.c.staged("JoinEq", func() { p.c.settle() })
 	if p.c.fault != nil {
 		return faultedJoin(&p.c)
 	}
@@ -120,8 +126,8 @@ func (p *Pipeline[R, K]) JoinEq(b []R, keyB func(R) K) *JoinedPipeline[R, K] {
 func (p *Pipeline[R, K]) JoinEqP(b *Pipeline[R, K]) *JoinedPipeline[R, K] {
 	p.c.check("JoinEqP")
 	b.c.check("JoinEqP")
-	p.c.guarded(func() { p.c.settle() })
-	b.c.guarded(func() { b.c.settle() })
+	p.c.staged("JoinEqP", func() { p.c.settle() })
+	b.c.staged("JoinEqP", func() { b.c.settle() })
 	if p.c.fault != nil || b.c.fault != nil {
 		// Either side's fault consumes both and rides into the join.
 		if p.c.fault == nil {
@@ -213,6 +219,13 @@ func (p *Pipeline[R, K]) CountDistinctE() (int64, error) {
 	return p.c.countDistinctE("CountDistinctE")
 }
 
+// Stats returns the per-stage statistics of a WithStats pipeline, one entry
+// per stage/terminal in execution order (nil without the option). Unlike
+// stages and terminals it is callable on a consumed pipeline — read it
+// after the terminal, when every stage has merged its counters; the
+// WithStats target holds the pipeline's total.
+func (p *Pipeline[R, K]) Stats() []StageStats { return p.c.stageStats() }
+
 // JoinedPipeline is a pipeline over the rows of a staged equi-join (see
 // Pipeline.JoinEq). It offers every stage and terminal except a further
 // join.
@@ -225,12 +238,13 @@ type JoinedPipeline[R, K any] struct {
 func joinedPipeline[R, K any](c *pipeCore[R, K], pj *eqJoin[R, K]) *JoinedPipeline[R, K] {
 	keyA := c.key
 	return &JoinedPipeline[R, K]{c: pipeCore[Joined[R], K]{
-		cfg:   c.cfg,
-		key:   func(j Joined[R]) K { return keyA(j.Left) },
-		hash:  c.hash,
-		eq:    c.eq,
-		pend:  pj,
-		owned: true,
+		cfg:    c.cfg,
+		key:    func(j Joined[R]) K { return keyA(j.Left) },
+		hash:   c.hash,
+		eq:     c.eq,
+		pend:   pj,
+		owned:  true,
+		stages: c.stages,
 	}}
 }
 
@@ -240,10 +254,11 @@ func joinedPipeline[R, K any](c *pipeCore[R, K], pj *eqJoin[R, K]) *JoinedPipeli
 // still reports it.
 func faultedJoin[R, K any](c *pipeCore[R, K]) *JoinedPipeline[R, K] {
 	jp := &JoinedPipeline[R, K]{c: pipeCore[Joined[R], K]{
-		cfg:   c.cfg,
-		hash:  c.hash,
-		eq:    c.eq,
-		fault: c.fault,
+		cfg:    c.cfg,
+		hash:   c.hash,
+		eq:     c.eq,
+		fault:  c.fault,
+		stages: c.stages,
 	}}
 	c.fault = nil
 	c.used = true
@@ -324,6 +339,11 @@ func (p *JoinedPipeline[R, K]) CountDistinctE() (int64, error) {
 	return p.c.countDistinctE("CountDistinctE")
 }
 
+// Stats returns the per-stage statistics of a WithStats pipeline, covering
+// the pre-join stages of the originating Query too (the record is shared
+// across the join); see Pipeline.Stats.
+func (p *JoinedPipeline[R, K]) Stats() []StageStats { return p.c.stageStats() }
+
 // pipeCore is the pipeline machinery shared by Pipeline and JoinedPipeline:
 // the data with everything upstream already knows about it (plane), or a
 // not-yet-materialized staged join (pend). It deliberately has no join
@@ -340,6 +360,12 @@ type pipeCore[R, K any] struct {
 	owned bool              // data is pipeline-owned (safe to reorder in place)
 	used  bool
 	fault error // a stage faulted; later stages no-op and the terminal reports it
+
+	// stages, armed by Query when WithStats is present, accumulates one
+	// StageStats per stage/terminal in execution order. A pointer to a
+	// shared slice (not the slice itself) so a join's new pipeCore keeps
+	// appending to the same record, and Stats() reads it after the terminal.
+	stages *[]StageStats
 }
 
 // pendingJoin is a join whose materialization is deferred until a terminal
@@ -354,7 +380,7 @@ type pendingJoin[R, K any] interface {
 
 func (p *pipeCore[R, K]) dedup(op string) {
 	p.check(op)
-	p.guarded(func() {
+	p.staged(op, func() {
 		p.settle()
 		switch {
 		case p.plane.Distinct:
@@ -381,7 +407,7 @@ func (p *pipeCore[R, K]) dedup(op string) {
 
 func (p *pipeCore[R, K]) sort(op string) {
 	p.check(op)
-	p.guarded(func() {
+	p.staged(op, func() {
 		p.settle()
 		if !p.plane.Grouped {
 			p.sortInGuard()
@@ -394,7 +420,7 @@ func (p *pipeCore[R, K]) runE(op string) (out []R, err error) {
 	if err = p.takeFault(); err != nil {
 		return nil, err
 	}
-	p.guarded(func() {
+	p.staged(op, func() {
 		p.settle()
 		out = p.data
 		p.finish()
@@ -410,7 +436,7 @@ func (p *pipeCore[R, K]) groupsE(op string) (out []R, groups []Group, err error)
 	if err = p.takeFault(); err != nil {
 		return nil, nil, err
 	}
-	p.guarded(func() {
+	p.staged(op, func() {
 		p.settle()
 		if !p.plane.Grouped {
 			p.sortInGuard()
@@ -454,7 +480,7 @@ func (p *pipeCore[R, K]) histogramE(op string) (out []KeyCount[K], err error) {
 	if err = p.takeFault(); err != nil {
 		return nil, err
 	}
-	p.guarded(func() {
+	p.staged(op, func() {
 		kv := p.histKV()
 		p.finish()
 		out = make([]KeyCount[K], len(kv))
@@ -473,7 +499,7 @@ func (p *pipeCore[R, K]) topKE(op string, k int) (out []KeyCount[K], err error) 
 	if err = p.takeFault(); err != nil {
 		return nil, err
 	}
-	p.guarded(func() {
+	p.staged(op, func() {
 		kv := rel.SelectTopK(p.histKV(), k, p.cfg)
 		p.finish()
 		out = make([]KeyCount[K], len(kv))
@@ -492,7 +518,7 @@ func (p *pipeCore[R, K]) countDistinctE(op string) (n int64, err error) {
 	if err = p.takeFault(); err != nil {
 		return 0, err
 	}
-	p.guarded(func() {
+	p.staged(op, func() {
 		switch {
 		case p.pend != nil:
 			n = int64(len(p.pend.counts(p.cfg)))
@@ -574,6 +600,30 @@ func (p *pipeCore[R, K]) check(op string) {
 	}
 }
 
+// staged runs one stage or terminal body under the call guard, recording
+// its CallStats as a separate entry when the pipeline carries WithStats:
+// the stage's driver calls drain into a per-stage struct, which is folded
+// into the caller's total and appended to the stage record. Without stats
+// it is exactly guarded.
+func (p *pipeCore[R, K]) staged(op string, fn func()) {
+	if p.stages == nil || p.cfg.Stats == nil || p.fault != nil {
+		p.guarded(fn)
+		return
+	}
+	total := p.cfg.Stats
+	st := new(CallStats)
+	p.cfg.Stats = st
+	// Deferred so a *PanicError unwinding through the guard still restores
+	// the caller's pointer and records whatever the stage counted before it
+	// died (a faulted stage's entry is partial, not absent).
+	defer func() {
+		p.cfg.Stats = total
+		total.Add(*st)
+		*p.stages = append(*p.stages, StageStats{Op: op, Stats: *st})
+	}()
+	p.guarded(fn)
+}
+
 // guarded runs one stage or terminal body under the call guard (admission,
 // a call-scoped lease ledger, panic containment). A faulted pipeline skips
 // the body — the fault rides to the terminal. A cancellation inside the
@@ -633,6 +683,16 @@ func (p *pipeCore[R, K]) takeFault() error {
 	p.fault = nil
 	p.used = true
 	return err
+}
+
+// stageStats copies the accumulated per-stage record (nil without
+// WithStats). A copy, so the caller cannot alias the pipeline's backing
+// slice across a later join continuation's appends.
+func (p *pipeCore[R, K]) stageStats() []StageStats {
+	if p.stages == nil {
+		return nil
+	}
+	return append([]StageStats(nil), *p.stages...)
 }
 
 // finish releases the pipeline's pooled state and marks it consumed.

@@ -276,6 +276,11 @@ func (s *DedupStream[R, K]) Flushes() int64 { return s.b.Flushes() }
 // Faults reports how many flushes failed after exhausting retries.
 func (s *DedupStream[R, K]) Faults() int64 { return s.b.Faults() }
 
+// Metrics snapshots the stream's batcher counters (queue depth and high
+// water, per-reason flush tallies, batch size and commit latency
+// histograms) lock-free; see StreamMetrics.
+func (s *DedupStream[R, K]) Metrics() StreamMetrics { return s.b.Metrics() }
+
 // KeyWeight is one entry of a streaming top-k: a key and its current —
 // possibly decayed — weight. With no decay the weight is the key's exact
 // occurrence count over the committed batches.
@@ -376,6 +381,10 @@ func (s *TopKStream[R, K]) Flushes() int64 { return s.b.Flushes() }
 // Faults reports how many flushes failed after exhausting retries.
 func (s *TopKStream[R, K]) Faults() int64 { return s.b.Faults() }
 
+// Metrics snapshots the stream's batcher counters lock-free; see
+// StreamMetrics.
+func (s *TopKStream[R, K]) Metrics() StreamMetrics { return s.b.Metrics() }
+
 // JoinStream is incremental JoinEq against a retained build side: build
 // records accumulate in a persistent hash index (committed by epoch, via
 // AddBuild), and every submitted probe record is joined against the build
@@ -475,3 +484,7 @@ func (s *JoinStream[R, S, K, T]) Flushes() int64 { return s.b.Flushes() }
 
 // Faults reports how many flushes failed after exhausting retries.
 func (s *JoinStream[R, S, K, T]) Faults() int64 { return s.b.Faults() }
+
+// Metrics snapshots the stream's batcher counters lock-free; see
+// StreamMetrics.
+func (s *JoinStream[R, S, K, T]) Metrics() StreamMetrics { return s.b.Metrics() }
